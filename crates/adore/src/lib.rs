@@ -1,0 +1,81 @@
+//! ADORE — ADaptive Object code RE-optimization — with runtime data
+//! cache prefetching.
+//!
+//! A from-scratch reproduction of the dynamic optimization system of
+//! *"The Performance of Runtime Data Cache Prefetching in a Dynamic
+//! Optimization System"* (Lu et al., MICRO-36, 2003), running on the
+//! IA-64-like simulator in the [`sim`] crate:
+//!
+//! - [`phase`] — coarse-grain phase detection over profile windows
+//!   (CPI / DPI / PCcenter standard deviations, §2.3);
+//! - [`trace`] — trace selection from Branch Trace Buffer path
+//!   profiles, with bundle splitting, branch flipping and layout
+//!   straightening (§2.4);
+//! - [`delinq`] — delinquent-load tracking from DEAR miss samples,
+//!   top three per loop trace (§3.1);
+//! - [`pattern`] — reference-pattern detection by dependence slicing:
+//!   direct array, indirect array, pointer chasing (§3.2, Fig. 5);
+//! - [`prefetch`] — prefetch generation, optimization and free-slot
+//!   scheduling using the reserved registers `r27`–`r30` (§3.3–3.5,
+//!   Fig. 6);
+//! - [`patch`] — trace-pool publication and unpatching (§2.5);
+//! - [`runtime`] — the dynamic-optimization loop tying it together.
+//!
+//! # Example
+//!
+//! ```
+//! use isa::{AccessSize, Asm, CmpOp, Gr, Pr, CODE_BASE};
+//! use sim::{Machine, MachineConfig};
+//! use adore::{run, AdoreConfig};
+//!
+//! # fn main() -> Result<(), isa::AsmError> {
+//! // A hot loop streaming through memory with heavy misses.
+//! let mut a = Asm::new();
+//! a.movl(Gr(8), 30);
+//! a.label("outer");
+//! a.movl(Gr(14), 0x1000_0000);
+//! a.movl(Gr(9), 40_000);
+//! a.label("loop");
+//! a.ld(AccessSize::U8, Gr(20), Gr(14), 64);
+//! a.add(Gr(21), Gr(20), Gr(21));
+//! a.addi(Gr(9), Gr(9), -1);
+//! a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+//! a.br_cond(Pr(1), "loop");
+//! a.addi(Gr(8), Gr(8), -1);
+//! a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(8), 0);
+//! a.br_cond(Pr(1), "outer");
+//! a.halt();
+//!
+//! let mut config = AdoreConfig::enabled();
+//! config.sampling.interval_cycles = 2_000;
+//! let mut machine = Machine::new(
+//!     a.finish(CODE_BASE)?,
+//!     config.machine_config(MachineConfig::default()),
+//! );
+//! machine.mem_mut().alloc(40_016 * 64, 64);
+//!
+//! let report = run(&mut machine, &config);
+//! assert!(report.traces_patched >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod delinq;
+pub mod instrument;
+pub mod patch;
+pub mod pattern;
+pub mod phase;
+pub mod prefetch;
+pub mod runtime;
+pub mod trace;
+
+pub use delinq::{find_delinquent_loads, DelinquentLoad, MAX_LOADS_PER_TRACE};
+pub use instrument::{dominant_stride, instrument_trace, promote, InstrumentConfig, Instrumentation};
+pub use patch::{install, unpatch, PatchedTrace};
+pub use pattern::{classify, Pattern, PatternError};
+pub use phase::{PhaseConfig, PhaseDecision, PhaseDetector, PhaseSignature};
+pub use prefetch::{optimize_trace, InsertionStats, OptimizedTrace, PrefetchConfig, SkipReason};
+pub use runtime::{run, AdoreConfig, RunReport, TimePoint};
+pub use trace::{select_traces, PathProfile, Trace, TraceConfig};

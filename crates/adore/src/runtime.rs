@@ -1,0 +1,588 @@
+//! The dynamic-optimization runtime: ADORE's main loop.
+//!
+//! Mirrors the framework of Fig. 3/Fig. 4 in the paper: the main thread
+//! runs the unmodified binary while sampling; every System Sample
+//! Buffer overflow produces a profile window (the signal handler's copy
+//! cost is charged to the main thread); the dynamic-optimization thread
+//! — which the paper runs on the second CPU, "idle almost all of the
+//! time" — consumes windows, detects stable phases, selects traces,
+//! inserts prefetches and patches the binary. Only the sampling handler
+//! and the brief patch publication cost main-thread cycles, which is
+//! why total overhead stays in the 1–2 % range (Fig. 11).
+
+use isa::Pc;
+use perfmon::{Perfmon, PerfmonConfig};
+use sim::{Machine, MachineConfig, SamplingConfig};
+
+use crate::delinq::find_delinquent_loads;
+use crate::instrument::{dominant_stride, instrument_trace, promote, InstrumentConfig};
+use crate::patch::{install, unpatch, PatchedTrace};
+use crate::pattern::PatternError;
+use crate::phase::{PhaseConfig, PhaseDecision, PhaseDetector, PhaseSignature};
+use crate::prefetch::{optimize_trace, InsertionStats, PrefetchConfig, SkipReason};
+use crate::trace::{select_traces, TraceConfig};
+
+/// Complete ADORE configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AdoreConfig {
+    /// PMU sampling parameters (interval, SSB size, per-sample cost).
+    pub sampling: SamplingConfig,
+    /// UEB size and overflow-handler cost.
+    pub perfmon: PerfmonConfig,
+    /// Phase-detection thresholds.
+    pub phase: PhaseConfig,
+    /// Trace-selection parameters.
+    pub trace: TraceConfig,
+    /// Prefetch-generation parameters.
+    pub prefetch: PrefetchConfig,
+    /// When false, everything runs except prefetch insertion and
+    /// patching — the Fig. 11 overhead measurement.
+    pub insert_prefetches: bool,
+    /// Main-thread cycles charged per patch publication.
+    pub patch_cost_cycles: u64,
+    /// Monitor optimized phases and *unpatch* their traces when the
+    /// phase CPI regressed after patching (the paper's "detect and fix
+    /// nonprofitable ones", §2.3). Regression margin: 2 %.
+    pub unpatch_nonprofitable: bool,
+    /// Instrument loads whose address slice is unanalyzable to discover
+    /// their stride at runtime (the paper's §6 future work). Off by
+    /// default — the paper's evaluation does not include it.
+    pub instrument_unanalyzable: bool,
+    /// Instrumentation parameters.
+    pub instrument: InstrumentConfig,
+}
+
+impl AdoreConfig {
+    /// A configuration with prefetch insertion enabled.
+    pub fn enabled() -> AdoreConfig {
+        AdoreConfig {
+            insert_prefetches: true,
+            patch_cost_cycles: 20_000,
+            unpatch_nonprofitable: true,
+            ..Default::default()
+        }
+    }
+
+    /// Sampling-only: measures the overhead of the machinery (Fig. 11).
+    pub fn sampling_only() -> AdoreConfig {
+        AdoreConfig { insert_prefetches: false, patch_cost_cycles: 20_000, ..Default::default() }
+    }
+
+    /// Applies the sampling settings to a machine configuration.
+    pub fn machine_config(&self, mut base: MachineConfig) -> MachineConfig {
+        base.sampling = Some(self.sampling.clone());
+        base
+    }
+}
+
+/// One point of the Fig. 8/9 time series (one profile window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimePoint {
+    /// Accumulated cycles at the end of the window.
+    pub cycles: u64,
+    /// Window CPI.
+    pub cpi: f64,
+    /// Window DEAR-qualifying misses per 1000 instructions.
+    pub dear_per_kinsn: f64,
+}
+
+/// One optimization event (a stable phase being processed).
+#[derive(Debug, Clone)]
+pub struct OptEvent {
+    /// Cycle at which the event fired.
+    pub at_cycles: u64,
+    /// Per selected trace: (start, is_loop, bundle count, delinquent
+    /// loads mapped into it, streams inserted).
+    pub traces: Vec<(isa::Addr, bool, usize, usize, InsertionStats)>,
+}
+
+/// Result of a monitored run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Total cycles (including all charged overhead).
+    pub cycles: u64,
+    /// Total retired instructions.
+    pub retired: u64,
+    /// Stable phases that received at least one patched trace
+    /// (Table 2's "optimized phase #").
+    pub phases_optimized: usize,
+    /// Prefetch streams inserted, by pattern (Table 2 rows).
+    pub stats: InsertionStats,
+    /// Traces written to the trace pool.
+    pub traces_patched: usize,
+    /// Per-window CPI / miss-rate series (Fig. 8/9).
+    pub timeline: Vec<TimePoint>,
+    /// Loads that could not be prefetched, with reasons (§4.3's failure
+    /// analysis).
+    pub skips: Vec<(Pc, SkipReason)>,
+    /// Profile windows produced.
+    pub windows: u64,
+    /// Per-optimization-event details (diagnostics).
+    pub events: Vec<OptEvent>,
+    /// Traces unpatched because the phase got slower (non-profitable).
+    pub traces_unpatched: usize,
+    /// Loads instrumented for runtime stride discovery (§6 extension).
+    pub instrumented: usize,
+    /// Instrumented loads promoted to real prefetch streams.
+    pub promoted: usize,
+}
+
+/// Runs a machine to completion under ADORE.
+///
+/// The machine must have been created with sampling enabled (see
+/// [`AdoreConfig::machine_config`]); without sampling the program just
+/// runs to completion with an empty report.
+pub fn run(machine: &mut Machine, config: &AdoreConfig) -> RunReport {
+    let mut perfmon = Perfmon::new(config.perfmon.clone());
+    let mut detector = PhaseDetector::new(config.phase.clone());
+    // (signature, attempts, exhausted, last attempt window): a phase may
+    // be optimized again while its miss rate stays high and previous
+    // passes kept finding new streams — the paper's "continue to
+    // monitor the execution of the optimized trace" (§2.3). A few
+    // windows of cooldown between attempts let the profile refresh
+    // with post-patch samples first.
+    let mut optimized: Vec<(PhaseSignature, u32, bool, u64)> = Vec::new();
+    // Patches grouped by the phase signature index that created them,
+    // with the phase CPI observed before patching.
+    let mut live_patches: Vec<(usize, f64, Vec<PatchedTrace>)> = Vec::new();
+    let mut traces_unpatched = 0usize;
+    // Pending instrumentation: (patch record, original trace, load
+    // position, distance hint, buffer, capacity, installed-at window).
+    struct PendingInstr {
+        patch: PatchedTrace,
+        trace: crate::trace::Trace,
+        load_pos: (usize, u8),
+        dist_iters: u64,
+        buffer: u64,
+        capacity: u64,
+        installed_window: u64,
+    }
+    let mut pending_instr: Vec<PendingInstr> = Vec::new();
+    let mut instrumented = 0usize;
+    let mut promoted = 0usize;
+    let mut report = RunReport::default();
+
+    let mut timeline = Vec::new();
+    let mut phases_optimized = 0usize;
+    let mut stats = InsertionStats::default();
+    let mut traces_patched = 0usize;
+    let mut skips: Vec<(Pc, SkipReason)> = Vec::new();
+    let mut events: Vec<OptEvent> = Vec::new();
+
+    perfmon.run_with_windows(machine, |m, w, ueb| {
+        timeline.push(TimePoint {
+            cycles: w.samples.last().map(|s| s.cycles).unwrap_or(0),
+            cpi: w.cpi,
+            dear_per_kinsn: w.dear_per_kinsn,
+        });
+
+        // Harvest matured instrumentation: read the recorded address
+        // stream back, take the instrumentation out, and promote it to
+        // a prefetch stream if one stride dominates.
+        let window_now_pre = timeline.len() as u64;
+        let mut i = 0;
+        while i < pending_instr.len() {
+            if window_now_pre
+                < pending_instr[i].installed_window + config.instrument.observe_windows
+            {
+                i += 1;
+                continue;
+            }
+            let pi = pending_instr.swap_remove(i);
+            let stride = dominant_stride(
+                m.mem(),
+                pi.buffer,
+                pi.capacity,
+                config.instrument.min_samples,
+                config.instrument.min_stride_share,
+            );
+            let _ = unpatch(m, &pi.patch);
+            if let Some(stride) = stride {
+                if let Some(ot) = promote(&pi.trace, pi.load_pos, stride, pi.dist_iters) {
+                    if let Ok(p) = install(m, &ot) {
+                        m.charge_cycles(config.patch_cost_cycles);
+                        stats += ot.stats;
+                        traces_patched += 1;
+                        promoted += 1;
+                        let _ = p;
+                    }
+                }
+            }
+        }
+
+        let decision = detector.evaluate(ueb);
+        let sig = match decision {
+            PhaseDecision::Stable(sig) => sig,
+            // Executing optimized traces but still missing heavily:
+            // candidate for incremental re-optimization.
+            PhaseDecision::InTracePool(sig) if sig.dpi >= config.phase.min_dpi => sig,
+            _ => return,
+        };
+        let window_now = timeline.len() as u64;
+        let cooldown = config.phase.windows_required as u64 + 1;
+        let entry_idx =
+            optimized.iter().position(|(s, _, _, _)| detector.same_phase(s, &sig));
+        // Nonprofitable-trace monitoring: if a patched phase's CPI is
+        // now clearly worse than before its patches went in, take them
+        // out (§2.3's "detect and fix nonprofitable ones"). The phase
+        // is recognized either by its code-side signature or — when
+        // execution moved entirely into the trace pool — by the pool
+        // range its samples fall into.
+        if config.unpatch_nonprofitable {
+            let group = entry_idx
+                .and_then(|i| live_patches.iter().position(|(idx, _, _)| *idx == i))
+                .or_else(|| {
+                    if sig.pc_center < isa::TRACE_POOL_BASE as f64 {
+                        return None;
+                    }
+                    live_patches.iter().position(|(_, _, patches)| {
+                        patches.iter().any(|p| {
+                            let start = p.pool_addr.0 as f64;
+                            let end = start + (p.len as f64) * 16.0;
+                            sig.pc_center >= start && sig.pc_center < end
+                        })
+                    })
+                });
+            if let Some(pi) = group {
+                let (idx, cpi_before, _) = live_patches[pi];
+                if sig.cpi > cpi_before * 1.02 {
+                    let (_, _, patches) = live_patches.swap_remove(pi);
+                    for patch in &patches {
+                        if unpatch(m, patch).is_ok() {
+                            traces_unpatched += 1;
+                        }
+                    }
+                    m.charge_cycles(config.patch_cost_cycles);
+                    optimized[idx].2 = true; // do not try again
+                    return;
+                }
+            }
+        }
+        if let Some(i) = entry_idx {
+            let (_, attempts, exhausted, last) = optimized[i];
+            if exhausted || attempts >= 4 || window_now < last + cooldown {
+                return; // nothing more to gain from this phase (yet)
+            }
+        }
+        if !config.insert_prefetches {
+            if entry_idx.is_none() {
+                optimized.push((sig, 1, true, window_now));
+            }
+            return; // Fig. 11: machinery without insertion
+        }
+
+        // Dynamic-optimization thread work (2nd CPU — free): select
+        // traces, find delinquent loads, generate prefetches. Selection
+        // reads through the machine so already-patched traces in the
+        // pool can be re-selected for incremental re-optimization.
+        let traces = select_traces(&*m, ueb, &config.trace);
+        let loads = find_delinquent_loads(&traces, ueb);
+        let mut patched_any = false;
+        let mut new_patches: Vec<PatchedTrace> = Vec::new();
+        let mut event = OptEvent { at_cycles: m.cycles(), traces: Vec::new() };
+        for (ti, trace) in traces.iter().enumerate() {
+            let mine: Vec<_> =
+                loads.iter().filter(|l| l.trace_index == ti).cloned().collect();
+            let n_loads = mine.len();
+            let mut inserted = InsertionStats::default();
+            if trace.is_loop && !mine.is_empty() {
+                let (opt, trace_skips) = optimize_trace(trace, &mine, &config.prefetch);
+                match opt {
+                    Some(ot) => {
+                        if let Ok(p) = install(m, &ot) {
+                            // Patch publication briefly pauses the main thread.
+                            m.charge_cycles(config.patch_cost_cycles);
+                            stats += ot.stats;
+                            inserted = ot.stats;
+                            traces_patched += 1;
+                            patched_any = true;
+                            new_patches.push(p);
+                        }
+                    }
+                    None if config.instrument_unanalyzable => {
+                        // Nothing analyzable: fall back to runtime
+                        // instrumentation on the hottest unanalyzable
+                        // load (§6 future work).
+                        let unanalyzable = trace_skips.iter().find(|(_, r)| {
+                            matches!(r, SkipReason::Pattern(PatternError::UnanalyzableSlice))
+                        });
+                        let candidate = unanalyzable
+                            .and_then(|(pc, _)| mine.iter().find(|l| l.pc == *pc));
+                        if let Some(load) = candidate {
+                            let bytes = 8 * config.instrument.buffer_entries + 64;
+                            if m.mem().remaining() > bytes
+                                && !pending_instr
+                                    .iter()
+                                    .any(|p| p.patch.original_head == trace.start)
+                            {
+                                let buffer = m
+                                    .mem_mut()
+                                    .alloc(8 * config.instrument.buffer_entries, 64);
+                                if let Some(instr) = instrument_trace(
+                                    trace,
+                                    load.position,
+                                    buffer,
+                                    config.instrument.buffer_entries,
+                                ) {
+                                    let body_cycles =
+                                        (trace.bundles.len() as u64).div_ceil(2).max(1) + 1;
+                                    let dist_iters = ((load.avg_latency / body_cycles as f64)
+                                        .ceil() as u64)
+                                        .clamp(4, 256);
+                                    if let Ok(p) = install(m, &instr.trace) {
+                                        m.charge_cycles(config.patch_cost_cycles);
+                                        instrumented += 1;
+                                        pending_instr.push(PendingInstr {
+                                            patch: p,
+                                            trace: trace.clone(),
+                                            load_pos: load.position,
+                                            dist_iters,
+                                            buffer,
+                                            capacity: config.instrument.buffer_entries,
+                                            installed_window: window_now_pre,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    None => {}
+                }
+                skips.extend(trace_skips);
+            }
+            event
+                .traces
+                .push((trace.start, trace.is_loop, trace.bundles.len(), n_loads, inserted));
+        }
+        events.push(event);
+        let idx = match entry_idx {
+            Some(i) => {
+                optimized[i].1 += 1;
+                optimized[i].2 = !patched_any;
+                optimized[i].3 = window_now;
+                i
+            }
+            None => {
+                optimized.push((sig, 1, !patched_any, window_now));
+                optimized.len() - 1
+            }
+        };
+        if !new_patches.is_empty() {
+            match live_patches.iter_mut().find(|(i, _, _)| *i == idx) {
+                Some((_, _, v)) => v.extend(new_patches),
+                None => live_patches.push((idx, sig.cpi, new_patches)),
+            }
+        }
+        if patched_any && entry_idx.is_none() {
+            phases_optimized += 1;
+        }
+    });
+
+    report.cycles = machine.cycles();
+    report.retired = machine.retired();
+    report.timeline = timeline;
+    report.phases_optimized = phases_optimized;
+    report.stats = stats;
+    report.traces_patched = traces_patched;
+    report.skips = skips;
+    report.windows = perfmon.windows_produced();
+    report.events = events;
+    report.traces_unpatched = traces_unpatched;
+    report.instrumented = instrumented;
+    report.promoted = promoted;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{AccessSize, Asm, CmpOp, Gr, Pr, CODE_BASE};
+
+    /// A long strided loop with heavy misses: ADORE should find it,
+    /// patch it, and speed it up.
+    fn missy_program(outer: i64, inner: i64) -> isa::Program {
+        let mut a = Asm::new();
+        a.movl(Gr(8), outer);
+        a.label("outer");
+        a.movl(Gr(14), 0x1000_0000);
+        a.movl(Gr(9), inner);
+        a.label("loop");
+        a.ld(AccessSize::U8, Gr(20), Gr(14), 64);
+        a.add(Gr(21), Gr(20), Gr(21));
+        a.addi(Gr(9), Gr(9), -1);
+        a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+        a.br_cond(Pr(1), "loop");
+        a.addi(Gr(8), Gr(8), -1);
+        a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(8), 0);
+        a.br_cond(Pr(1), "outer");
+        a.halt();
+        a.finish(CODE_BASE).unwrap()
+    }
+
+    fn fast_config(enabled: bool) -> AdoreConfig {
+        let mut c = if enabled { AdoreConfig::enabled() } else { AdoreConfig::sampling_only() };
+        c.sampling = SamplingConfig {
+            interval_cycles: 2_000,
+            buffer_capacity: 50,
+            per_sample_cost: 100,
+            jitter: 0.3,
+        };
+        c
+    }
+
+    fn run_workload(config: &AdoreConfig, arena_lines: u64) -> (RunReport, u64) {
+        let program = missy_program(40, 40_000);
+        let mcfg = config.machine_config(MachineConfig::default());
+        let mut m = Machine::new(program, mcfg);
+        m.mem_mut().alloc(arena_lines * 64, 64);
+        let report = run(&mut m, config);
+        (report, m.cycles())
+    }
+
+    #[test]
+    fn adore_speeds_up_a_missy_loop() {
+        // Baseline: no sampling at all.
+        let program = missy_program(40, 40_000);
+        let mut base = Machine::new(program, MachineConfig::default());
+        base.mem_mut().alloc(40_016 * 64, 64);
+        base.run(u64::MAX);
+        let baseline = base.cycles();
+
+        let (report, cycles) = run_workload(&fast_config(true), 40_016);
+        assert!(report.traces_patched >= 1, "the loop should be patched: {report:?}");
+        assert!(report.stats.direct >= 1);
+        assert!(report.phases_optimized >= 1);
+        assert!(
+            cycles * 100 < baseline * 90,
+            "ADORE should speed this up ≥10%: {cycles} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn sampling_only_overhead_is_small() {
+        let program = missy_program(40, 40_000);
+        let mut base = Machine::new(program, MachineConfig::default());
+        base.mem_mut().alloc(40_016 * 64, 64);
+        base.run(u64::MAX);
+        let baseline = base.cycles();
+
+        // Paper-scale sampling ratio (per-sample cost ≪ interval).
+        let mut config = AdoreConfig::sampling_only();
+        config.sampling = SamplingConfig {
+            interval_cycles: 20_000,
+            buffer_capacity: 50,
+            per_sample_cost: 150,
+            jitter: 0.3,
+        };
+        let (report, cycles) = run_workload(&config, 40_016);
+        assert_eq!(report.traces_patched, 0);
+        assert_eq!(report.stats.total(), 0);
+        let overhead = cycles as f64 / baseline as f64 - 1.0;
+        assert!(
+            overhead < 0.02,
+            "sampling-only overhead should be 1-2%, got {:.2}%",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn timeline_reflects_improvement() {
+        let (report, _) = run_workload(&fast_config(true), 40_016);
+        assert!(report.timeline.len() > 4);
+        // CPI near the end (optimized) is lower than at the start.
+        let early = report.timeline[1].cpi;
+        let late = report.timeline[report.timeline.len() - 2].cpi;
+        assert!(
+            late < early,
+            "CPI should drop after optimization: early {early:.2} late {late:.2}"
+        );
+    }
+
+    #[test]
+    fn nonprofitable_traces_are_unpatched() {
+        // Force absurd prefetch distances: every inserted stream fetches
+        // lines ~6 MB ahead of use, pure memory-bandwidth waste that
+        // makes the patched loop *slower*. The monitor must notice the
+        // CPI regression and take the patches out again.
+        let program = missy_program(60, 40_000);
+        let mut base = Machine::new(program.clone(), MachineConfig::default());
+        base.mem_mut().alloc(40_016 * 64, 64);
+        base.run(u64::MAX);
+        let baseline = base.cycles();
+
+        let mut config = fast_config(true);
+        config.prefetch.min_distance_iters = 90_000;
+        config.prefetch.max_distance_iters = 100_000;
+        let mcfg = config.machine_config(MachineConfig::default());
+        let mut m = Machine::new(program, mcfg);
+        m.mem_mut().alloc(40_016 * 64, 64);
+        let report = run(&mut m, &config);
+        assert!(report.traces_patched >= 1, "a (bad) patch should have been installed");
+        assert!(
+            report.traces_unpatched >= 1,
+            "the regression must be detected and the trace unpatched: {report:?}"
+        );
+        // With the bad patch removed, the run ends near the baseline.
+        assert!(
+            (report.cycles as f64) < baseline as f64 * 1.25,
+            "unpatching should bound the damage: {} vs {baseline}",
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn incremental_reoptimization_grows_coverage() {
+        // Three independent miss streams in one loop: sparse DEAR
+        // observation rarely reveals all three at once, but pool-trace
+        // re-optimization must converge to (nearly) full coverage.
+        let mut a = Asm::new();
+        a.movl(Gr(8), 120);
+        a.label("outer");
+        a.movl(Gr(14), 0x1000_0000);
+        a.movl(Gr(15), 0x1100_0000);
+        a.movl(Gr(16), 0x1200_0000);
+        a.movl(Gr(9), 10_000);
+        a.label("loop");
+        a.ld(AccessSize::U8, Gr(20), Gr(14), 256);
+        a.ld(AccessSize::U8, Gr(21), Gr(15), 256);
+        a.ld(AccessSize::U8, Gr(22), Gr(16), 256);
+        a.add(Gr(23), Gr(20), Gr(23));
+        a.add(Gr(23), Gr(21), Gr(23));
+        a.add(Gr(23), Gr(22), Gr(23));
+        a.addi(Gr(9), Gr(9), -1);
+        a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+        a.br_cond(Pr(1), "loop");
+        a.addi(Gr(8), Gr(8), -1);
+        a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(8), 0);
+        a.br_cond(Pr(1), "outer");
+        a.halt();
+        let program = a.finish(CODE_BASE).unwrap();
+
+        let mut config = fast_config(true);
+        config.sampling.interval_cycles = 4_000;
+        let mut mcfg = config.machine_config(MachineConfig::default());
+        mcfg.mem_capacity = 48 << 20;
+        let mut m = Machine::new(program, mcfg);
+        m.mem_mut().alloc(40 << 20, 64);
+        let report = run(&mut m, &config);
+        // All three streams eventually covered, across >1 event.
+        assert!(
+            report.stats.direct >= 3,
+            "re-optimization should cover all three streams: {:?} over {} events",
+            report.stats,
+            report.events.len()
+        );
+        assert!(report.traces_patched >= 1);
+    }
+
+    #[test]
+    fn no_sampling_is_a_clean_noop() {
+        let program = missy_program(2, 1_000);
+        let mut m = Machine::new(program, MachineConfig::default());
+        m.mem_mut().alloc(1_016 * 64, 64);
+        let report = run(&mut m, &AdoreConfig::enabled());
+        assert_eq!(report.windows, 0);
+        assert_eq!(report.traces_patched, 0);
+        assert!(m.is_halted());
+    }
+}

@@ -1,0 +1,82 @@
+//! Microbenchmarks of ADORE's own pipeline stages: profile-window
+//! statistics, trace selection, pattern classification and prefetch
+//! generation (the work the dynamic-optimization thread does per
+//! optimization event).
+
+use adore::{classify, optimize_trace, select_traces, PrefetchConfig, TraceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use isa::{AccessSize, Asm, CmpOp, Gr, Pr, CODE_BASE};
+use perfmon::{Perfmon, PerfmonConfig, UserEventBuffer};
+use sim::{Machine, MachineConfig, SamplingConfig};
+
+/// A profiled machine state with a populated UEB.
+fn profiled() -> (isa::Program, UserEventBuffer) {
+    let mut a = Asm::new();
+    a.movl(Gr(14), 0x1000_0000);
+    a.movl(Gr(8), 40);
+    a.label("outer");
+    a.movl(Gr(9), 20_000);
+    a.label("loop");
+    a.ld(AccessSize::U8, Gr(20), Gr(14), 64);
+    a.add(Gr(21), Gr(20), Gr(21));
+    a.addi(Gr(9), Gr(9), -1);
+    a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+    a.br_cond(Pr(1), "loop");
+    a.movl(Gr(14), 0x1000_0000);
+    a.addi(Gr(8), Gr(8), -1);
+    a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(8), 0);
+    a.br_cond(Pr(1), "outer");
+    a.halt();
+    let program = a.finish(CODE_BASE).unwrap();
+    let mut cfg = MachineConfig::default();
+    cfg.sampling = Some(SamplingConfig {
+        interval_cycles: 2_000,
+        buffer_capacity: 100,
+        per_sample_cost: 0,
+        jitter: 0.3,
+    });
+    let mut m = Machine::new(program.clone(), cfg);
+    m.mem_mut().alloc(20_016 * 64, 64);
+    let mut pm = Perfmon::new(PerfmonConfig::default());
+    let mut ueb = UserEventBuffer::new(16);
+    pm.run_with_windows(&mut m, |_, _, _| {});
+    for w in pm.ueb().iter() {
+        ueb.push(w.clone());
+    }
+    (program, ueb)
+}
+
+fn components(c: &mut Criterion) {
+    let (program, ueb) = profiled();
+    let tc = TraceConfig::default();
+
+    c.bench_function("trace_selection", |b| {
+        b.iter(|| select_traces(&program, &ueb, &tc).len())
+    });
+
+    let traces = select_traces(&program, &ueb, &tc);
+    let trace = traces.iter().find(|t| t.is_loop).expect("loop trace");
+    let loads = adore::find_delinquent_loads(&traces, &ueb);
+    let ti = traces.iter().position(|t| std::ptr::eq(t, trace)).unwrap();
+    let mine: Vec<_> = loads.iter().filter(|l| l.trace_index == ti).cloned().collect();
+    assert!(!mine.is_empty());
+
+    c.bench_function("delinquent_load_tracking", |b| {
+        b.iter(|| adore::find_delinquent_loads(&traces, &ueb).len())
+    });
+
+    c.bench_function("pattern_classification", |b| {
+        b.iter(|| classify(trace, mine[0].position).unwrap())
+    });
+
+    c.bench_function("prefetch_generation", |b| {
+        b.iter(|| optimize_trace(trace, &mine, &PrefetchConfig::default()).0.is_some())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = components
+}
+criterion_main!(benches);

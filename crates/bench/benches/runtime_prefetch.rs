@@ -1,0 +1,33 @@
+//! Fig. 7 in bench form: the full ADORE pipeline (baseline vs runtime
+//! prefetching) on three representative workloads at reduced scale.
+//! The printed per-iteration times measure the *simulation*; the
+//! interesting output is the simulated-cycle counts the `fig7` binary
+//! reports.
+
+use bench_harness::{build, experiment_adore_config, run_adore, run_plain};
+use compiler::CompileOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig7_shapes(c: &mut Criterion) {
+    let suite = workloads::suite(0.05);
+    let mut g = c.benchmark_group("fig7");
+    for name in ["mcf", "art", "swim"] {
+        let w = suite.iter().find(|w| w.name == name).unwrap().clone();
+        let bin = build(&w, &CompileOptions::o2());
+        g.bench_function(format!("{name}_baseline"), |b| {
+            b.iter(|| run_plain(&w, &bin))
+        });
+        let config = experiment_adore_config();
+        g.bench_function(format!("{name}_adore"), |b| {
+            b.iter(|| run_adore(&w, &bin, &config).cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig7_shapes
+}
+criterion_main!(benches);

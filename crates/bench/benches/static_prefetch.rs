@@ -1,0 +1,32 @@
+//! Table 1 in bench form: compile-and-run at O2, O3 and profile-guided
+//! O3 for a strided FP kernel (DAXPY, the paper's Fig. 2).
+
+use compiler::{compile, CompileOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::MachineConfig;
+use workloads::micro::daxpy;
+
+fn static_prefetch(c: &mut Criterion) {
+    let w = daxpy(32 << 10, 8);
+    let mut g = c.benchmark_group("static_prefetch");
+    for (label, opts) in [("o2", CompileOptions::o2()), ("o3", CompileOptions::o3())] {
+        let bin = compile(&w.kernel, &opts).unwrap();
+        g.bench_function(format!("daxpy_{label}"), |b| {
+            b.iter(|| {
+                let mut m = w.prepare(&bin, MachineConfig::default());
+                m.run_to_halt()
+            })
+        });
+    }
+    g.bench_function("compile_o3", |b| {
+        b.iter(|| compile(&w.kernel, &CompileOptions::o3()).unwrap().program.len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = static_prefetch
+}
+criterion_main!(benches);

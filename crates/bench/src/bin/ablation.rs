@@ -1,0 +1,79 @@
+//! Ablation study over the design choices DESIGN.md calls out: what
+//! happens to representative benchmarks when individual mechanisms are
+//! switched off (or, for the §6 instrumentation extension, on).
+//!
+//! Usage: `ablation [--quick]`
+
+use adore::AdoreConfig;
+use bench_harness::*;
+use compiler::CompileOptions;
+use sim::MachineConfig;
+use workloads::Workload;
+
+fn speedup(w: &Workload, config: &AdoreConfig, mcfg: MachineConfig) -> f64 {
+    let bin = build(w, &CompileOptions::o2());
+    let mut base = w.prepare(&bin, mcfg.clone());
+    base.run_to_halt();
+    let mut m = w.prepare(&bin, config.machine_config(mcfg));
+    let report = adore::run(&mut m, config);
+    speedup_pct(base.cycles(), report.cycles)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let suite = workloads::suite(scale);
+    let by = |n: &str| suite.iter().find(|w| w.name == n).unwrap();
+
+    println!("== Ablation of design choices (speedup % under O2 + ADORE) ==\n");
+    println!("{:<34} {:>8} {:>8} {:>8} {:>8}", "configuration", "mcf", "art", "swim", "lucas");
+
+    let row = |label: &str, config: &AdoreConfig, mcfg: MachineConfig| {
+        let vals: Vec<f64> = ["mcf", "art", "swim", "lucas"]
+            .iter()
+            .map(|n| speedup(by(n), config, mcfg.clone()))
+            .collect();
+        println!(
+            "{:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            label, vals[0], vals[1], vals[2], vals[3]
+        );
+    };
+
+    let full = experiment_adore_config();
+    row("full system", &full, experiment_machine_config());
+
+    let mut c = experiment_adore_config();
+    c.sampling.jitter = 0.0;
+    row("no sampling-period jitter", &c, experiment_machine_config());
+
+    let mut c = experiment_adore_config();
+    c.prefetch.enable_pointer = false;
+    row("no pointer-chase prefetching", &c, experiment_machine_config());
+
+    let mut c = experiment_adore_config();
+    c.prefetch.enable_indirect = false;
+    row("no indirect prefetching", &c, experiment_machine_config());
+
+    let mut c = experiment_adore_config();
+    c.prefetch.enable_direct = false;
+    row("no direct prefetching", &c, experiment_machine_config());
+
+    let mut mcfg = experiment_machine_config();
+    mcfg.cache.mem_service_interval = 0;
+    row("no memory-bandwidth cap", &full, mcfg);
+
+    let mut c = experiment_adore_config();
+    c.instrument_unanalyzable = true;
+    row("+ runtime instrumentation (§6)", &c, experiment_machine_config());
+
+    println!(
+        "\nReading the rows: each pattern toggle hits the benchmark that\n\
+         depends on it (mcf=pointer, art=indirect+direct, swim=direct).\n\
+         Jitter off narrows first-pass DEAR diversity (incremental\n\
+         re-optimization partly compensates). Removing the bandwidth cap\n\
+         lets the *baseline* overlap misses freely, shrinking the\n\
+         prefetch headroom the paper's bus-limited machine actually had.\n\
+         Instrumentation (off in the paper's evaluation) unlocks the\n\
+         fp-conversion benchmark (lucas) the paper could not improve."
+    );
+}

@@ -1,0 +1,47 @@
+//! Workload characterization — the paper's first PMU usage model
+//! (§2.1): the overall runtime cycle breakdown per benchmark, before
+//! and after runtime prefetching. Memory stalls are exactly what the
+//! optimizer converts into busy (or at least shorter) time.
+//!
+//! Usage: `breakdown [--quick]`
+
+use bench_harness::*;
+use compiler::CompileOptions;
+use sim::Counters;
+
+fn pct(part: u64, total: u64) -> f64 {
+    100.0 * part as f64 / total.max(1) as f64
+}
+
+fn row(label: &str, c: &Counters, cycles: u64) {
+    let accounted =
+        c.stall_mem + c.stall_fp + c.stall_branch + c.stall_icache + c.overhead_cycles;
+    println!(
+        "  {label:<8} {cycles:>13} cycles | mem {:>5.1}% | fp {:>4.1}% | br {:>4.1}% | i$ {:>4.1}% | ovh {:>4.1}% | busy {:>5.1}%",
+        pct(c.stall_mem, cycles),
+        pct(c.stall_fp, cycles),
+        pct(c.stall_branch, cycles),
+        pct(c.stall_icache, cycles),
+        pct(c.overhead_cycles, cycles),
+        pct(cycles.saturating_sub(accounted), cycles),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let suite = workloads::suite(scale);
+    let config = experiment_adore_config();
+
+    println!("== Cycle breakdown (workload characterization, §2.1) ==");
+    for name in PAPER_ORDER {
+        let w = suite.iter().find(|w| w.name == name).expect("known workload");
+        let bin = build(w, &CompileOptions::o2());
+        println!("{name}:");
+        let mut base = w.prepare(&bin, experiment_machine_config());
+        base.run_to_halt();
+        row("O2", &base.pmu().counters, base.cycles());
+        let (report, m) = run_adore_with_machine(w, &bin, &config);
+        row("+ADORE", &m.pmu().counters, report.cycles);
+    }
+}

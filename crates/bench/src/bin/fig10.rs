@@ -1,0 +1,29 @@
+//! Fig. 10: the cost of the restricted compilation — original `O2`
+//! (software pipelining on, no registers reserved) versus the
+//! restricted `O2` used for runtime prefetching (SWP off, `r27`–`r30`
+//! and `p6` reserved).
+//!
+//! Usage: `fig10 [--quick]`
+
+use bench_harness::*;
+use compiler::CompileOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let suite = workloads::suite(scale);
+
+    println!("== Fig. 10: original O2 (SWP, no reservation) vs restricted O2 ==");
+    println!(
+        "{:<10} {:>16} {:>16} {:>10}  (paper: >3% only for equake, mcf, facerec, swim)",
+        "bench", "restricted O2", "original O2", "speedup%"
+    );
+    for name in PAPER_ORDER {
+        let w = suite.iter().find(|w| w.name == name).expect("known workload");
+        let restricted = build(w, &CompileOptions::o2());
+        let original = build(w, &CompileOptions::o2_original());
+        let rc = run_plain(w, &restricted);
+        let oc = run_plain(w, &original);
+        println!("{:<10} {:>16} {:>16} {:>9.1}%", name, rc, oc, speedup_pct(rc, oc));
+    }
+}

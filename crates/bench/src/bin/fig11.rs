@@ -1,0 +1,30 @@
+//! Fig. 11: the overhead of the ADORE machinery — execution time of the
+//! O2 binary alone versus O2 + runtime system with prefetch *insertion
+//! disabled* (sampling, phase detection and trace selection still run).
+//!
+//! Usage: `fig11 [--quick]`
+
+use bench_harness::*;
+use compiler::CompileOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let suite = workloads::suite(scale);
+    let mut config = experiment_adore_config();
+    config.insert_prefetches = false;
+
+    println!("== Fig. 11: overhead of runtime machinery without prefetch insertion ==");
+    println!(
+        "{:<10} {:>14} {:>22} {:>10}  (paper: 1-2% overhead)",
+        "bench", "O2 cycles", "O2+sampling cycles", "overhead%"
+    );
+    for name in PAPER_ORDER {
+        let w = suite.iter().find(|w| w.name == name).expect("known workload");
+        let bin = build(w, &CompileOptions::o2());
+        let base = run_plain(w, &bin);
+        let report = run_adore(w, &bin, &config);
+        let overhead = (report.cycles as f64 / base as f64 - 1.0) * 100.0;
+        println!("{:<10} {:>14} {:>22} {:>9.2}%", name, base, report.cycles, overhead);
+    }
+}

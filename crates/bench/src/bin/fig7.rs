@@ -1,0 +1,51 @@
+//! Fig. 7: performance of runtime prefetching over `O2` (a) and `O3`
+//! (b) binaries, all 17 benchmarks.
+//!
+//! Usage: `fig7 [a|b|both] [--quick]`
+
+use bench_harness::*;
+use compiler::CompileOptions;
+
+fn run_part(part: char, scale: f64) {
+    let base_opts = match part {
+        'a' => CompileOptions::o2(),
+        _ => CompileOptions::o3(),
+    };
+    let paper: fn(&str) -> f64 = match part {
+        'a' => paper_fig7a,
+        _ => paper_fig7b,
+    };
+    println!("== Fig. 7({part}): {} + runtime prefetching ==", if part == 'a' { "O2" } else { "O3" });
+    println!(
+        "{:<10} {:>14} {:>14} {:>10} {:>10}  {:>8} {:>8}",
+        "bench", "base cycles", "adore cycles", "speedup%", "paper%", "patched", "phases"
+    );
+    let suite = workloads::suite(scale);
+    for name in PAPER_ORDER {
+        let w = suite.iter().find(|w| w.name == name).expect("known workload");
+        let bin = build(w, &base_opts);
+        let base = run_plain(w, &bin);
+        let report = run_adore(w, &bin, &experiment_adore_config());
+        let s = speedup_pct(base, report.cycles);
+        println!(
+            "{:<10} {:>14} {:>14} {:>9.1}% {:>9.1}%  {:>8} {:>8}",
+            name, base, report.cycles, s, paper(name), report.traces_patched,
+            report.phases_optimized
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let part = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("both");
+    match part {
+        "a" => run_part('a', scale),
+        "b" => run_part('b', scale),
+        _ => {
+            run_part('a', scale);
+            println!();
+            run_part('b', scale);
+        }
+    }
+}

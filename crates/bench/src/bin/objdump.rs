@@ -1,0 +1,53 @@
+//! Minimal object-file tool for the toolchain's binary format: compile
+//! a workload (or micro-kernel), save it with `isa::encode_program`,
+//! reload it, and print the disassembly listing.
+//!
+//! Usage: `objdump <workload-name|matmul|daxpy> [path.adore]`
+
+use compiler::{compile, CompileOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("daxpy");
+
+    let kernel = match name {
+        "matmul" => workloads::micro::matrix_multiply(64, 2).kernel,
+        "daxpy" => workloads::micro::daxpy(4096, 2).kernel,
+        "memcpy" => workloads::micro::memcpy(1 << 16, 2).kernel,
+        other => match workloads::by_name(other, 0.05) {
+            Some(w) => w.kernel,
+            None => {
+                eprintln!("unknown workload `{other}`");
+                std::process::exit(1);
+            }
+        },
+    };
+    let bin = compile(&kernel, &CompileOptions::o3()).expect("compiles");
+
+    let bytes = isa::encode_program(&bin.program);
+    if let Some(path) = args.get(1) {
+        std::fs::write(path, &bytes).expect("write object file");
+        eprintln!("wrote {} bytes to {path}", bytes.len());
+    }
+
+    // Round-trip through the binary format, then list.
+    let program = isa::decode_program(&bytes).expect("decodes");
+    println!(
+        "; {} — {} bundles, {} bytes encoded, entry {}",
+        kernel.name,
+        program.len(),
+        bytes.len(),
+        program.entry()
+    );
+    for info in &bin.loops {
+        println!(
+            "; loop `{}` [{} .. {}) trip={}{}",
+            info.name,
+            info.head,
+            info.end,
+            info.trip,
+            if info.has_static_prefetch { " +prefetch" } else { "" }
+        );
+    }
+    print!("{program}");
+}

@@ -1,0 +1,72 @@
+//! Table 1: profile-guided static prefetching.
+//!
+//! For each benchmark: compile at `O3` (every analyzable loop gets
+//! prefetches), collect a sampling miss profile from a training run,
+//! build the 90 %-latency-coverage delinquent-loop list, recompile with
+//! prefetching restricted to those loops, and report loops scheduled /
+//! normalized execution time / normalized binary size — the three
+//! column groups of the paper's Table 1.
+//!
+//! Usage: `table1 [--quick]`
+
+use bench_harness::*;
+use compiler::{delinquent_loop_filter, CompileOptions};
+use perfmon::{MissProfile, Perfmon};
+use sim::Sample;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let suite = workloads::suite(scale);
+    let config = experiment_adore_config();
+
+    println!("== Table 1: profile-guided static prefetching ==");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}  (paper: loops {:>4}->{:>3}, time, size)",
+        "bench", "O3 loops", "prof loops", "norm time", "norm size", "p.time", "p.size", "O3", "pf"
+    );
+
+    for name in PAPER_ORDER {
+        let w = suite.iter().find(|w| w.name == name).expect("known workload");
+        let o3 = build(w, &CompileOptions::o3());
+
+        // Training run: plain sampling on the *unprefetched* binary —
+        // a profile collected under static prefetching would hide
+        // exactly the loads the filter must keep.
+        let o2 = build(w, &CompileOptions::o2());
+        let mcfg = config.machine_config(experiment_machine_config());
+        let mut m = w.prepare(&o2, mcfg);
+        let mut pm = Perfmon::new(config.perfmon.clone());
+        let mut samples: Vec<Sample> = Vec::new();
+        pm.run_with_windows(&mut m, |_, w, _| samples.extend(w.samples.iter().cloned()));
+        let o3_cycles = run_plain(w, &o3);
+
+        let profile = MissProfile::from_samples(samples.iter());
+
+        let mut opts = CompileOptions::o3();
+        // An empty training profile (the run was too short to fill a
+        // single sample buffer, e.g. gzip) gives no guidance: keep the
+        // default prefetching rather than filtering everything out.
+        if !profile.is_empty() {
+            opts.prefetch_filter = Some(delinquent_loop_filter(&profile, &o2, 0.9));
+        }
+        let guided = build(w, &opts);
+        let guided_cycles = run_plain(w, &guided);
+
+        let norm_time = guided_cycles as f64 / o3_cycles as f64;
+        let norm_size = guided.program.size_bytes() as f64 / o3.program.size_bytes() as f64;
+        let (p_o3, p_pf, p_time, p_size) = paper_table1(name).unwrap();
+        println!(
+            "{:<10} {:>8} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  (paper: {:>4}->{:>3})",
+            name,
+            o3.prefetched_loops,
+            guided.prefetched_loops,
+            norm_time,
+            norm_size,
+            p_time,
+            p_size,
+            p_o3,
+            p_pf
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Table 2: runtime prefetching data analysis — the number of inserted
+//! prefetch streams by reference pattern (direct / indirect / pointer
+//! chasing) and the number of optimized phases, per benchmark (O2
+//! binaries).
+//!
+//! Usage: `table2 [--quick]`
+
+use bench_harness::*;
+use compiler::CompileOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let suite = workloads::suite(scale);
+    let config = experiment_adore_config();
+
+    println!("== Table 2: prefetching data analysis (O2 + ADORE) ==");
+    println!(
+        "{:<10} {:>7} {:>9} {:>8} {:>7}   paper: (dir, ind, ptr, phases)",
+        "bench", "direct", "indirect", "pointer", "phases"
+    );
+    for name in PAPER_ORDER {
+        let w = suite.iter().find(|w| w.name == name).expect("known workload");
+        let bin = build(w, &CompileOptions::o2());
+        let report = run_adore(w, &bin, &config);
+        let (pd, pi, pp, pph) = paper_table2(name).unwrap();
+        println!(
+            "{:<10} {:>7} {:>9} {:>8} {:>7}   paper: ({pd:>3}, {pi:>3}, {pp:>3}, {pph:>3})",
+            name,
+            report.stats.direct,
+            report.stats.indirect,
+            report.stats.pointer,
+            report.phases_optimized,
+        );
+    }
+}

@@ -1,0 +1,599 @@
+//! Binary encoding of program images.
+//!
+//! A compact, versioned byte format for [`Program`]s: bundle templates,
+//! slot opcodes, register operands and LEB128-style variable-length
+//! immediates. It is *not* bit-compatible with real IA-64 encodings
+//! (those pack 41-bit syllables with template-dependent immediate
+//! splitting); it is the format this toolchain uses to save compiled
+//! workloads and optimized traces to disk and reload them.
+
+use std::fmt;
+
+use crate::bundle::{Bundle, Template};
+use crate::insn::{AccessSize, Addr, CmpOp, Insn, Op, SlotKind};
+use crate::program::Program;
+use crate::regs::{Fr, Gr, Pr};
+
+/// Magic header bytes.
+pub const MAGIC: [u8; 4] = *b"ADOR";
+/// Format version.
+pub const VERSION: u8 = 1;
+
+/// Error produced when decoding fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The header is missing or wrong.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u8),
+    /// The byte stream ended mid-structure.
+    Truncated,
+    /// An opcode, template or operand byte is invalid.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic header"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::Truncated => write!(f, "byte stream truncated"),
+            DecodeError::Invalid(what) => write!(f, "invalid {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u64(&mut self, mut v: u64) {
+        // LEB128.
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.out.push(byte);
+                break;
+            }
+            self.out.push(byte | 0x80);
+        }
+    }
+
+    fn i64(&mut self, v: i64) {
+        // Zigzag + LEB128.
+        self.u64(((v << 1) ^ (v >> 63)) as u64);
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.data.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = self.u8()?;
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(DecodeError::Invalid("varint"));
+            }
+        }
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let z = self.u64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+}
+
+fn template_code(t: Template) -> u8 {
+    match t {
+        Template::Mii => 0,
+        Template::Mlx => 1,
+        Template::Mmi => 2,
+        Template::Mfi => 3,
+        Template::Mmf => 4,
+        Template::Mib => 5,
+        Template::Mbb => 6,
+        Template::Bbb => 7,
+        Template::Mmb => 8,
+        Template::Mfb => 9,
+    }
+}
+
+fn template_from(code: u8) -> Result<Template, DecodeError> {
+    Ok(match code {
+        0 => Template::Mii,
+        1 => Template::Mlx,
+        2 => Template::Mmi,
+        3 => Template::Mfi,
+        4 => Template::Mmf,
+        5 => Template::Mib,
+        6 => Template::Mbb,
+        7 => Template::Bbb,
+        8 => Template::Mmb,
+        9 => Template::Mfb,
+        _ => return Err(DecodeError::Invalid("template")),
+    })
+}
+
+fn slot_kind_code(k: SlotKind) -> u8 {
+    match k {
+        SlotKind::M => 0,
+        SlotKind::I => 1,
+        SlotKind::F => 2,
+        SlotKind::B => 3,
+        SlotKind::L => 4,
+    }
+}
+
+fn slot_kind_from(code: u8) -> Result<SlotKind, DecodeError> {
+    Ok(match code {
+        0 => SlotKind::M,
+        1 => SlotKind::I,
+        2 => SlotKind::F,
+        3 => SlotKind::B,
+        4 => SlotKind::L,
+        _ => return Err(DecodeError::Invalid("slot kind")),
+    })
+}
+
+fn size_code(s: AccessSize) -> u8 {
+    match s {
+        AccessSize::U1 => 0,
+        AccessSize::U2 => 1,
+        AccessSize::U4 => 2,
+        AccessSize::U8 => 3,
+    }
+}
+
+fn size_from(code: u8) -> Result<AccessSize, DecodeError> {
+    Ok(match code {
+        0 => AccessSize::U1,
+        1 => AccessSize::U2,
+        2 => AccessSize::U4,
+        3 => AccessSize::U8,
+        _ => return Err(DecodeError::Invalid("access size")),
+    })
+}
+
+fn cmp_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+        CmpOp::Ltu => 6,
+    }
+}
+
+fn cmp_from(code: u8) -> Result<CmpOp, DecodeError> {
+    Ok(match code {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        6 => CmpOp::Ltu,
+        _ => return Err(DecodeError::Invalid("cmp op")),
+    })
+}
+
+fn encode_insn(w: &mut Writer, insn: &Insn) {
+    w.u8(insn.qp.map(|p| p.0 + 1).unwrap_or(0));
+    match insn.op {
+        Op::Nop(k) => {
+            w.u8(0);
+            w.u8(slot_kind_code(k));
+        }
+        Op::Add { d, a, b } => {
+            w.u8(1);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.u8(b.0);
+        }
+        Op::AddI { d, a, imm } => {
+            w.u8(2);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.i64(imm);
+        }
+        Op::Sub { d, a, b } => {
+            w.u8(3);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.u8(b.0);
+        }
+        Op::Shladd { d, a, count, b } => {
+            w.u8(4);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.u8(count);
+            w.u8(b.0);
+        }
+        Op::And { d, a, b } => {
+            w.u8(5);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.u8(b.0);
+        }
+        Op::Or { d, a, b } => {
+            w.u8(6);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.u8(b.0);
+        }
+        Op::Xor { d, a, b } => {
+            w.u8(7);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.u8(b.0);
+        }
+        Op::MovL { d, imm } => {
+            w.u8(8);
+            w.u8(d.0);
+            w.i64(imm);
+        }
+        Op::Mov { d, s } => {
+            w.u8(9);
+            w.u8(d.0);
+            w.u8(s.0);
+        }
+        Op::Cmp { op, pt, pf, a, b } => {
+            w.u8(10);
+            w.u8(cmp_code(op));
+            w.u8(pt.0);
+            w.u8(pf.0);
+            w.u8(a.0);
+            w.u8(b.0);
+        }
+        Op::CmpI { op, pt, pf, a, imm } => {
+            w.u8(11);
+            w.u8(cmp_code(op));
+            w.u8(pt.0);
+            w.u8(pf.0);
+            w.u8(a.0);
+            w.i64(imm);
+        }
+        Op::Ld { d, base, post_inc, size, spec } => {
+            w.u8(12);
+            w.u8(d.0);
+            w.u8(base.0);
+            w.i64(post_inc);
+            w.u8(size_code(size));
+            w.u8(spec as u8);
+        }
+        Op::St { s, base, post_inc, size } => {
+            w.u8(13);
+            w.u8(s.0);
+            w.u8(base.0);
+            w.i64(post_inc);
+            w.u8(size_code(size));
+        }
+        Op::Ldf { d, base, post_inc } => {
+            w.u8(14);
+            w.u8(d.0);
+            w.u8(base.0);
+            w.i64(post_inc);
+        }
+        Op::Stf { s, base, post_inc } => {
+            w.u8(15);
+            w.u8(s.0);
+            w.u8(base.0);
+            w.i64(post_inc);
+        }
+        Op::Lfetch { base, post_inc } => {
+            w.u8(16);
+            w.u8(base.0);
+            w.i64(post_inc);
+        }
+        Op::Fma { d, a, b, c } => {
+            w.u8(17);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.u8(b.0);
+            w.u8(c.0);
+        }
+        Op::Fadd { d, a, b } => {
+            w.u8(18);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.u8(b.0);
+        }
+        Op::Fmul { d, a, b } => {
+            w.u8(19);
+            w.u8(d.0);
+            w.u8(a.0);
+            w.u8(b.0);
+        }
+        Op::Getf { d, s } => {
+            w.u8(20);
+            w.u8(d.0);
+            w.u8(s.0);
+        }
+        Op::Setf { d, s } => {
+            w.u8(21);
+            w.u8(d.0);
+            w.u8(s.0);
+        }
+        Op::Br { target } => {
+            w.u8(22);
+            w.u64(target.0);
+        }
+        Op::BrCond { target } => {
+            w.u8(23);
+            w.u64(target.0);
+        }
+        Op::BrCall { target } => {
+            w.u8(24);
+            w.u64(target.0);
+        }
+        Op::BrRet => w.u8(25),
+        Op::Alloc => w.u8(26),
+        Op::Halt => w.u8(27),
+    }
+}
+
+fn decode_insn(r: &mut Reader<'_>) -> Result<Insn, DecodeError> {
+    let qp_byte = r.u8()?;
+    let qp = if qp_byte == 0 {
+        None
+    } else if qp_byte <= 64 {
+        Some(Pr(qp_byte - 1))
+    } else {
+        return Err(DecodeError::Invalid("qualifying predicate"));
+    };
+    let gr = |b: u8| -> Result<Gr, DecodeError> {
+        if (b as usize) < crate::regs::NUM_GR {
+            Ok(Gr(b))
+        } else {
+            Err(DecodeError::Invalid("general register"))
+        }
+    };
+    let fr = |b: u8| -> Result<Fr, DecodeError> {
+        if (b as usize) < crate::regs::NUM_FR {
+            Ok(Fr(b))
+        } else {
+            Err(DecodeError::Invalid("fp register"))
+        }
+    };
+    let pr = |b: u8| -> Result<Pr, DecodeError> {
+        if (b as usize) < crate::regs::NUM_PR {
+            Ok(Pr(b))
+        } else {
+            Err(DecodeError::Invalid("predicate register"))
+        }
+    };
+    let op = match r.u8()? {
+        0 => Op::Nop(slot_kind_from(r.u8()?)?),
+        1 => Op::Add { d: gr(r.u8()?)?, a: gr(r.u8()?)?, b: gr(r.u8()?)? },
+        2 => Op::AddI { d: gr(r.u8()?)?, a: gr(r.u8()?)?, imm: r.i64()? },
+        3 => Op::Sub { d: gr(r.u8()?)?, a: gr(r.u8()?)?, b: gr(r.u8()?)? },
+        4 => Op::Shladd { d: gr(r.u8()?)?, a: gr(r.u8()?)?, count: r.u8()?, b: gr(r.u8()?)? },
+        5 => Op::And { d: gr(r.u8()?)?, a: gr(r.u8()?)?, b: gr(r.u8()?)? },
+        6 => Op::Or { d: gr(r.u8()?)?, a: gr(r.u8()?)?, b: gr(r.u8()?)? },
+        7 => Op::Xor { d: gr(r.u8()?)?, a: gr(r.u8()?)?, b: gr(r.u8()?)? },
+        8 => Op::MovL { d: gr(r.u8()?)?, imm: r.i64()? },
+        9 => Op::Mov { d: gr(r.u8()?)?, s: gr(r.u8()?)? },
+        10 => Op::Cmp {
+            op: cmp_from(r.u8()?)?,
+            pt: pr(r.u8()?)?,
+            pf: pr(r.u8()?)?,
+            a: gr(r.u8()?)?,
+            b: gr(r.u8()?)?,
+        },
+        11 => Op::CmpI {
+            op: cmp_from(r.u8()?)?,
+            pt: pr(r.u8()?)?,
+            pf: pr(r.u8()?)?,
+            a: gr(r.u8()?)?,
+            imm: r.i64()?,
+        },
+        12 => Op::Ld {
+            d: gr(r.u8()?)?,
+            base: gr(r.u8()?)?,
+            post_inc: r.i64()?,
+            size: size_from(r.u8()?)?,
+            spec: r.u8()? != 0,
+        },
+        13 => Op::St {
+            s: gr(r.u8()?)?,
+            base: gr(r.u8()?)?,
+            post_inc: r.i64()?,
+            size: size_from(r.u8()?)?,
+        },
+        14 => Op::Ldf { d: fr(r.u8()?)?, base: gr(r.u8()?)?, post_inc: r.i64()? },
+        15 => Op::Stf { s: fr(r.u8()?)?, base: gr(r.u8()?)?, post_inc: r.i64()? },
+        16 => Op::Lfetch { base: gr(r.u8()?)?, post_inc: r.i64()? },
+        17 => Op::Fma { d: fr(r.u8()?)?, a: fr(r.u8()?)?, b: fr(r.u8()?)?, c: fr(r.u8()?)? },
+        18 => Op::Fadd { d: fr(r.u8()?)?, a: fr(r.u8()?)?, b: fr(r.u8()?)? },
+        19 => Op::Fmul { d: fr(r.u8()?)?, a: fr(r.u8()?)?, b: fr(r.u8()?)? },
+        20 => Op::Getf { d: gr(r.u8()?)?, s: fr(r.u8()?)? },
+        21 => Op::Setf { d: fr(r.u8()?)?, s: gr(r.u8()?)? },
+        22 => Op::Br { target: Addr(r.u64()?) },
+        23 => Op::BrCond { target: Addr(r.u64()?) },
+        24 => Op::BrCall { target: Addr(r.u64()?) },
+        25 => Op::BrRet,
+        26 => Op::Alloc,
+        27 => Op::Halt,
+        _ => return Err(DecodeError::Invalid("opcode")),
+    };
+    Ok(Insn { qp, op })
+}
+
+/// Serializes a program (code base, entry, bundles; symbols are not
+/// preserved).
+pub fn encode_program(program: &Program) -> Vec<u8> {
+    let mut w = Writer { out: Vec::new() };
+    w.out.extend_from_slice(&MAGIC);
+    w.u8(VERSION);
+    w.u64(program.code_base());
+    w.u64(program.entry().0);
+    w.u64(program.len() as u64);
+    for b in program.bundles() {
+        w.u8(template_code(b.template));
+        for slot in &b.slots {
+            encode_insn(&mut w, slot);
+        }
+    }
+    w.out
+}
+
+/// Deserializes a program produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input; decoding never panics.
+pub fn decode_program(data: &[u8]) -> Result<Program, DecodeError> {
+    if data.len() < 5 || data[..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    if data[4] != VERSION {
+        return Err(DecodeError::BadVersion(data[4]));
+    }
+    let mut r = Reader { data, pos: 5 };
+    let code_base = r.u64()?;
+    if code_base % Addr::BUNDLE_BYTES != 0 {
+        return Err(DecodeError::Invalid("code base alignment"));
+    }
+    let entry = Addr(r.u64()?);
+    let count = r.u64()? as usize;
+    if count > (1 << 24) {
+        return Err(DecodeError::Invalid("bundle count"));
+    }
+    let mut bundles = Vec::with_capacity(count);
+    for _ in 0..count {
+        let template = template_from(r.u8()?)?;
+        let slots = [decode_insn(&mut r)?, decode_insn(&mut r)?, decode_insn(&mut r)?];
+        bundles.push(Bundle { template, slots });
+    }
+    let mut p = Program::new(code_base, bundles);
+    p.set_entry(entry);
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::program::CODE_BASE;
+
+    fn sample_program() -> Program {
+        let mut a = Asm::new();
+        a.global("main");
+        a.movl(Gr(14), 0x1000_0000);
+        a.movl(Gr(9), 100);
+        a.label("loop");
+        a.ld(AccessSize::U8, Gr(20), Gr(14), 64);
+        a.add(Gr(21), Gr(20), Gr(21));
+        a.lfetch(Gr(27), 64);
+        a.fma(Fr(8), Fr(9), Fr(1), Fr(8));
+        a.addi(Gr(9), Gr(9), -1);
+        a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+        a.br_cond(Pr(1), "loop");
+        a.emit(Insn::predicated(Pr(3), Op::MovL { d: Gr(14), imm: -12345 }));
+        a.halt();
+        a.finish(CODE_BASE).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_bundle() {
+        let p = sample_program();
+        let bytes = encode_program(&p);
+        let q = decode_program(&bytes).unwrap();
+        assert_eq!(p.code_base(), q.code_base());
+        assert_eq!(p.entry(), q.entry());
+        assert_eq!(p.bundles(), q.bundles());
+    }
+
+    #[test]
+    fn decoded_program_executes_identically() {
+        use crate::asm::Asm;
+        let mut a = Asm::new();
+        a.movl(Gr(10), 0);
+        a.label("l");
+        a.addi(Gr(10), Gr(10), 3);
+        a.cmpi(CmpOp::Lt, Pr(1), Pr(2), Gr(10), 300);
+        a.br_cond(Pr(1), "l");
+        a.halt();
+        let p = a.finish(CODE_BASE).unwrap();
+        let q = decode_program(&encode_program(&p)).unwrap();
+        // Behavioural equality via the simulator is checked in the
+        // workspace integration tests; structural equality here.
+        assert_eq!(p.bundles(), q.bundles());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(decode_program(b"NOPE\x01"), Err(DecodeError::BadMagic));
+        assert_eq!(decode_program(b""), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = encode_program(&sample_program());
+        bytes[4] = 99;
+        assert_eq!(decode_program(&bytes), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let bytes = encode_program(&sample_program());
+        for cut in 0..bytes.len() {
+            match decode_program(&bytes[..cut]) {
+                Ok(p) => {
+                    // Only acceptable if the cut removed no bundles.
+                    assert_eq!(p.bundles(), sample_program().bundles());
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic() {
+        let mut bytes = encode_program(&sample_program());
+        for i in 5..bytes.len() {
+            let orig = bytes[i];
+            bytes[i] = orig.wrapping_add(0x55);
+            let _ = decode_program(&bytes); // must not panic
+            bytes[i] = orig;
+        }
+    }
+
+    #[test]
+    fn varint_extremes_round_trip() {
+        let mut a = Asm::new();
+        a.emit(Op::MovL { d: Gr(5), imm: i64::MIN });
+        a.emit(Op::MovL { d: Gr(6), imm: i64::MAX });
+        a.emit(Op::AddI { d: Gr(7), a: Gr(7), imm: -1 });
+        a.halt();
+        let p = a.finish(CODE_BASE).unwrap();
+        let q = decode_program(&encode_program(&p)).unwrap();
+        assert_eq!(p.bundles(), q.bundles());
+    }
+}

@@ -1,0 +1,120 @@
+//! Register files of the IA-64-like target.
+//!
+//! The real Itanium provides 128 general registers, 128 floating-point
+//! registers, 64 one-bit predicate registers and 8 branch registers. The
+//! reproduction keeps the same shapes because ADORE's prefetch insertion
+//! depends on them: the static compiler *reserves* `r27`–`r30` and `p6`
+//! so the dynamic optimizer has scratch registers to compute prefetch
+//! addresses with (paper §3.3).
+
+use std::fmt;
+
+/// Number of general (integer) registers.
+pub const NUM_GR: usize = 128;
+/// Number of floating-point registers.
+pub const NUM_FR: usize = 128;
+/// Number of predicate registers.
+pub const NUM_PR: usize = 64;
+
+/// A general (integer) register, `r0`–`r127`. `r0` always reads zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gr(pub u8);
+
+/// A floating-point register, `f0`–`f127`. `f0` always reads `0.0` and
+/// `f1` always reads `1.0`, as on Itanium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fr(pub u8);
+
+/// A predicate register, `p0`–`p63`. `p0` always reads true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pr(pub u8);
+
+impl Gr {
+    /// The hardwired zero register `r0`.
+    pub const ZERO: Gr = Gr(0);
+
+    /// The four general registers the static compiler reserves for the
+    /// dynamic optimizer (`r27`–`r30`, paper §3.3).
+    pub const RESERVED: [Gr; 4] = [Gr(27), Gr(28), Gr(29), Gr(30)];
+
+    /// Returns true if this register is one of the ADORE-reserved ones.
+    pub fn is_reserved(self) -> bool {
+        Self::RESERVED.contains(&self)
+    }
+
+    /// Returns the register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Fr {
+    /// The hardwired `0.0` register `f0`.
+    pub const ZERO: Fr = Fr(0);
+    /// The hardwired `1.0` register `f1`.
+    pub const ONE: Fr = Fr(1);
+
+    /// Returns the register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Pr {
+    /// The hardwired true predicate `p0`.
+    pub const TRUE: Pr = Pr(0);
+
+    /// The predicate register reserved for the dynamic optimizer (`p6`).
+    pub const RESERVED: Pr = Pr(6);
+
+    /// Returns the register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Gr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Fr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for Pr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_grs_match_paper() {
+        assert_eq!(Gr::RESERVED, [Gr(27), Gr(28), Gr(29), Gr(30)]);
+        assert!(Gr(27).is_reserved());
+        assert!(Gr(30).is_reserved());
+        assert!(!Gr(26).is_reserved());
+        assert!(!Gr(31).is_reserved());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gr(14).to_string(), "r14");
+        assert_eq!(Fr(8).to_string(), "f8");
+        assert_eq!(Pr(6).to_string(), "p6");
+    }
+
+    #[test]
+    fn indices() {
+        assert_eq!(Gr(127).index(), 127);
+        assert_eq!(Fr(1).index(), 1);
+        assert_eq!(Pr(63).index(), 63);
+    }
+}

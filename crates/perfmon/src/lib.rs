@@ -1,0 +1,24 @@
+//! A perfmon-like PMU sampling layer for the ADORE reproduction.
+//!
+//! The paper builds ADORE's profiling on Stephane Eranian's `perfmon`
+//! kernel interface (§2.1): the PMU is sampled every R cycles into a
+//! kernel **System Sample Buffer**; on overflow a signal handler copies
+//! the samples to a circular **User Event Buffer** whose contents the
+//! dynamic optimizer consumes as *profile windows*. This crate provides:
+//!
+//! - [`ProfileWindow`] / [`UserEventBuffer`]: per-window CPI, DPI and
+//!   PCcenter statistics with noise removal ([`window`]);
+//! - [`Perfmon`]: the overflow-handling driver ([`sampler`]);
+//! - [`MissProfile`]: DEAR-based cache-miss profiles, including the 90 %
+//!   latency-coverage delinquent-load list used for profile-guided
+//!   static prefetching ([`profile`]).
+
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod sampler;
+pub mod window;
+
+pub use profile::{MissEntry, MissProfile};
+pub use sampler::{Perfmon, PerfmonConfig};
+pub use window::{ProfileWindow, UserEventBuffer};

@@ -1,0 +1,1143 @@
+//! The simulated machine: an in-order, 2-bundles-per-cycle core in the
+//! style of Itanium 2, wired to the cache hierarchy and the PMU.
+//!
+//! The timing model is deliberately simple but captures everything the
+//! paper's results hinge on:
+//!
+//! - **issue width**: two bundles per cycle (the "two bundles per cycle"
+//!   constraint of §1.3 that makes prefetch scheduling into free slots
+//!   matter);
+//! - **stall-on-use**: loads complete in the background and only stall
+//!   the pipeline when a consumer reads the destination register before
+//!   it is ready, so prefetches and far-ahead loads overlap misses;
+//! - **non-blocking caches** with a bounded number of in-flight misses;
+//! - **taken-branch bubble**, making inserted bundles genuinely costly;
+//! - a **trace pool** address range from which patched traces execute.
+
+use isa::{Addr, Bundle, Op, Pc, Program, SlotKind, TRACE_POOL_BASE};
+
+use crate::cache::{CacheConfig, Hierarchy, HitLevel};
+use crate::mem::Memory;
+use crate::pmu::{Pmu, Sample};
+use crate::tlb::{Tlb, TlbConfig};
+
+/// PMU sampling configuration (perfmon-style).
+#[derive(Debug, Clone)]
+pub struct SamplingConfig {
+    /// Cycles between samples (paper: ≥ 100,000 on real hardware; the
+    /// simulated runs are shorter so the default is scaled down).
+    pub interval_cycles: u64,
+    /// System Sample Buffer capacity in samples; the run loop stops with
+    /// [`StopReason::SampleBufferOverflow`] when it fills.
+    pub buffer_capacity: usize,
+    /// Cycles charged to the main thread per sample taken (the PMU
+    /// interrupt cost; this is where ADORE's 1–2 % overhead comes from).
+    pub per_sample_cost: u64,
+    /// Fractional randomization of the sampling period (perfmon's
+    /// period randomization): each interval is drawn uniformly from
+    /// `interval * (1 ± jitter)`. Without it, samples alias onto loop
+    /// structure and the DEAR only ever observes one load per loop.
+    pub jitter: f64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> SamplingConfig {
+        SamplingConfig {
+            interval_cycles: 20_000,
+            buffer_capacity: 100,
+            per_sample_cost: 150,
+            jitter: 0.3,
+        }
+    }
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Cache hierarchy geometry and latencies.
+    pub cache: CacheConfig,
+    /// Data arena capacity in bytes.
+    pub mem_capacity: usize,
+    /// Bubble cycles on a taken branch.
+    pub taken_branch_penalty: u64,
+    /// Latency of floating-point arithmetic (`fma` etc.).
+    pub fp_latency: u64,
+    /// Latency of cross-unit moves (`getf`/`setf`), part of what makes
+    /// fp↔int address computations hostile to stride detection.
+    pub xfer_latency: u64,
+    /// PMU sampling; `None` disables sampling entirely.
+    pub sampling: Option<SamplingConfig>,
+    /// Data TLB geometry and walker latency.
+    pub tlb: TlbConfig,
+    /// Trace-pool capacity in bundles (the shared-memory block
+    /// `dyn_open` allocates once, paper §2.2).
+    pub trace_pool_bundles: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            cache: CacheConfig::default(),
+            mem_capacity: 64 << 20,
+            taken_branch_penalty: 1,
+            fp_latency: 4,
+            xfer_latency: 5,
+            sampling: None,
+            tlb: TlbConfig::default(),
+            trace_pool_bundles: 16 * 1024,
+        }
+    }
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The program executed `Halt`.
+    Halted,
+    /// The sample buffer filled; drain it with [`Machine::drain_samples`].
+    SampleBufferOverflow,
+    /// The requested cycle limit was reached.
+    CycleLimit,
+}
+
+/// Error returned by patching operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// The address does not map to a bundle.
+    BadAddress(Addr),
+    /// The trace pool is full (its size is fixed at `dyn_open` time).
+    PoolFull,
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchError::BadAddress(a) => write!(f, "no bundle at address {a}"),
+            PatchError::PoolFull => write!(f, "trace pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// What a pending register value is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum StallSource {
+    #[default]
+    None,
+    Memory,
+    Fp,
+}
+
+#[derive(Debug)]
+struct SampleState {
+    next_at: u64,
+    index: u64,
+    buffer: Vec<Sample>,
+    /// LCG state for deterministic period randomization.
+    rng: u64,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    program: Program,
+    pool: Vec<Bundle>,
+    mem: Memory,
+    caches: Hierarchy,
+    tlb: Tlb,
+    pmu: Pmu,
+    gr: [i64; 128],
+    fr: [f64; 128],
+    pr: [bool; 64],
+    gr_ready: [u64; 128],
+    fr_ready: [u64; 128],
+    /// What produced each register's pending value (stall attribution
+    /// for the PMU's cycle-breakdown counters).
+    gr_source: [StallSource; 128],
+    fr_source: [StallSource; 128],
+    ip: Addr,
+    ret_stack: Vec<Addr>,
+    cycle: u64,
+    half_bundle: bool,
+    halted: bool,
+    samples: Option<SampleState>,
+}
+
+impl Machine {
+    /// Creates a machine ready to run `program`.
+    pub fn new(program: Program, config: MachineConfig) -> Machine {
+        let mut pr = [false; 64];
+        pr[0] = true;
+        let mut fr = [0.0; 128];
+        fr[1] = 1.0;
+        let samples = config.sampling.as_ref().map(|s| SampleState {
+            next_at: s.interval_cycles,
+            index: 0,
+            buffer: Vec::with_capacity(s.buffer_capacity),
+            rng: 0x9e3779b97f4a7c15,
+        });
+        Machine {
+            mem: Memory::new(config.mem_capacity),
+            caches: Hierarchy::new(config.cache.clone()),
+            tlb: Tlb::new(config.tlb.clone()),
+            pmu: Pmu::new(),
+            gr: [0; 128],
+            fr,
+            pr,
+            gr_ready: [0; 128],
+            fr_ready: [0; 128],
+            gr_source: [StallSource::None; 128],
+            fr_source: [StallSource::None; 128],
+            ip: program.entry(),
+            ret_stack: Vec::new(),
+            cycle: 0,
+            half_bundle: false,
+            halted: false,
+            samples,
+            pool: Vec::new(),
+            program,
+            config,
+        }
+    }
+
+    // ---- accessors -------------------------------------------------
+
+    /// Current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Retired instruction count.
+    pub fn retired(&self) -> u64 {
+        self.pmu.counters.retired
+    }
+
+    /// Whether the program has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The PMU state.
+    pub fn pmu(&self) -> &Pmu {
+        &self.pmu
+    }
+
+    /// The cache hierarchy (statistics).
+    pub fn caches(&self) -> &Hierarchy {
+        &self.caches
+    }
+
+    /// The data TLB (statistics).
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// The data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable data memory (workload initialization).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The static program image.
+    pub fn code(&self) -> &Program {
+        &self.program
+    }
+
+    /// Current instruction pointer.
+    pub fn ip(&self) -> Addr {
+        self.ip
+    }
+
+    /// Reads a general register.
+    pub fn gr(&self, r: isa::Gr) -> i64 {
+        self.gr[r.index()]
+    }
+
+    /// Writes a general register (test and workload setup).
+    pub fn set_gr(&mut self, r: isa::Gr, v: i64) {
+        if r.index() != 0 {
+            self.gr[r.index()] = v;
+        }
+    }
+
+    /// Reads a floating-point register.
+    pub fn fr(&self, r: isa::Fr) -> f64 {
+        self.fr[r.index()]
+    }
+
+    /// Writes a floating-point register.
+    pub fn set_fr(&mut self, r: isa::Fr, v: f64) {
+        if r.index() > 1 {
+            self.fr[r.index()] = v;
+        }
+    }
+
+    /// The bundle at `addr`, resolving both static code and trace pool.
+    pub fn bundle_at(&self, addr: Addr) -> Option<&Bundle> {
+        if addr.0 >= TRACE_POOL_BASE {
+            let idx = ((addr.0 - TRACE_POOL_BASE) / Addr::BUNDLE_BYTES) as usize;
+            self.pool.get(idx)
+        } else {
+            self.program.bundle_at(addr)
+        }
+    }
+
+    /// Number of bundles currently in the trace pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    // ---- patching (used by ADORE's trace patcher) -------------------
+
+    /// Appends a trace to the trace pool, returning its start address.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PatchError::PoolFull`] when the fixed-size pool
+    /// cannot hold the trace.
+    pub fn install_trace(&mut self, bundles: Vec<Bundle>) -> Result<Addr, PatchError> {
+        if self.pool.len() + bundles.len() > self.config.trace_pool_bundles {
+            return Err(PatchError::PoolFull);
+        }
+        let addr = Addr(TRACE_POOL_BASE + self.pool.len() as u64 * Addr::BUNDLE_BYTES);
+        self.pool.extend(bundles);
+        Ok(addr)
+    }
+
+    /// Remaining trace-pool capacity in bundles.
+    pub fn pool_remaining(&self) -> usize {
+        self.config.trace_pool_bundles - self.pool.len()
+    }
+
+    /// Replaces the bundle at `addr` (static code or trace pool),
+    /// returning the original so the caller can unpatch later.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `addr` does not map to a code bundle.
+    pub fn replace_bundle(&mut self, addr: Addr, bundle: Bundle) -> Result<Bundle, PatchError> {
+        if addr.0 >= TRACE_POOL_BASE {
+            let idx = ((addr.0 - TRACE_POOL_BASE) / Addr::BUNDLE_BYTES) as usize;
+            let slot = self.pool.get_mut(idx).ok_or(PatchError::BadAddress(addr))?;
+            return Ok(std::mem::replace(slot, bundle));
+        }
+        let slot = self
+            .program
+            .bundle_at_mut(addr)
+            .ok_or(PatchError::BadAddress(addr))?;
+        Ok(std::mem::replace(slot, bundle))
+    }
+
+    /// Charges `n` cycles of overhead to the main thread (sampling
+    /// signal handler, patch publication, …).
+    pub fn charge_cycles(&mut self, n: u64) {
+        self.cycle += n;
+        self.pmu.counters.cycles = self.cycle;
+        self.pmu.counters.overhead_cycles += n;
+        self.half_bundle = false;
+    }
+
+    /// Drains the System Sample Buffer.
+    pub fn drain_samples(&mut self) -> Vec<Sample> {
+        match &mut self.samples {
+            Some(s) => std::mem::take(&mut s.buffer),
+            None => Vec::new(),
+        }
+    }
+
+    // ---- execution ---------------------------------------------------
+
+    /// Runs until halt, sample-buffer overflow, or `cycle_limit`
+    /// (absolute cycle count) is reached.
+    pub fn run(&mut self, cycle_limit: u64) -> StopReason {
+        while !self.halted {
+            if self.cycle >= cycle_limit {
+                return StopReason::CycleLimit;
+            }
+            self.step_bundle();
+            if let (Some(ss), Some(cfg)) = (&self.samples, &self.config.sampling) {
+                if ss.buffer.len() >= cfg.buffer_capacity {
+                    return StopReason::SampleBufferOverflow;
+                }
+            }
+        }
+        StopReason::Halted
+    }
+
+    /// Runs to completion, ignoring samples (drains them on overflow).
+    pub fn run_to_halt(&mut self) -> u64 {
+        while !self.halted {
+            if self.run(u64::MAX) == StopReason::SampleBufferOverflow {
+                self.drain_samples();
+            }
+        }
+        self.cycle
+    }
+
+    fn stall_until(&mut self, ready: u64, source: StallSource) {
+        if ready > self.cycle {
+            let stall = ready - self.cycle;
+            match source {
+                StallSource::Memory => self.pmu.counters.stall_mem += stall,
+                StallSource::Fp => self.pmu.counters.stall_fp += stall,
+                StallSource::None => {}
+            }
+            self.cycle = ready;
+            self.half_bundle = false;
+        }
+    }
+
+    fn write_gr(&mut self, r: isa::Gr, v: i64, ready: u64) {
+        self.write_gr_src(r, v, ready, StallSource::None)
+    }
+
+    fn write_gr_src(&mut self, r: isa::Gr, v: i64, ready: u64, source: StallSource) {
+        if r.index() != 0 {
+            self.gr[r.index()] = v;
+            self.gr_ready[r.index()] = ready;
+            self.gr_source[r.index()] = if ready > self.cycle { source } else { StallSource::None };
+        }
+    }
+
+    fn write_fr(&mut self, r: isa::Fr, v: f64, ready: u64) {
+        self.write_fr_src(r, v, ready, StallSource::Fp)
+    }
+
+    fn write_fr_src(&mut self, r: isa::Fr, v: f64, ready: u64, source: StallSource) {
+        if r.index() > 1 {
+            self.fr[r.index()] = v;
+            self.fr_ready[r.index()] = ready;
+            self.fr_source[r.index()] = if ready > self.cycle { source } else { StallSource::None };
+        }
+    }
+
+    fn write_pr(&mut self, r: isa::Pr, v: bool) {
+        if r.index() != 0 {
+            self.pr[r.index()] = v;
+        }
+    }
+
+    fn take_sample(&mut self, pc: Pc) {
+        let (Some(ss), Some(cfg)) = (&mut self.samples, &self.config.sampling) else {
+            return;
+        };
+        if self.cycle < ss.next_at {
+            return;
+        }
+        self.cycle += cfg.per_sample_cost;
+        self.pmu.counters.cycles = self.cycle;
+        ss.buffer.push(Sample {
+            index: ss.index,
+            pc,
+            cycles: self.cycle,
+            retired: self.pmu.counters.retired,
+            dcache_misses: self.pmu.counters.dear_misses,
+            btb: self.pmu.btb.snapshot(),
+            dear: self.pmu.dear,
+        });
+        ss.index += 1;
+        ss.rng = ss.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = (ss.rng >> 33) as f64 / (1u64 << 31) as f64; // [0, 1)
+        let factor = 1.0 - cfg.jitter + 2.0 * cfg.jitter * u;
+        let interval = (cfg.interval_cycles as f64 * factor).max(1.0) as u64;
+        ss.next_at = self.cycle + interval;
+        self.pmu.rearm_dear();
+    }
+
+    /// Executes one bundle, updating all timing state.
+    fn step_bundle(&mut self) {
+        let bundle_addr = self.ip;
+        let Some(bundle) = self.bundle_at(bundle_addr).cloned() else {
+            panic!("instruction fetch from unmapped address {bundle_addr}");
+        };
+
+        // Instruction fetch.
+        let istall = self.caches.ifetch(bundle_addr.0, self.cycle);
+        if istall > 0 {
+            self.pmu.counters.l1i_misses += 1;
+            self.pmu.counters.stall_icache += istall;
+            self.cycle += istall;
+            self.half_bundle = false;
+        }
+
+        let mut taken: Option<Addr> = None;
+        let fall_through = bundle_addr.offset_bundles(1);
+
+        for slot in 0..3u8 {
+            let insn = bundle.slots[slot as usize];
+            let pc = Pc::new(bundle_addr, slot);
+            self.pmu.counters.retired += 1;
+
+            // Qualifying predicate.
+            if let Some(qp) = insn.qp {
+                if !self.pr[qp.index()] {
+                    continue;
+                }
+            }
+
+            // Scoreboard: stall on unready sources, attributing the
+            // wait to the producer (memory vs. floating point).
+            for r in insn.op.gr_reads() {
+                let ready = self.gr_ready[r.index()];
+                let src = self.gr_source[r.index()];
+                self.stall_until(ready, src);
+            }
+            match insn.op {
+                Op::Fma { a, b, c, .. } => {
+                    for f in [a, b, c] {
+                        let ready = self.fr_ready[f.index()];
+                        let src = self.fr_source[f.index()];
+                        self.stall_until(ready, src);
+                    }
+                }
+                Op::Fadd { a, b, .. } | Op::Fmul { a, b, .. } => {
+                    for f in [a, b] {
+                        let ready = self.fr_ready[f.index()];
+                        let src = self.fr_source[f.index()];
+                        self.stall_until(ready, src);
+                    }
+                }
+                Op::Stf { s, .. } | Op::Getf { s, .. } => {
+                    let ready = self.fr_ready[s.index()];
+                    let src = self.fr_source[s.index()];
+                    self.stall_until(ready, src);
+                }
+                _ => {}
+            }
+
+            let now = self.cycle;
+            match insn.op {
+                Op::Nop(_) | Op::Alloc => {}
+                Op::Add { d, a, b } => {
+                    let v = self.gr[a.index()].wrapping_add(self.gr[b.index()]);
+                    self.write_gr(d, v, now);
+                }
+                Op::AddI { d, a, imm } => {
+                    let v = self.gr[a.index()].wrapping_add(imm);
+                    self.write_gr(d, v, now);
+                }
+                Op::Sub { d, a, b } => {
+                    let v = self.gr[a.index()].wrapping_sub(self.gr[b.index()]);
+                    self.write_gr(d, v, now);
+                }
+                Op::Shladd { d, a, count, b } => {
+                    let v = (self.gr[a.index()] << count).wrapping_add(self.gr[b.index()]);
+                    self.write_gr(d, v, now);
+                }
+                Op::And { d, a, b } => {
+                    self.write_gr(d, self.gr[a.index()] & self.gr[b.index()], now);
+                }
+                Op::Or { d, a, b } => {
+                    self.write_gr(d, self.gr[a.index()] | self.gr[b.index()], now);
+                }
+                Op::Xor { d, a, b } => {
+                    self.write_gr(d, self.gr[a.index()] ^ self.gr[b.index()], now);
+                }
+                Op::MovL { d, imm } => self.write_gr(d, imm, now),
+                Op::Mov { d, s } => {
+                    let v = self.gr[s.index()];
+                    self.write_gr(d, v, now);
+                }
+                Op::Cmp { op, pt, pf, a, b } => {
+                    let r = op.eval(self.gr[a.index()], self.gr[b.index()]);
+                    self.write_pr(pt, r);
+                    self.write_pr(pf, !r);
+                }
+                Op::CmpI { op, pt, pf, a, imm } => {
+                    let r = op.eval(self.gr[a.index()], imm);
+                    self.write_pr(pt, r);
+                    self.write_pr(pf, !r);
+                }
+                Op::Ld { d, base, post_inc, size, spec } => {
+                    let addr = self.gr[base.index()] as u64;
+                    let value = if spec {
+                        self.mem.read_spec(addr, size.bytes())
+                    } else {
+                        self.mem.read(addr, size.bytes())
+                    };
+                    let tlb_lat = self.tlb.access(addr);
+                    if tlb_lat > 0 {
+                        self.pmu.record_tlb_miss(pc, addr, tlb_lat);
+                    }
+                    let res = self.caches.load(addr, now + tlb_lat, false);
+                    self.pmu
+                        .record_load(pc, addr, res.latency, res.level == HitLevel::L1);
+                    self.write_gr_src(d, value as i64, now + tlb_lat + res.latency, StallSource::Memory);
+                    if post_inc != 0 {
+                        let nb = self.gr[base.index()].wrapping_add(post_inc);
+                        self.write_gr(base, nb, now);
+                    }
+                }
+                Op::St { s, base, post_inc, size } => {
+                    let addr = self.gr[base.index()] as u64;
+                    self.mem.write(addr, size.bytes(), self.gr[s.index()] as u64);
+                    let _ = self.tlb.access(addr); // stores fill but don't stall
+                    self.caches.store(addr);
+                    if post_inc != 0 {
+                        let nb = self.gr[base.index()].wrapping_add(post_inc);
+                        self.write_gr(base, nb, now);
+                    }
+                }
+                Op::Ldf { d, base, post_inc } => {
+                    let addr = self.gr[base.index()] as u64;
+                    let value = self.mem.read_f64(addr);
+                    let tlb_lat = self.tlb.access(addr);
+                    if tlb_lat > 0 {
+                        self.pmu.record_tlb_miss(pc, addr, tlb_lat);
+                    }
+                    let res = self.caches.load(addr, now + tlb_lat, true);
+                    self.pmu.record_load(pc, addr, res.latency, false);
+                    self.write_fr_src(d, value, now + tlb_lat + res.latency, StallSource::Memory);
+                    if post_inc != 0 {
+                        let nb = self.gr[base.index()].wrapping_add(post_inc);
+                        self.write_gr(base, nb, now);
+                    }
+                }
+                Op::Stf { s, base, post_inc } => {
+                    let addr = self.gr[base.index()] as u64;
+                    self.mem.write_f64(addr, self.fr[s.index()]);
+                    self.caches.store(addr);
+                    if post_inc != 0 {
+                        let nb = self.gr[base.index()].wrapping_add(post_inc);
+                        self.write_gr(base, nb, now);
+                    }
+                }
+                Op::Lfetch { base, post_inc } => {
+                    let addr = self.gr[base.index()] as u64;
+                    // lfetch engages the hardware page walker on a DTLB
+                    // miss (warming the TLB ahead of the demand stream)
+                    // and is dropped only when the translation would
+                    // fault — e.g. the wild addresses an extrapolated
+                    // pointer-chase prefetch can produce.
+                    if self.mem.contains(addr, 1) {
+                        let _ = self.tlb.access(addr);
+                        self.caches.lfetch(addr, now);
+                    }
+                    if post_inc != 0 {
+                        let nb = self.gr[base.index()].wrapping_add(post_inc);
+                        self.write_gr(base, nb, now);
+                    }
+                }
+                Op::Fma { d, a, b, c } => {
+                    let v = self.fr[a.index()].mul_add(self.fr[b.index()], self.fr[c.index()]);
+                    self.write_fr(d, v, now + self.config.fp_latency);
+                }
+                Op::Fadd { d, a, b } => {
+                    let v = self.fr[a.index()] + self.fr[b.index()];
+                    self.write_fr(d, v, now + self.config.fp_latency);
+                }
+                Op::Fmul { d, a, b } => {
+                    let v = self.fr[a.index()] * self.fr[b.index()];
+                    self.write_fr(d, v, now + self.config.fp_latency);
+                }
+                Op::Getf { d, s } => {
+                    let v = self.fr[s.index()] as i64;
+                    self.write_gr(d, v, now + self.config.xfer_latency);
+                }
+                Op::Setf { d, s } => {
+                    let v = self.gr[s.index()] as f64;
+                    self.write_fr(d, v, now + self.config.xfer_latency);
+                }
+                Op::Br { target } => {
+                    self.pmu.record_branch(pc, target, true);
+                    taken = Some(target);
+                }
+                Op::BrCond { target } => {
+                    // Reached only when the qualifying predicate held.
+                    self.pmu.record_branch(pc, target, true);
+                    taken = Some(target);
+                }
+                Op::BrCall { target } => {
+                    self.pmu.record_branch(pc, target, true);
+                    self.ret_stack.push(fall_through);
+                    taken = Some(target);
+                }
+                Op::BrRet => {
+                    let target = self
+                        .ret_stack
+                        .pop()
+                        .expect("br.ret with empty return stack");
+                    self.pmu.record_branch(pc, target, true);
+                    taken = Some(target);
+                }
+                Op::Halt => {
+                    self.halted = true;
+                }
+            }
+            if taken.is_some() || self.halted {
+                break;
+            }
+            // Not-taken conditional branches still record an outcome so
+            // the BTB carries path information.
+            if let Op::BrCond { target } = insn.op {
+                let _ = target;
+            }
+        }
+
+        // Record fall-through outcomes of predicated-off conditional
+        // branches in the bundle (outcome = not taken).
+        if taken.is_none() {
+            for slot in 0..3u8 {
+                let insn = bundle.slots[slot as usize];
+                if let Op::BrCond { .. } = insn.op {
+                    let off = insn
+                        .qp
+                        .map(|q| !self.pr[q.index()])
+                        .unwrap_or(false);
+                    if off {
+                        self.pmu
+                            .record_branch(Pc::new(bundle_addr, slot), fall_through, false);
+                    }
+                }
+            }
+        }
+
+        self.pmu.counters.cycles = self.cycle;
+
+        match taken {
+            Some(t) => {
+                self.ip = t.bundle_align();
+                self.cycle += self.config.taken_branch_penalty;
+                self.pmu.counters.stall_branch += self.config.taken_branch_penalty;
+                self.half_bundle = false;
+            }
+            None => {
+                self.ip = fall_through;
+                if self.half_bundle {
+                    self.cycle += 1;
+                    self.half_bundle = false;
+                } else {
+                    self.half_bundle = true;
+                }
+            }
+        }
+        self.pmu.counters.cycles = self.cycle;
+
+        self.take_sample(Pc::new(bundle_addr, 0));
+    }
+}
+
+/// Convenience: count free memory slots in a trace (used in tests and by
+/// the prefetch scheduler's cost estimate).
+pub fn free_m_slots(bundles: &[Bundle]) -> usize {
+    bundles.iter().filter_map(|b| b.free_slot(SlotKind::M)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{AccessSize, Asm, CmpOp, Fr, Gr, Pr, CODE_BASE};
+
+    fn machine_for(asm_body: impl FnOnce(&mut Asm)) -> Machine {
+        let mut a = Asm::new();
+        asm_body(&mut a);
+        let p = a.finish(CODE_BASE).unwrap();
+        Machine::new(p, MachineConfig::default())
+    }
+
+    #[test]
+    fn arithmetic_executes() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 5);
+            a.movl(Gr(11), 7);
+            a.add(Gr(12), Gr(10), Gr(11));
+            a.shladd(Gr(13), Gr(10), 2, Gr(11)); // 5*4+7
+            a.sub(Gr(14), Gr(11), Gr(10));
+            a.halt();
+        });
+        assert_eq!(m.run(u64::MAX), StopReason::Halted);
+        assert_eq!(m.gr(Gr(12)), 12);
+        assert_eq!(m.gr(Gr(13)), 27);
+        assert_eq!(m.gr(Gr(14)), 2);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(0), 99);
+            a.addi(Gr(10), Gr(0), 3);
+            a.halt();
+        });
+        m.run(u64::MAX);
+        assert_eq!(m.gr(Gr(0)), 0);
+        assert_eq!(m.gr(Gr(10)), 3);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 0x1000_0000);
+            a.movl(Gr(11), 1234);
+            a.st(AccessSize::U8, Gr(10), Gr(11), 8);
+            a.addi(Gr(10), Gr(10), -8);
+            a.ld(AccessSize::U8, Gr(12), Gr(10), 0);
+            a.halt();
+        });
+        m.mem_mut().alloc(64, 8);
+        m.run(u64::MAX);
+        assert_eq!(m.gr(Gr(12)), 1234);
+        // Post-increment happened before the manual decrement.
+        assert_eq!(m.gr(Gr(10)), 0x1000_0000);
+    }
+
+    #[test]
+    fn loop_with_predicated_backedge() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 0);
+            a.label("loop");
+            a.addi(Gr(10), Gr(10), 1);
+            a.cmpi(CmpOp::Lt, Pr(1), Pr(2), Gr(10), 100);
+            a.br_cond(Pr(1), "loop");
+            a.halt();
+        });
+        m.run(u64::MAX);
+        assert_eq!(m.gr(Gr(10)), 100);
+        assert!(m.pmu().counters.branches >= 100);
+    }
+
+    #[test]
+    fn miss_then_use_stalls_but_overlap_hides() {
+        // Two variants of a pointless loop over a large array: one uses
+        // the loaded value immediately, the other never uses it. The
+        // stall-on-use model must make the first slower.
+        let build = |use_value: bool| {
+            let mut m = machine_for(|a| {
+                a.movl(Gr(10), 0x1000_0000);
+                a.movl(Gr(11), 0);
+                a.label("loop");
+                a.ld(AccessSize::U8, Gr(12), Gr(10), 64);
+                if use_value {
+                    a.add(Gr(13), Gr(12), Gr(12));
+                }
+                a.addi(Gr(11), Gr(11), 1);
+                a.cmpi(CmpOp::Lt, Pr(1), Pr(2), Gr(11), 4096);
+                a.br_cond(Pr(1), "loop");
+                a.halt();
+            });
+            m.mem_mut().alloc(64 * 4200, 64);
+            m.run(u64::MAX);
+            m.cycles()
+        };
+        let with_use = build(true);
+        let without_use = build(false);
+        assert!(
+            with_use > without_use + 1000,
+            "stall-on-use should cost: {with_use} vs {without_use}"
+        );
+    }
+
+    #[test]
+    fn lfetch_speeds_up_strided_loop() {
+        let build = |prefetch: bool| {
+            let mut m = machine_for(|a| {
+                a.movl(Gr(10), 0x1000_0000);
+                a.movl(Gr(27), 0x1000_0000 + 1024);
+                a.movl(Gr(11), 0);
+                a.label("loop");
+                if prefetch {
+                    a.lfetch(Gr(27), 64);
+                }
+                a.ld(AccessSize::U8, Gr(12), Gr(10), 64);
+                a.add(Gr(13), Gr(12), Gr(13));
+                a.addi(Gr(11), Gr(11), 1);
+                a.cmpi(CmpOp::Lt, Pr(1), Pr(2), Gr(11), 8192);
+                a.br_cond(Pr(1), "loop");
+                a.halt();
+            });
+            m.mem_mut().alloc(64 * 8300, 64);
+            m.run(u64::MAX);
+            m.cycles()
+        };
+        let plain = build(false);
+        let prefetched = build(true);
+        assert!(
+            prefetched * 10 < plain * 9,
+            "prefetching should win ≥10%: {prefetched} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn fp_pipeline_works() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 0x1000_0000);
+            a.ldf(Fr(8), Gr(10), 0);
+            a.fma(Fr(9), Fr(8), Fr(8), Fr(1)); // x*x + 1
+            a.stf(Gr(10), Fr(9), 0);
+            a.halt();
+        });
+        m.mem_mut().alloc(64, 8);
+        m.mem_mut().write_f64(0x1000_0000, 3.0);
+        m.run(u64::MAX);
+        assert_eq!(m.mem().read_f64(0x1000_0000), 10.0);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut m = machine_for(|a| {
+            a.br_call("callee");
+            a.addi(Gr(10), Gr(10), 100);
+            a.halt();
+            a.global("callee");
+            a.addi(Gr(10), Gr(10), 1);
+            a.ret();
+        });
+        m.run(u64::MAX);
+        assert_eq!(m.gr(Gr(10)), 101);
+    }
+
+    #[test]
+    fn sampling_fills_buffer_and_overflows() {
+        let mut a = Asm::new();
+        a.movl(Gr(10), 0);
+        a.label("loop");
+        a.addi(Gr(10), Gr(10), 1);
+        a.cmpi(CmpOp::Lt, Pr(1), Pr(2), Gr(10), 1_000_000);
+        a.br_cond(Pr(1), "loop");
+        a.halt();
+        let p = a.finish(CODE_BASE).unwrap();
+        let mut cfg = MachineConfig::default();
+        cfg.sampling = Some(SamplingConfig {
+            interval_cycles: 1000,
+            buffer_capacity: 16,
+            per_sample_cost: 0,
+            jitter: 0.3,
+        });
+        let mut m = Machine::new(p, cfg);
+        assert_eq!(m.run(u64::MAX), StopReason::SampleBufferOverflow);
+        let samples = m.drain_samples();
+        assert_eq!(samples.len(), 16);
+        // Samples carry monotone counters and BTB content.
+        for w in samples.windows(2) {
+            assert!(w[1].cycles > w[0].cycles);
+            assert!(w[1].retired >= w[0].retired);
+        }
+        assert!(!samples.last().unwrap().btb.is_empty());
+    }
+
+    #[test]
+    fn predicated_off_instructions_have_no_side_effects() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 0x1000_0000);
+            a.movl(Gr(11), 7);
+            a.cmpi(CmpOp::Eq, Pr(4), Pr(5), Gr(11), 8); // p4 = false, p5 = true
+            a.emit(isa::Insn::predicated(Pr(4), Op::St {
+                s: Gr(11),
+                base: Gr(10),
+                post_inc: 8,
+                size: AccessSize::U8,
+            }));
+            a.emit(isa::Insn::predicated(Pr(4), Op::AddI { d: Gr(12), a: Gr(12), imm: 99 }));
+            a.emit(isa::Insn::predicated(Pr(5), Op::AddI { d: Gr(13), a: Gr(13), imm: 1 }));
+            a.halt();
+        });
+        m.mem_mut().alloc(64, 8);
+        m.run(u64::MAX);
+        // The store was squashed (memory untouched, no post-increment).
+        assert_eq!(m.mem().read(0x1000_0000, 8), 0);
+        assert_eq!(m.gr(Gr(10)), 0x1000_0000);
+        assert_eq!(m.gr(Gr(12)), 0);
+        assert_eq!(m.gr(Gr(13)), 1);
+    }
+
+    #[test]
+    fn getf_setf_round_trip_with_latency() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 42);
+            a.emit(Op::Setf { d: isa::Fr(8), s: Gr(10) });
+            a.emit(Op::Getf { d: Gr(11), s: isa::Fr(8) });
+            a.add(Gr(12), Gr(11), Gr(11));
+            a.halt();
+        });
+        m.run(u64::MAX);
+        assert_eq!(m.gr(Gr(11)), 42);
+        assert_eq!(m.gr(Gr(12)), 84);
+        // Two cross-unit transfers cost at least 2 × xfer latency.
+        assert!(m.cycles() >= 10);
+    }
+
+    #[test]
+    fn nested_calls_return_correctly() {
+        let mut m = machine_for(|a| {
+            a.br_call("outer");
+            a.halt();
+            a.global("outer");
+            a.addi(Gr(10), Gr(10), 1);
+            a.br_call("inner");
+            a.addi(Gr(10), Gr(10), 4);
+            a.ret();
+            a.global("inner");
+            a.addi(Gr(10), Gr(10), 2);
+            a.ret();
+        });
+        m.run(u64::MAX);
+        assert_eq!(m.gr(Gr(10)), 7);
+    }
+
+    #[test]
+    fn stall_attribution_separates_memory_and_fp() {
+        // Memory-stall-bound loop.
+        let mut m = machine_for(|a| {
+            a.movl(Gr(14), 0x1000_0000);
+            a.movl(Gr(9), 2000);
+            a.label("loop");
+            a.ld(AccessSize::U8, Gr(20), Gr(14), 256);
+            a.add(Gr(21), Gr(20), Gr(21));
+            a.addi(Gr(9), Gr(9), -1);
+            a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+            a.br_cond(Pr(1), "loop");
+            a.halt();
+        });
+        m.mem_mut().alloc(2_016 * 256, 64);
+        m.run(u64::MAX);
+        let c = m.pmu().counters;
+        assert!(c.stall_mem > c.cycles / 2, "memory stalls should dominate: {c:?}");
+        assert_eq!(c.stall_fp, 0);
+
+        // FP-latency-bound chain.
+        let mut m = machine_for(|a| {
+            a.movl(Gr(9), 2000);
+            a.label("loop");
+            a.fma(isa::Fr(8), isa::Fr(8), isa::Fr(1), isa::Fr(8));
+            a.fma(isa::Fr(8), isa::Fr(8), isa::Fr(1), isa::Fr(8));
+            a.addi(Gr(9), Gr(9), -1);
+            a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+            a.br_cond(Pr(1), "loop");
+            a.halt();
+        });
+        m.run(u64::MAX);
+        let c = m.pmu().counters;
+        assert!(c.stall_fp > c.cycles / 3, "fp stalls should dominate: {c:?}");
+        assert_eq!(c.stall_mem, 0);
+    }
+
+    #[test]
+    fn sampling_jitter_stays_in_band() {
+        let mut a = Asm::new();
+        a.movl(Gr(10), 0);
+        a.label("loop");
+        a.addi(Gr(10), Gr(10), 1);
+        a.cmpi(CmpOp::Lt, Pr(1), Pr(2), Gr(10), 3_000_000);
+        a.br_cond(Pr(1), "loop");
+        a.halt();
+        let p = a.finish(CODE_BASE).unwrap();
+        let mut cfg = MachineConfig::default();
+        let interval = 10_000u64;
+        cfg.sampling = Some(SamplingConfig {
+            interval_cycles: interval,
+            buffer_capacity: 64,
+            per_sample_cost: 0,
+            jitter: 0.25,
+        });
+        let mut m = Machine::new(p, cfg);
+        let mut stamps = Vec::new();
+        loop {
+            match m.run(u64::MAX) {
+                StopReason::SampleBufferOverflow => {
+                    stamps.extend(m.drain_samples().into_iter().map(|s| s.cycles));
+                }
+                _ => break,
+            }
+        }
+        assert!(stamps.len() > 100);
+        let mut distinct = std::collections::HashSet::new();
+        for w in stamps.windows(2) {
+            let gap = w[1] - w[0];
+            assert!(gap >= (interval as f64 * 0.74) as u64, "gap {gap} below band");
+            assert!(gap <= (interval as f64 * 1.26) as u64 + 16, "gap {gap} above band");
+            distinct.insert(gap / 100);
+        }
+        assert!(distinct.len() > 5, "jitter must actually vary the period");
+    }
+
+    #[test]
+    fn pool_bundles_can_be_replaced() {
+        let mut m = machine_for(|a| {
+            a.halt();
+        });
+        let addr = m
+            .install_trace(vec![Bundle::branch_only(isa::Insn::new(Op::BrRet))])
+            .unwrap();
+        let saved = m
+            .replace_bundle(addr, Bundle::branch_only(isa::Insn::new(Op::Halt)))
+            .unwrap();
+        assert!(saved.has_branch());
+        assert!(matches!(m.bundle_at(addr).unwrap().slots[2].op, Op::Halt));
+    }
+
+    #[test]
+    fn trace_pool_executes() {
+        // Patch a loop head to jump into the trace pool; the pool trace
+        // adds 2 per iteration instead of 1 and jumps back.
+        let mut a = Asm::new();
+        a.movl(Gr(10), 0);
+        a.label("loop");
+        a.addi(Gr(10), Gr(10), 1);
+        a.cmpi(CmpOp::Lt, Pr(1), Pr(2), Gr(10), 10);
+        a.br_cond(Pr(1), "loop");
+        a.halt();
+        let p = a.finish(CODE_BASE).unwrap();
+        let mut m = Machine::new(p, MachineConfig::default());
+
+        // Build the replacement trace with a second assembler.
+        let mut t = Asm::new();
+        t.label("t");
+        t.addi(Gr(10), Gr(10), 2);
+        t.cmpi(CmpOp::Lt, Pr(1), Pr(2), Gr(10), 10);
+        t.br_cond(Pr(1), "t");
+        t.halt();
+        let tp = t.finish(TRACE_POOL_BASE).unwrap();
+        let trace_addr = m.install_trace(tp.bundles().to_vec()).unwrap();
+        assert_eq!(trace_addr, Addr(TRACE_POOL_BASE));
+
+        // Find the loop-head bundle (second bundle: after movl).
+        let head = Addr(CODE_BASE + 16);
+        let saved = m
+            .replace_bundle(head, Bundle::branch_only(isa::Insn::new(Op::Br { target: trace_addr })))
+            .unwrap();
+        assert!(!saved.has_branch() || saved.has_branch()); // saved original
+
+        m.run(u64::MAX);
+        assert_eq!(m.gr(Gr(10)), 10); // 0 -> 2 -> ... -> 10 via pool
+        assert!(m.pool_len() > 0);
+    }
+
+    #[test]
+    fn trace_pool_capacity_is_enforced() {
+        let mut m = machine_for(|a| {
+            a.halt();
+        });
+        let cap = 16 * 1024;
+        let chunk = vec![Bundle::branch_only(isa::Insn::new(Op::BrRet)); cap];
+        assert!(m.install_trace(chunk).is_ok());
+        assert_eq!(m.pool_remaining(), 0);
+        let more = vec![Bundle::branch_only(isa::Insn::new(Op::BrRet))];
+        assert_eq!(m.install_trace(more), Err(PatchError::PoolFull));
+    }
+
+    #[test]
+    fn charge_cycles_advances_clock() {
+        let mut m = machine_for(|a| {
+            a.halt();
+        });
+        let c0 = m.cycles();
+        m.charge_cycles(5000);
+        assert_eq!(m.cycles(), c0 + 5000);
+    }
+
+    #[test]
+    fn patch_bad_address_errors() {
+        let mut m = machine_for(|a| {
+            a.halt();
+        });
+        let err = m
+            .replace_bundle(Addr(0x123_4560), Bundle::branch_only(isa::Insn::new(Op::BrRet)))
+            .unwrap_err();
+        assert!(matches!(err, PatchError::BadAddress(_)));
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's Fig. 1 story: a matrix multiply whose arrays are passed
+//! as (possibly aliased) parameters. The static compiler cannot prove
+//! independence, so `O3` generates **no** prefetches — while the runtime
+//! optimizer, which sees actual miss addresses instead of alias sets,
+//! prefetches happily.
+//!
+//! Run with: `cargo run --release --example matrix_multiply`
+
+use adore::{run, AdoreConfig};
+use compiler::{compile, CompileOptions};
+use sim::MachineConfig;
+use workloads::micro::matrix_multiply;
+
+fn main() {
+    let n = 512;
+    let w = matrix_multiply(n, 40);
+
+    // Static compilation: O2 (no prefetch) and O3 (prefetch pass on).
+    let o2 = compile(&w.kernel, &CompileOptions::o2()).expect("compiles");
+    let o3 = compile(&w.kernel, &CompileOptions::o3()).expect("compiles");
+    println!(
+        "O3 scheduled prefetches for {} loop(s) — the arrays are passed as \
+         parameters, so alias analysis blocks the static prefetcher (Fig. 1)",
+        o3.prefetched_loops
+    );
+    assert_eq!(o3.prefetched_loops, 0);
+
+    let mut m2 = w.prepare(&o2, MachineConfig::default());
+    m2.run_to_halt();
+    println!("O2 binary:        {:>12} cycles", m2.cycles());
+
+    let mut m3 = w.prepare(&o3, MachineConfig::default());
+    m3.run_to_halt();
+    println!("O3 binary:        {:>12} cycles (no better: nothing was prefetched)", m3.cycles());
+
+    // Runtime prefetching does not care about aliasing: the DEAR gives
+    // it real miss addresses.
+    let mut config = AdoreConfig::enabled();
+    config.sampling.interval_cycles = 2_000;
+    let mut ma = w.prepare(&o2, config.machine_config(MachineConfig::default()));
+    let report = run(&mut ma, &config);
+    println!(
+        "O2 + ADORE:       {:>12} cycles ({} stream(s) inserted)",
+        report.cycles,
+        report.stats.total()
+    );
+    let speedup = m2.cycles() as f64 / report.cycles as f64;
+    println!("runtime prefetching speedup over both static builds: {speedup:.2}x");
+}

@@ -1,0 +1,44 @@
+//! The §1.2 story: Gaussian elimination generates heavy misses early
+//! (the sub-matrix exceeds the caches) and almost none late (it fits).
+//! No single static binary prefetches correctly for both ends; ADORE's
+//! phase detector sees the two regimes and optimizes only the one that
+//! misses.
+//!
+//! Run with: `cargo run --release --example phase_adaptation`
+
+use adore::{run, AdoreConfig};
+use compiler::{compile, CompileOptions};
+use sim::MachineConfig;
+use workloads::micro::gaussian;
+
+fn main() {
+    // Early passes sweep 32 K elements (2 MB, beyond L3); late passes
+    // sweep 2 K (16 KB, cache-resident).
+    let w = gaussian(256 << 10, 2 << 10, 40);
+    let bin = compile(&w.kernel, &CompileOptions::o2()).expect("compiles");
+
+    let mut plain = w.prepare(&bin, MachineConfig::default());
+    plain.run_to_halt();
+    println!("plain run: {:>12} cycles", plain.cycles());
+
+    let mut config = AdoreConfig::enabled();
+    config.sampling.interval_cycles = 2_000;
+    let mut machine = w.prepare(&bin, config.machine_config(MachineConfig::default()));
+    let report = run(&mut machine, &config);
+
+    println!("ADORE run: {:>12} cycles", report.cycles);
+    println!(
+        "phases optimized: {} (the missy early phase), streams: {:?}",
+        report.phases_optimized, report.stats
+    );
+    println!("\nper-window miss rate (DEAR misses / 1000 instructions):");
+    for t in report.timeline.iter().step_by(2) {
+        let bar = "#".repeat((t.dear_per_kinsn * 4.0).min(60.0) as usize);
+        println!("  {:>12} {:>7.2} {bar}", t.cycles, t.dear_per_kinsn);
+    }
+    println!(
+        "\nThe early windows miss heavily and get prefetched; the late,\n\
+         cache-resident phase is detected as low-miss and left alone —\n\
+         the adaptation a static binary cannot perform (§1.2)."
+    );
+}

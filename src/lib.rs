@@ -1,0 +1,13 @@
+//! Umbrella crate for the ADORE reproduction: re-exports every
+//! subsystem so integration tests and examples can use one dependency.
+//!
+//! See the workspace [`README`](https://example.com/adore-rs) and the
+//! individual crates: [`isa`], [`sim`], [`perfmon`], [`compiler`],
+//! [`adore`], [`workloads`].
+
+pub use adore;
+pub use compiler;
+pub use isa;
+pub use perfmon;
+pub use sim;
+pub use workloads;

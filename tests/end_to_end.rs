@@ -1,0 +1,218 @@
+//! End-to-end integration: the full ADORE pipeline on real workloads,
+//! including semantic preservation under trace patching.
+
+use adore::{run, AdoreConfig};
+use compiler::{compile, CompileOptions};
+use isa::{AccessSize, Asm, CmpOp, Gr, Pr, CODE_BASE};
+use sim::{Machine, MachineConfig, SamplingConfig};
+
+fn fast_adore() -> AdoreConfig {
+    let mut c = AdoreConfig::enabled();
+    c.sampling = SamplingConfig {
+        interval_cycles: 2_000,
+        buffer_capacity: 200,
+        per_sample_cost: 20,
+        jitter: 0.3,
+    };
+    c
+}
+
+/// A strided-sum program whose final answer lands in `r21`.
+fn summing_program(outer: i64, inner: i64) -> isa::Program {
+    let mut a = Asm::new();
+    a.global("main");
+    a.movl(Gr(8), outer);
+    a.label("outer");
+    a.movl(Gr(14), 0x1000_0000);
+    a.movl(Gr(9), inner);
+    a.label("loop");
+    a.ld(AccessSize::U8, Gr(20), Gr(14), 64);
+    a.add(Gr(21), Gr(20), Gr(21));
+    a.addi(Gr(9), Gr(9), -1);
+    a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+    a.br_cond(Pr(1), "loop");
+    a.addi(Gr(8), Gr(8), -1);
+    a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(8), 0);
+    a.br_cond(Pr(1), "outer");
+    a.halt();
+    a.finish(CODE_BASE).unwrap()
+}
+
+fn fill_arena(m: &mut Machine, words: u64) {
+    m.mem_mut().alloc(words * 64 + 4096, 64);
+    for i in 0..words {
+        m.mem_mut().write(0x1000_0000 + i * 64, 8, i * 3 + 1);
+    }
+}
+
+#[test]
+fn patching_preserves_program_semantics() {
+    let inner = 30_000i64;
+    let mut plain = Machine::new(summing_program(30, inner), MachineConfig::default());
+    fill_arena(&mut plain, inner as u64 + 16);
+    plain.run(u64::MAX);
+    let expected = plain.gr(Gr(21));
+    assert_ne!(expected, 0);
+
+    let config = fast_adore();
+    let mut machine =
+        Machine::new(summing_program(30, inner), config.machine_config(MachineConfig::default()));
+    fill_arena(&mut machine, inner as u64 + 16);
+    let report = run(&mut machine, &config);
+    assert!(report.traces_patched >= 1, "the loop must be patched: {report:?}");
+    assert_eq!(
+        machine.gr(Gr(21)),
+        expected,
+        "runtime prefetching must not change architectural results"
+    );
+    assert!(
+        report.cycles < plain.cycles(),
+        "and it should be faster: {} vs {}",
+        report.cycles,
+        plain.cycles()
+    );
+}
+
+#[test]
+fn suite_workloads_run_under_adore_at_small_scale() {
+    let config = fast_adore();
+    for w in workloads::suite(0.1) {
+        let bin = compile(&w.kernel, &CompileOptions::o2())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mcfg = config.machine_config(MachineConfig::default());
+        let mut m = w.prepare(&bin, mcfg);
+        let report = run(&mut m, &config);
+        assert!(m.is_halted(), "{} must halt", w.name);
+        assert!(report.retired > 0, "{} must retire instructions", w.name);
+    }
+}
+
+#[test]
+fn mcf_like_chase_gains_and_lucas_like_conversion_does_not() {
+    let config = fast_adore();
+    let suite = workloads::suite(0.35);
+
+    let gain = |name: &str| -> (f64, adore::RunReport) {
+        let w = suite.iter().find(|w| w.name == name).unwrap();
+        let bin = compile(&w.kernel, &CompileOptions::o2()).unwrap();
+        let mut base = w.prepare(&bin, MachineConfig::default());
+        base.run_to_halt();
+        let mut m = w.prepare(&bin, config.machine_config(MachineConfig::default()));
+        let report = run(&mut m, &config);
+        (base.cycles() as f64 / report.cycles as f64, report)
+    };
+
+    let (mcf_gain, mcf_report) = gain("mcf");
+    assert!(mcf_gain > 1.15, "mcf should speed up substantially, got {mcf_gain}");
+    assert!(mcf_report.stats.pointer >= 1, "via pointer-chase prefetching: {mcf_report:?}");
+
+    let (lucas_gain, lucas_report) = gain("lucas");
+    assert!(
+        lucas_gain < 1.05,
+        "lucas (fp-conversion addresses) should not gain, got {lucas_gain}"
+    );
+    assert!(
+        lucas_report
+            .skips
+            .iter()
+            .any(|(_, r)| matches!(r, adore::SkipReason::Pattern(_))),
+        "and the failure should be visible as unanalyzable slices: {:?}",
+        lucas_report.skips
+    );
+}
+
+#[test]
+fn o3_static_prefetch_and_runtime_prefetch_compose() {
+    let suite = workloads::suite(0.3);
+    let w = suite.iter().find(|w| w.name == "swim").unwrap();
+    let o2 = compile(&w.kernel, &CompileOptions::o2()).unwrap();
+    let o3 = compile(&w.kernel, &CompileOptions::o3()).unwrap();
+    assert!(o3.prefetched_loops > 0);
+
+    let mut m2 = w.prepare(&o2, MachineConfig::default());
+    m2.run_to_halt();
+    let mut m3 = w.prepare(&o3, MachineConfig::default());
+    m3.run_to_halt();
+    assert!(
+        m3.cycles() < m2.cycles(),
+        "static prefetching should help swim: {} vs {}",
+        m3.cycles(),
+        m2.cycles()
+    );
+
+    // Runtime prefetching on top of O3 must at least not break anything.
+    let config = fast_adore();
+    let mut ma = w.prepare(&o3, config.machine_config(MachineConfig::default()));
+    let report = run(&mut ma, &config);
+    assert!(ma.is_halted());
+    assert!(report.cycles < m2.cycles() * 11 / 10);
+}
+
+#[test]
+fn sampling_overhead_is_within_paper_bounds() {
+    let suite = workloads::suite(0.3);
+    let w = suite.iter().find(|w| w.name == "vortex").unwrap();
+    let bin = compile(&w.kernel, &CompileOptions::o2()).unwrap();
+    let mut base = w.prepare(&bin, MachineConfig::default());
+    base.run_to_halt();
+
+    let mut config = fast_adore();
+    config.insert_prefetches = false;
+    // Paper-like sampling ratio.
+    config.sampling = SamplingConfig {
+        interval_cycles: 20_000,
+        buffer_capacity: 100,
+        per_sample_cost: 150,
+        jitter: 0.3,
+    };
+    let mut m = w.prepare(&bin, config.machine_config(MachineConfig::default()));
+    let report = run(&mut m, &config);
+    let overhead = report.cycles as f64 / base.cycles() as f64 - 1.0;
+    assert!(overhead < 0.025, "overhead should be 1-2%: {:.3}%", overhead * 100.0);
+    assert_eq!(report.traces_patched, 0);
+}
+
+#[test]
+fn unpatching_restores_original_code() {
+    let config = fast_adore();
+    let program = summing_program(20, 20_000);
+    let mut machine = Machine::new(program.clone(), config.machine_config(MachineConfig::default()));
+    fill_arena(&mut machine, 20_016);
+
+    // Run under ADORE manually so we can capture the patch records.
+    let mut pm = perfmon::Perfmon::new(config.perfmon.clone());
+    let mut detector = adore::PhaseDetector::new(config.phase.clone());
+    let mut patches: Vec<adore::PatchedTrace> = Vec::new();
+    pm.run_with_windows(&mut machine, |m, _w, ueb| {
+        if patches.is_empty() {
+            if let adore::PhaseDecision::Stable(_) = detector.evaluate(ueb) {
+                let traces = adore::select_traces(m.code(), ueb, &config.trace);
+                let loads = adore::find_delinquent_loads(&traces, ueb);
+                for (ti, trace) in traces.iter().enumerate() {
+                    if !trace.is_loop {
+                        continue;
+                    }
+                    let mine: Vec<_> =
+                        loads.iter().filter(|l| l.trace_index == ti).cloned().collect();
+                    if mine.is_empty() {
+                        continue;
+                    }
+                    let (opt, _) = adore::optimize_trace(trace, &mine, &config.prefetch);
+                    if let Some(ot) = opt {
+                        patches.push(adore::install(m, &ot).unwrap());
+                    }
+                }
+                // Immediately unpatch everything: the program must
+                // finish on the original code with identical results.
+                for p in &patches {
+                    adore::unpatch(m, p).unwrap();
+                }
+            }
+        }
+    });
+    assert!(!patches.is_empty(), "a trace should have been patched");
+    // The original bundles are back in place.
+    for p in &patches {
+        assert_eq!(machine.bundle_at(p.original_head), Some(&p.saved));
+    }
+}

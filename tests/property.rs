@@ -1,0 +1,327 @@
+//! Property-based tests over the core data structures and invariants.
+
+use isa::{AccessSize, Addr, Asm, Bundle, CmpOp, Gr, Insn, Op, Pr, SlotKind, CODE_BASE};
+use proptest::prelude::*;
+use sim::{Cache, Machine, MachineConfig, Memory};
+
+/// Arbitrary non-branch, non-L instructions for packing tests.
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (1u8..120, 1u8..120, 1u8..120)
+            .prop_map(|(d, a, b)| Insn::new(Op::Add { d: Gr(d), a: Gr(a), b: Gr(b) })),
+        (1u8..120, 1u8..120, -64i64..64)
+            .prop_map(|(d, a, imm)| Insn::new(Op::AddI { d: Gr(d), a: Gr(a), imm })),
+        (1u8..120, 1u8..120, 0i64..128).prop_map(|(d, base, inc)| {
+            Insn::new(Op::Ld {
+                d: Gr(d),
+                base: Gr(base),
+                post_inc: inc,
+                size: AccessSize::U8,
+                spec: false,
+            })
+        }),
+        (1u8..120, 0i64..128)
+            .prop_map(|(base, inc)| Insn::new(Op::Lfetch { base: Gr(base), post_inc: inc })),
+        (2u8..120, 2u8..120, 2u8..120).prop_map(|(d, a, b)| {
+            Insn::new(Op::Fma { d: isa::Fr(d), a: isa::Fr(a), b: isa::Fr(b), c: isa::Fr(d) })
+        }),
+    ]
+}
+
+proptest! {
+    /// Every instruction sequence the assembler accepts survives
+    /// packing: the program contains exactly the input instructions, in
+    /// order, with only nops interleaved.
+    #[test]
+    fn assembler_preserves_instruction_order(insns in prop::collection::vec(arb_insn(), 1..40)) {
+        let mut a = Asm::new();
+        for i in &insns {
+            a.emit(*i);
+        }
+        a.halt();
+        let p = a.finish(CODE_BASE).unwrap();
+        let emitted: Vec<Insn> = p
+            .bundles()
+            .iter()
+            .flat_map(|b| b.slots.iter())
+            .filter(|i| !i.is_nop() && !matches!(i.op, Op::Halt))
+            .copied()
+            .collect();
+        prop_assert_eq!(emitted, insns);
+    }
+
+    /// Bundle packing always produces a template whose slot kinds match
+    /// the placed instructions.
+    #[test]
+    fn packed_bundles_are_template_consistent(insns in prop::collection::vec(arb_insn(), 1..3)) {
+        if let Some(b) = Bundle::pack(&insns) {
+            let kinds = b.template.kinds();
+            for (i, slot) in b.slots.iter().enumerate() {
+                prop_assert_eq!(slot.op.slot_kind(), kinds[i]);
+            }
+        }
+    }
+
+    /// Memory reads return exactly what was written, at every size.
+    #[test]
+    fn memory_round_trips(
+        offset in 0u64..3000,
+        value: u64,
+        size in prop::sample::select(vec![1u64, 2, 4, 8]),
+    ) {
+        let mut m = Memory::new(8192);
+        let base = m.alloc(4096, 64);
+        m.write(base + offset, size, value);
+        let mask = if size == 8 { u64::MAX } else { (1 << (8 * size)) - 1 };
+        prop_assert_eq!(m.read(base + offset, size), value & mask);
+    }
+
+    /// A line just filled always probes present; a cache never reports
+    /// more than `ways` distinct lines per set.
+    #[test]
+    fn cache_fill_then_probe(addrs in prop::collection::vec(0u64..(1 << 24), 1..200)) {
+        let mut c = Cache::new("t", 4096, 64, 4);
+        for &a in &addrs {
+            c.fill(a);
+            prop_assert!(c.probe(a), "a freshly filled line must be present");
+        }
+    }
+
+    /// LRU: within one set, the most recently touched `ways` lines are
+    /// all retained.
+    #[test]
+    fn cache_retains_most_recent_ways(tags in prop::collection::vec(0u64..32, 8..64)) {
+        let ways = 4usize;
+        // One-set cache: 64-byte lines, 4 ways, 256 bytes.
+        let mut c = Cache::new("t", 256, 64, ways);
+        let line = |t: u64| t * 64 * 1; // all map to set 0 (1 set)
+        for &t in &tags {
+            c.fill(line(t));
+        }
+        // The last `ways` *distinct* tags must be present.
+        let mut seen = Vec::new();
+        for &t in tags.iter().rev() {
+            if !seen.contains(&t) {
+                seen.push(t);
+            }
+            if seen.len() == ways {
+                break;
+            }
+        }
+        for &t in &seen {
+            prop_assert!(c.probe(line(t)), "recently used tag {t} evicted");
+        }
+    }
+
+    /// CmpOp semantics agree with Rust's operators.
+    #[test]
+    fn cmp_matches_rust(a: i64, b: i64) {
+        prop_assert_eq!(CmpOp::Eq.eval(a, b), a == b);
+        prop_assert_eq!(CmpOp::Ne.eval(a, b), a != b);
+        prop_assert_eq!(CmpOp::Lt.eval(a, b), a < b);
+        prop_assert_eq!(CmpOp::Le.eval(a, b), a <= b);
+        prop_assert_eq!(CmpOp::Gt.eval(a, b), a > b);
+        prop_assert_eq!(CmpOp::Ge.eval(a, b), a >= b);
+        prop_assert_eq!(CmpOp::Ltu.eval(a, b), (a as u64) < (b as u64));
+    }
+
+    /// The machine computes strided sums correctly for arbitrary strides
+    /// and trip counts (functional correctness of the interpreter).
+    #[test]
+    fn machine_computes_strided_sums(
+        trip in 1i64..200,
+        stride_lines in 1i64..4,
+        seed: u64,
+    ) {
+        let stride = stride_lines * 64;
+        let mut a = Asm::new();
+        a.movl(Gr(14), 0x1000_0000);
+        a.movl(Gr(9), trip);
+        a.label("loop");
+        a.ld(AccessSize::U8, Gr(20), Gr(14), stride);
+        a.add(Gr(21), Gr(20), Gr(21));
+        a.addi(Gr(9), Gr(9), -1);
+        a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+        a.br_cond(Pr(1), "loop");
+        a.halt();
+        let p = a.finish(CODE_BASE).unwrap();
+        let mut m = Machine::new(p, MachineConfig::default());
+        m.mem_mut().alloc((trip * stride) as u64 + 4096, 64);
+        let mut expected = 0u64;
+        for i in 0..trip {
+            let v = seed.wrapping_mul(i as u64 + 1) & 0xffff;
+            m.mem_mut().write(0x1000_0000 + (i * stride) as u64, 8, v);
+            expected = expected.wrapping_add(v);
+        }
+        m.run(u64::MAX);
+        prop_assert_eq!(m.gr(Gr(21)) as u64, expected);
+    }
+
+    /// Pattern classification recovers the exact stride of any direct
+    /// post-increment walk.
+    #[test]
+    fn classifier_recovers_arbitrary_strides(stride in 1i64..4096) {
+        let mut a = Asm::new();
+        a.label("l");
+        a.ld(AccessSize::U8, Gr(20), Gr(14), stride);
+        a.add(Gr(21), Gr(20), Gr(21));
+        a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+        a.br_cond(Pr(1), "l");
+        let p = a.finish(CODE_BASE).unwrap();
+        let bundles: Vec<Bundle> = p.bundles().to_vec();
+        let n = bundles.len();
+        let trace = adore::Trace {
+            start: Addr(CODE_BASE),
+            origins: (0..n).map(|i| p.addr_of(i)).collect(),
+            fall_through_exit: Addr(CODE_BASE + 16 * n as u64),
+            is_loop: true,
+            back_edge: None,
+            bundles,
+        };
+        // Find the load.
+        let mut pos = None;
+        for (bi, b) in trace.bundles.iter().enumerate() {
+            for (si, s) in b.slots.iter().enumerate() {
+                if matches!(s.op, Op::Ld { .. }) {
+                    pos = Some((bi, si as u8));
+                }
+            }
+        }
+        match adore::classify(&trace, pos.unwrap()) {
+            Ok(adore::Pattern::Direct { stride: s, .. }) => prop_assert_eq!(s, stride),
+            other => prop_assert!(false, "expected direct, got {:?}", other),
+        }
+    }
+
+    /// The runtime prefetch scheduler never loses or reorders program
+    /// instructions, and the back edge stays a branch, for arbitrary
+    /// direct-walk loop bodies.
+    #[test]
+    fn prefetch_scheduling_preserves_program_instructions(
+        n_loads in 1usize..4,
+        extra_adds in 0usize..6,
+        stride in prop::sample::select(vec![8i64, 64, 128, 264, 512]),
+        latency in 20f64..300.0,
+    ) {
+        let mut a = Asm::new();
+        a.label("loop");
+        for i in 0..n_loads {
+            a.ld(AccessSize::U8, Gr(100 + i as u8), Gr(40 + i as u8), stride);
+            a.add(Gr(110), Gr(100 + i as u8), Gr(110));
+        }
+        for _ in 0..extra_adds {
+            a.add(Gr(111), Gr(111), Gr(111));
+        }
+        a.addi(Gr(9), Gr(9), -1);
+        a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+        a.br_cond(Pr(1), "loop");
+        let p = a.finish(CODE_BASE).unwrap();
+        let bundles: Vec<Bundle> = p.bundles().to_vec();
+        let n = bundles.len();
+        let mut back_edge = None;
+        for (bi, b) in bundles.iter().enumerate() {
+            for (si, s) in b.slots.iter().enumerate() {
+                if matches!(s.op, Op::BrCond { .. }) {
+                    back_edge = Some((bi, si as u8));
+                }
+            }
+        }
+        let original: Vec<Insn> = bundles
+            .iter()
+            .flat_map(|b| b.slots.iter())
+            .filter(|i| !i.is_nop())
+            .copied()
+            .collect();
+        let trace = adore::Trace {
+            start: Addr(CODE_BASE),
+            origins: (0..n).map(|i| p.addr_of(i)).collect(),
+            fall_through_exit: Addr(CODE_BASE + 16 * n as u64),
+            is_loop: true,
+            back_edge,
+            bundles,
+        };
+        // Every load is delinquent.
+        let mut loads = Vec::new();
+        for (bi, b) in trace.bundles.iter().enumerate() {
+            for (si, s) in b.slots.iter().enumerate() {
+                if matches!(s.op, Op::Ld { .. }) {
+                    loads.push(adore::DelinquentLoad {
+                        pc: isa::Pc::new(trace.origins[bi], si as u8),
+                        trace_index: 0,
+                        position: (bi, si as u8),
+                        count: 10,
+                        total_latency: (latency * 10.0) as u64,
+                        avg_latency: latency,
+                        share: 1.0 / n_loads as f64,
+                        last_miss_addr: 0x1000_0000,
+                    });
+                }
+            }
+        }
+        let (opt, _) = adore::optimize_trace(&trace, &loads, &Default::default());
+        let opt = opt.expect("direct loops always get at least one stream");
+        // All original instructions survive, in order.
+        let after: Vec<Insn> = opt
+            .body
+            .iter()
+            .flat_map(|b| b.slots.iter())
+            .filter(|i| !i.is_nop())
+            .filter(|i| {
+                // Ignore the inserted prefetch code (reserved regs).
+                !i.op.gr_reads().iter().any(|r| r.is_reserved())
+                    && i.op.gr_write().map(|r| r.is_reserved()) != Some(true)
+            })
+            .copied()
+            .collect();
+        prop_assert_eq!(after, original);
+        // The back edge is still a branch.
+        let (bi, si) = opt.back_edge;
+        prop_assert!(opt.body[bi].slots[si as usize].op.is_branch());
+        // Streams were deduplicated: at most one per distinct base.
+        prop_assert!(opt.stats.direct <= n_loads);
+    }
+
+    /// Binary encoding round-trips arbitrary packed programs.
+    #[test]
+    fn encoding_round_trips(insns in prop::collection::vec(arb_insn(), 1..60)) {
+        let mut a = Asm::new();
+        for i in &insns {
+            a.emit(*i);
+        }
+        a.halt();
+        let p = a.finish(CODE_BASE).unwrap();
+        let bytes = isa::encode_program(&p);
+        let q = isa::decode_program(&bytes).unwrap();
+        prop_assert_eq!(p.bundles(), q.bundles());
+        prop_assert_eq!(p.entry(), q.entry());
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn decoding_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = isa::decode_program(&bytes);
+    }
+
+    /// Addresses always bundle-align downward.
+    #[test]
+    fn addresses_bundle_align(addr: u64) {
+        let a = Addr(addr).bundle_align();
+        prop_assert_eq!(a.0 % 16, 0);
+        prop_assert!(a.0 <= addr);
+        prop_assert!(addr - a.0 < 16);
+    }
+}
+
+/// Free-slot discovery agrees with a straightforward recount.
+#[test]
+fn free_slot_counting_is_consistent() {
+    let insns = [
+        Insn::new(Op::AddI { d: Gr(1), a: Gr(2), imm: 1 }),
+        Insn::new(Op::AddI { d: Gr(3), a: Gr(4), imm: 1 }),
+    ];
+    let b = Bundle::pack(&insns).unwrap();
+    let manual = (0..3)
+        .filter(|&i| b.template.kinds()[i] == SlotKind::M && b.slots[i].is_nop())
+        .count();
+    assert_eq!(manual > 0, b.free_slot(SlotKind::M).is_some());
+}
