@@ -394,7 +394,7 @@ mod tests {
         let mut config = crate::AdoreConfig::enabled();
         config.sampling.interval_cycles = 2_000;
         config.instrument_unanalyzable = true;
-        let (mut m, base_cfg) = build();
+        let (m, base_cfg) = build();
         let mut m = Machine::new(m.code().clone(), config.machine_config(base_cfg));
         m.mem_mut().alloc(17 << 20, 64);
         let report = crate::run(&mut m, &config);

@@ -88,6 +88,16 @@ impl InsertionStats {
     }
 }
 
+impl obs::ToJson for InsertionStats {
+    fn to_json(&self) -> obs::Json {
+        obs::Json::object()
+            .with("direct", self.direct)
+            .with("indirect", self.indirect)
+            .with("pointer", self.pointer)
+            .with("total", self.total())
+    }
+}
+
 impl std::ops::AddAssign for InsertionStats {
     fn add_assign(&mut self, rhs: InsertionStats) {
         self.direct += rhs.direct;

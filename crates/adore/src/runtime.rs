@@ -11,6 +11,7 @@
 //! why total overhead stays in the 1–2 % range (Fig. 11).
 
 use isa::Pc;
+use obs::{Json, ToJson};
 use perfmon::{Perfmon, PerfmonConfig};
 use sim::{Machine, MachineConfig, SamplingConfig};
 
@@ -125,6 +126,42 @@ pub struct RunReport {
     pub instrumented: usize,
     /// Instrumented loads promoted to real prefetch streams.
     pub promoted: usize,
+}
+
+impl ToJson for TimePoint {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("cycles", self.cycles)
+            .with("cpi", self.cpi)
+            .with("dear_per_kinsn", self.dear_per_kinsn)
+    }
+}
+
+impl ToJson for RunReport {
+    /// The runtime-state section of every experiment report: deployment
+    /// counts, per-pattern stream totals, skip reasons and the Fig. 8/9
+    /// per-window timeline.
+    fn to_json(&self) -> Json {
+        let skips: Vec<Json> = self
+            .skips
+            .iter()
+            .map(|(pc, reason)| {
+                Json::object().with("pc", pc.to_string()).with("reason", format!("{reason:?}"))
+            })
+            .collect();
+        Json::object()
+            .with("cycles", self.cycles)
+            .with("retired", self.retired)
+            .with("phases_optimized", self.phases_optimized)
+            .with("streams", self.stats)
+            .with("traces_patched", self.traces_patched)
+            .with("traces_unpatched", self.traces_unpatched)
+            .with("windows", self.windows)
+            .with("instrumented", self.instrumented)
+            .with("promoted", self.promoted)
+            .with("skips", skips)
+            .with("timeline", self.timeline.as_slice())
+    }
 }
 
 /// Runs a machine to completion under ADORE.

@@ -2,10 +2,13 @@
 //! statistics, trace selection, pattern classification and prefetch
 //! generation (the work the dynamic-optimization thread does per
 //! optimization event).
+//!
+//! Run with `cargo bench --bench adore_components [-- --quick]`; emits
+//! `results/bench_adore_components.json`.
 
 use adore::{classify, optimize_trace, select_traces, PrefetchConfig, TraceConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 use isa::{AccessSize, Asm, CmpOp, Gr, Pr, CODE_BASE};
+use obs::{BenchConfig, BenchSuite};
 use perfmon::{Perfmon, PerfmonConfig, UserEventBuffer};
 use sim::{Machine, MachineConfig, SamplingConfig};
 
@@ -46,13 +49,13 @@ fn profiled() -> (isa::Program, UserEventBuffer) {
     (program, ueb)
 }
 
-fn components(c: &mut Criterion) {
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut suite = BenchSuite::new("bench_adore_components", BenchConfig::from_args(&args));
     let (program, ueb) = profiled();
     let tc = TraceConfig::default();
 
-    c.bench_function("trace_selection", |b| {
-        b.iter(|| select_traces(&program, &ueb, &tc).len())
-    });
+    suite.bench("trace_selection", || select_traces(&program, &ueb, &tc).len() as u64);
 
     let traces = select_traces(&program, &ueb, &tc);
     let trace = traces.iter().find(|t| t.is_loop).expect("loop trace");
@@ -61,22 +64,17 @@ fn components(c: &mut Criterion) {
     let mine: Vec<_> = loads.iter().filter(|l| l.trace_index == ti).cloned().collect();
     assert!(!mine.is_empty());
 
-    c.bench_function("delinquent_load_tracking", |b| {
-        b.iter(|| adore::find_delinquent_loads(&traces, &ueb).len())
+    suite.bench("delinquent_load_tracking", || {
+        adore::find_delinquent_loads(&traces, &ueb).len() as u64
     });
 
-    c.bench_function("pattern_classification", |b| {
-        b.iter(|| classify(trace, mine[0].position).unwrap())
+    suite.bench("pattern_classification", || {
+        classify(trace, mine[0].position).map(|_| 1).unwrap_or(0)
     });
 
-    c.bench_function("prefetch_generation", |b| {
-        b.iter(|| optimize_trace(trace, &mine, &PrefetchConfig::default()).0.is_some())
+    suite.bench("prefetch_generation", || {
+        optimize_trace(trace, &mine, &PrefetchConfig::default()).0.is_some() as u64
     });
+
+    suite.save().expect("write results/bench_adore_components.json");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = components
-}
-criterion_main!(benches);

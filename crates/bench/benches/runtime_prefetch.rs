@@ -1,33 +1,26 @@
 //! Fig. 7 in bench form: the full ADORE pipeline (baseline vs runtime
 //! prefetching) on three representative workloads at reduced scale.
-//! The printed per-iteration times measure the *simulation*; the
-//! interesting output is the simulated-cycle counts the `fig7` binary
-//! reports.
+//! The wall times measure the *simulation*; the recorded `value` of
+//! each benchmark is the deterministic simulated-cycle count, so the
+//! JSON report doubles as a regression anchor for the optimizer.
+//!
+//! Run with `cargo bench --bench runtime_prefetch [-- --quick]`; emits
+//! `results/bench_runtime_prefetch.json`.
 
 use bench_harness::{build, experiment_adore_config, run_adore, run_plain};
 use compiler::CompileOptions;
-use criterion::{criterion_group, criterion_main, Criterion};
+use obs::{BenchConfig, BenchSuite};
 
-fn fig7_shapes(c: &mut Criterion) {
-    let suite = workloads::suite(0.05);
-    let mut g = c.benchmark_group("fig7");
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut suite = BenchSuite::new("bench_runtime_prefetch", BenchConfig::from_args(&args));
+    let workloads = workloads::suite(0.05);
     for name in ["mcf", "art", "swim"] {
-        let w = suite.iter().find(|w| w.name == name).unwrap().clone();
+        let w = workloads.iter().find(|w| w.name == name).unwrap().clone();
         let bin = build(&w, &CompileOptions::o2());
-        g.bench_function(format!("{name}_baseline"), |b| {
-            b.iter(|| run_plain(&w, &bin))
-        });
+        suite.bench(&format!("fig7/{name}_baseline"), || run_plain(&w, &bin));
         let config = experiment_adore_config();
-        g.bench_function(format!("{name}_adore"), |b| {
-            b.iter(|| run_adore(&w, &bin, &config).cycles)
-        });
+        suite.bench(&format!("fig7/{name}_adore"), || run_adore(&w, &bin, &config).cycles);
     }
-    g.finish();
+    suite.save().expect("write results/bench_runtime_prefetch.json");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig7_shapes
-}
-criterion_main!(benches);

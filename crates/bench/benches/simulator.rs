@@ -1,70 +1,61 @@
 //! Throughput of the simulator substrate itself: how fast the machine
 //! interprets bundles and the cache hierarchy services accesses.
+//!
+//! Run with `cargo bench --bench simulator [-- --quick]`; emits
+//! `results/bench_simulator.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use isa::{AccessSize, Asm, CmpOp, Gr, Pr, CODE_BASE};
+use obs::{BenchConfig, BenchSuite};
 use sim::{Cache, CacheConfig, Hierarchy, Machine, MachineConfig};
 
-fn machine_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine");
-    let iters = 100_000u64;
-    g.throughput(Throughput::Elements(iters));
-    g.bench_function("strided_loop_100k_iters", |b| {
-        b.iter(|| {
-            let mut a = Asm::new();
-            a.movl(Gr(14), 0x1000_0000);
-            a.movl(Gr(9), iters as i64);
-            a.label("loop");
-            a.ld(AccessSize::U8, Gr(20), Gr(14), 8);
-            a.add(Gr(21), Gr(20), Gr(21));
-            a.addi(Gr(9), Gr(9), -1);
-            a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
-            a.br_cond(Pr(1), "loop");
-            a.halt();
-            let mut m = Machine::new(a.finish(CODE_BASE).unwrap(), MachineConfig::default());
-            m.mem_mut().alloc(iters * 8 + 4096, 64);
-            m.run(u64::MAX);
-            m.cycles()
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut suite = BenchSuite::new("bench_simulator", BenchConfig::from_args(&args));
 
-fn cache_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    let n = 10_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("hierarchy_streaming_loads", |b| {
-        b.iter(|| {
-            let mut h = Hierarchy::new(CacheConfig::default());
-            let mut total = 0u64;
-            for i in 0..n {
-                total += h.load(0x1000_0000 + i * 64, i * 4, false).latency;
-            }
-            total
-        })
+    let iters = 100_000u64;
+    suite.throughput(iters);
+    suite.bench("machine/strided_loop_100k_iters", || {
+        let mut a = Asm::new();
+        a.movl(Gr(14), 0x1000_0000);
+        a.movl(Gr(9), iters as i64);
+        a.label("loop");
+        a.ld(AccessSize::U8, Gr(20), Gr(14), 8);
+        a.add(Gr(21), Gr(20), Gr(21));
+        a.addi(Gr(9), Gr(9), -1);
+        a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+        a.br_cond(Pr(1), "loop");
+        a.halt();
+        let mut m = Machine::new(a.finish(CODE_BASE).unwrap(), MachineConfig::default());
+        m.mem_mut().alloc(iters * 8 + 4096, 64);
+        m.run(u64::MAX);
+        m.cycles()
     });
-    g.bench_function("single_cache_hits", |b| {
+
+    let n = 10_000u64;
+    suite.throughput(n);
+    suite.bench("cache/hierarchy_streaming_loads", || {
+        let mut h = Hierarchy::new(CacheConfig::default());
+        let mut total = 0u64;
+        for i in 0..n {
+            total += h.load(0x1000_0000 + i * 64, i * 4, false).latency;
+        }
+        total
+    });
+
+    suite.throughput(n);
+    suite.bench("cache/single_cache_hits", || {
         let mut cache = Cache::new("bench", 16 * 1024, 64, 4);
         for i in 0..128u64 {
             cache.fill(i * 64);
         }
-        b.iter(|| {
-            let mut hits = 0;
-            for i in 0..n {
-                if cache.access((i % 128) * 64) {
-                    hits += 1;
-                }
+        let mut hits = 0u64;
+        for i in 0..n {
+            if cache.access((i % 128) * 64) {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = machine_throughput, cache_throughput
+    suite.save().expect("write results/bench_simulator.json");
 }
-criterion_main!(benches);

@@ -1,32 +1,29 @@
-//! Table 1 in bench form: compile-and-run at O2, O3 and profile-guided
-//! O3 for a strided FP kernel (DAXPY, the paper's Fig. 2).
+//! Table 1 in bench form: compile-and-run at O2 and O3 for a strided
+//! FP kernel (DAXPY, the paper's Fig. 2), plus the compiler itself.
+//!
+//! Run with `cargo bench --bench static_prefetch [-- --quick]`; emits
+//! `results/bench_static_prefetch.json`.
 
 use compiler::{compile, CompileOptions};
-use criterion::{criterion_group, criterion_main, Criterion};
+use obs::{BenchConfig, BenchSuite};
 use sim::MachineConfig;
 use workloads::micro::daxpy;
 
-fn static_prefetch(c: &mut Criterion) {
-    let w = daxpy(32 << 10, 8);
-    let mut g = c.benchmark_group("static_prefetch");
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let elements = 32u64 << 10;
+    let w = daxpy(elements, 8);
+    let mut suite = BenchSuite::new("bench_static_prefetch", BenchConfig::from_args(&args));
     for (label, opts) in [("o2", CompileOptions::o2()), ("o3", CompileOptions::o3())] {
         let bin = compile(&w.kernel, &opts).unwrap();
-        g.bench_function(format!("daxpy_{label}"), |b| {
-            b.iter(|| {
-                let mut m = w.prepare(&bin, MachineConfig::default());
-                m.run_to_halt()
-            })
+        suite.throughput(elements);
+        suite.bench(&format!("daxpy_{label}"), || {
+            let mut m = w.prepare(&bin, MachineConfig::default());
+            m.run_to_halt()
         });
     }
-    g.bench_function("compile_o3", |b| {
-        b.iter(|| compile(&w.kernel, &CompileOptions::o3()).unwrap().program.len())
+    suite.bench("compile_o3", || {
+        compile(&w.kernel, &CompileOptions::o3()).unwrap().program.len() as u64
     });
-    g.finish();
+    suite.save().expect("write results/bench_static_prefetch.json");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = static_prefetch
-}
-criterion_main!(benches);

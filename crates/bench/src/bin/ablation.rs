@@ -2,11 +2,14 @@
 //! happens to representative benchmarks when individual mechanisms are
 //! switched off (or, for the §6 instrumentation extension, on).
 //!
+//! Emits `results/ablation.json` alongside the printed table.
+//!
 //! Usage: `ablation [--quick]`
 
 use adore::AdoreConfig;
 use bench_harness::*;
 use compiler::CompileOptions;
+use obs::Json;
 use sim::MachineConfig;
 use workloads::Workload;
 
@@ -28,15 +31,19 @@ fn main() {
     println!("== Ablation of design choices (speedup % under O2 + ADORE) ==\n");
     println!("{:<34} {:>8} {:>8} {:>8} {:>8}", "configuration", "mcf", "art", "swim", "lucas");
 
-    let row = |label: &str, config: &AdoreConfig, mcfg: MachineConfig| {
-        let vals: Vec<f64> = ["mcf", "art", "swim", "lucas"]
-            .iter()
-            .map(|n| speedup(by(n), config, mcfg.clone()))
-            .collect();
+    let mut rows = Json::array();
+    let mut row = |label: &str, config: &AdoreConfig, mcfg: MachineConfig| {
+        let names = ["mcf", "art", "swim", "lucas"];
+        let vals: Vec<f64> = names.iter().map(|n| speedup(by(n), config, mcfg.clone())).collect();
         println!(
             "{:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
             label, vals[0], vals[1], vals[2], vals[3]
         );
+        let mut speedups = Json::object();
+        for (n, v) in names.iter().zip(&vals) {
+            speedups.set(n, *v);
+        }
+        rows.push(Json::object().with("configuration", label).with("speedup_pct", speedups));
     };
 
     let full = experiment_adore_config();
@@ -65,6 +72,10 @@ fn main() {
     let mut c = experiment_adore_config();
     c.instrument_unanalyzable = true;
     row("+ runtime instrumentation (§6)", &c, experiment_machine_config());
+
+    let mut report = experiment_report("ablation", &args, scale);
+    report.set("rows", rows);
+    report.save().expect("write results/ablation.json");
 
     println!(
         "\nReading the rows: each pattern toggle hits the benchmark that\n\

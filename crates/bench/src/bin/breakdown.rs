@@ -3,10 +3,13 @@
 //! and after runtime prefetching. Memory stalls are exactly what the
 //! optimizer converts into busy (or at least shorter) time.
 //!
+//! Emits `results/breakdown.json` alongside the printed table.
+//!
 //! Usage: `breakdown [--quick]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
+use obs::Json;
 use sim::Counters;
 
 fn pct(part: u64, total: u64) -> f64 {
@@ -34,6 +37,16 @@ fn main() {
     let config = experiment_adore_config();
 
     println!("== Cycle breakdown (workload characterization, §2.1) ==");
+    let side = |c: &Counters, cycles: u64| {
+        let accounted =
+            c.stall_mem + c.stall_fp + c.stall_branch + c.stall_icache + c.overhead_cycles;
+        Json::object()
+            .with("cycles", cycles)
+            .with("counters", c)
+            .with("mem_stall_pct", pct(c.stall_mem, cycles))
+            .with("busy_pct", pct(cycles.saturating_sub(accounted), cycles))
+    };
+    let mut rows = Json::array();
     for name in PAPER_ORDER {
         let w = suite.iter().find(|w| w.name == name).expect("known workload");
         let bin = build(w, &CompileOptions::o2());
@@ -43,5 +56,14 @@ fn main() {
         row("O2", &base.pmu().counters, base.cycles());
         let (report, m) = run_adore_with_machine(w, &bin, &config);
         row("+ADORE", &m.pmu().counters, report.cycles);
+        rows.push(
+            Json::object()
+                .with("bench", name)
+                .with("o2", side(&base.pmu().counters, base.cycles()))
+                .with("adore", side(&m.pmu().counters, report.cycles)),
+        );
     }
+    let mut report = experiment_report("breakdown", &args, scale);
+    report.set("rows", rows);
+    report.save().expect("write results/breakdown.json");
 }

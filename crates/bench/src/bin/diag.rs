@@ -1,10 +1,13 @@
 //! Diagnostic: per-workload phase-detection and optimization trace.
 //!
-//! Usage: `diag [workload ...] [--quick]`
+//! Emits `results/diag.json` alongside the printed trace.
+//!
+//! Usage: `diag [workload ...] [--quick] [--profile] [--adore]`
 
 use adore::{PhaseDecision, PhaseDetector};
 use bench_harness::*;
 use compiler::CompileOptions;
+use obs::Json;
 use perfmon::{Perfmon, UserEventBuffer};
 
 fn main() {
@@ -14,6 +17,7 @@ fn main() {
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let suite = workloads::suite(scale);
     let config = experiment_adore_config();
+    let mut entries = Json::array();
 
     for w in &suite {
         if !picks.is_empty() && !picks.contains(&w.name) {
@@ -38,6 +42,19 @@ fn main() {
             });
         });
         println!("cycles={} windows={}", m.cycles(), window_stats.len());
+        let count = |tag: char| decisions.iter().filter(|d| d.starts_with(tag)).count();
+        let mut entry = Json::object()
+            .with("workload", w.name)
+            .with("cycles", m.cycles())
+            .with("windows", window_stats.len())
+            .with(
+                "decisions",
+                Json::object()
+                    .with("unstable", count('U'))
+                    .with("stable", count('S'))
+                    .with("in_trace_pool", count('P'))
+                    .with("low_miss_rate", count('L')),
+            );
         for (i, ((cpi, dpk, pc), d)) in window_stats.iter().zip(&decisions).enumerate() {
             if i < 24 || d.starts_with('S') {
                 println!(
@@ -56,6 +73,7 @@ fn main() {
                 all_samples.extend(w.samples.iter().cloned());
             });
             let profile = perfmon::MissProfile::from_samples(all_samples.iter());
+            entry.set("profile", &profile);
             println!("miss profile: {} entries, total latency {}", profile.entries().len(), profile.total_latency());
             for e in profile.entries().iter().take(16) {
                 let name = bin2
@@ -81,6 +99,7 @@ fn main() {
             let mcfg2 = config.machine_config(experiment_machine_config());
             let mut m2 = w.prepare(&bin2, mcfg2);
             let report = adore::run(&mut m2, &config);
+            entry.set("adore", Json::object().with("run", &report).with("caches", m2.caches()));
             let (lf_issued, lf_dropped) = m2.caches().lfetch_stats();
             println!(
                 "ADORE: cycles={} patched={} phases={} stats={:?} lfetch={}/{} dropped",
@@ -110,7 +129,11 @@ fn main() {
                 println!("  t={:>12} cpi={:>6.2} dear/kinsn={:>7.3}", t.cycles, t.cpi, t.dear_per_kinsn);
             }
         }
+        entries.push(entry);
     }
+    let mut out = experiment_report("diag", &args, scale);
+    out.set("workloads", entries);
+    out.save().expect("write results/diag.json");
 }
 
 // Appended: deep-dive ADORE run report (invoked for each selected

@@ -3,10 +3,13 @@
 //! restricted `O2` used for runtime prefetching (SWP off, `r27`–`r30`
 //! and `p6` reserved).
 //!
+//! Emits `results/fig10.json` alongside the printed table.
+//!
 //! Usage: `fig10 [--quick]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
+use obs::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,6 +21,7 @@ fn main() {
         "{:<10} {:>16} {:>16} {:>10}  (paper: >3% only for equake, mcf, facerec, swim)",
         "bench", "restricted O2", "original O2", "speedup%"
     );
+    let mut rows = Json::array();
     for name in PAPER_ORDER {
         let w = suite.iter().find(|w| w.name == name).expect("known workload");
         let restricted = build(w, &CompileOptions::o2());
@@ -25,5 +29,15 @@ fn main() {
         let rc = run_plain(w, &restricted);
         let oc = run_plain(w, &original);
         println!("{:<10} {:>16} {:>16} {:>9.1}%", name, rc, oc, speedup_pct(rc, oc));
+        rows.push(
+            Json::object()
+                .with("bench", name)
+                .with("restricted_cycles", rc)
+                .with("original_cycles", oc)
+                .with("speedup_pct", speedup_pct(rc, oc)),
+        );
     }
+    let mut report = experiment_report("fig10", &args, scale);
+    report.set("rows", rows);
+    report.save().expect("write results/fig10.json");
 }

@@ -2,10 +2,13 @@
 //! O2 binary alone versus O2 + runtime system with prefetch *insertion
 //! disabled* (sampling, phase detection and trace selection still run).
 //!
+//! Emits `results/fig11.json` alongside the printed table.
+//!
 //! Usage: `fig11 [--quick]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
+use obs::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,6 +22,7 @@ fn main() {
         "{:<10} {:>14} {:>22} {:>10}  (paper: 1-2% overhead)",
         "bench", "O2 cycles", "O2+sampling cycles", "overhead%"
     );
+    let mut rows = Json::array();
     for name in PAPER_ORDER {
         let w = suite.iter().find(|w| w.name == name).expect("known workload");
         let bin = build(w, &CompileOptions::o2());
@@ -26,5 +30,16 @@ fn main() {
         let report = run_adore(w, &bin, &config);
         let overhead = (report.cycles as f64 / base as f64 - 1.0) * 100.0;
         println!("{:<10} {:>14} {:>22} {:>9.2}%", name, base, report.cycles, overhead);
+        rows.push(
+            Json::object()
+                .with("bench", name)
+                .with("o2_cycles", base)
+                .with("sampling_cycles", report.cycles)
+                .with("overhead_pct", overhead)
+                .with("windows", report.windows),
+        );
     }
+    let mut report = experiment_report("fig11", &args, scale);
+    report.set("rows", rows);
+    report.save().expect("write results/fig11.json");
 }

@@ -1,12 +1,15 @@
 //! Fig. 7: performance of runtime prefetching over `O2` (a) and `O3`
 //! (b) binaries, all 17 benchmarks.
 //!
+//! Emits `results/fig7.json` alongside the printed table.
+//!
 //! Usage: `fig7 [a|b|both] [--quick]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
+use obs::Json;
 
-fn run_part(part: char, scale: f64) {
+fn run_part(part: char, scale: f64) -> Json {
     let base_opts = match part {
         'a' => CompileOptions::o2(),
         _ => CompileOptions::o3(),
@@ -21,31 +24,39 @@ fn run_part(part: char, scale: f64) {
         "bench", "base cycles", "adore cycles", "speedup%", "paper%", "patched", "phases"
     );
     let suite = workloads::suite(scale);
+    let mut rows = Json::array();
     for name in PAPER_ORDER {
         let w = suite.iter().find(|w| w.name == name).expect("known workload");
         let bin = build(w, &base_opts);
-        let base = run_plain(w, &bin);
-        let report = run_adore(w, &bin, &experiment_adore_config());
+        let (base, base_machine) = run_plain_with_machine(w, &bin);
+        let (report, adore_machine) = run_adore_with_machine(w, &bin, &experiment_adore_config());
         let s = speedup_pct(base, report.cycles);
         println!(
             "{:<10} {:>14} {:>14} {:>9.1}% {:>9.1}%  {:>8} {:>8}",
             name, base, report.cycles, s, paper(name), report.traces_patched,
             report.phases_optimized
         );
+        rows.push(
+            comparison_row(name, base, &base_machine, &report, &adore_machine)
+                .with("paper_speedup_pct", paper(name)),
+        );
     }
+    rows
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
     let part = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("both");
+    let mut report = experiment_report("fig7", &args, scale);
     match part {
-        "a" => run_part('a', scale),
-        "b" => run_part('b', scale),
+        "a" => report.set("part_a", run_part('a', scale)),
+        "b" => report.set("part_b", run_part('b', scale)),
         _ => {
-            run_part('a', scale);
+            report.set("part_a", run_part('a', scale));
             println!();
-            run_part('b', scale);
+            report.set("part_b", run_part('b', scale));
         }
     }
+    report.save().expect("write results/fig7.json");
 }

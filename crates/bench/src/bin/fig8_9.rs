@@ -2,10 +2,13 @@
 //! DEAR-qualifying misses per 1000 instructions over execution time,
 //! with and without runtime prefetching.
 //!
-//! Usage: `fig8_9 [art|mcf|both] [--quick]`
+//! Emits `results/fig8_9.json` with both series per workload.
+//!
+//! Usage: `fig8_9 [art|mcf|both] [--quick] [--csv]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
+use obs::Json;
 use perfmon::Perfmon;
 
 fn series_without(w: &workloads::Workload) -> Vec<(u64, f64, f64)> {
@@ -75,6 +78,23 @@ fn run_one(name: &str, scale: f64) {
     );
 }
 
+/// Both series of one workload as the report's per-benchmark entry.
+fn series_json(name: &str, scale: f64) -> Json {
+    let suite = workloads::suite(scale);
+    let w = suite.iter().find(|w| w.name == name).expect("known workload");
+    let point = |(cycles, cpi, dpk): &(u64, f64, f64)| {
+        Json::object().with("cycles", *cycles).with("cpi", *cpi).with("dear_per_kinsn", *dpk)
+    };
+    let without = series_without(w);
+    let with = series_with(w);
+    Json::object()
+        .with("bench", name)
+        .with("baseline_end_cycles", without.last().map(|x| x.0).unwrap_or(0))
+        .with("adore_end_cycles", with.last().map(|x| x.0).unwrap_or(0))
+        .with("baseline", without.iter().map(point).collect::<Vec<Json>>())
+        .with("adore", with.iter().map(point).collect::<Vec<Json>>())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
@@ -92,4 +112,12 @@ fn main() {
             run_one("mcf", scale);
         }
     }
+    let picks: &[&str] = match pick {
+        "art" => &["art"],
+        "mcf" => &["mcf"],
+        _ => &["art", "mcf"],
+    };
+    let mut report = experiment_report("fig8_9", &args, scale);
+    report.set("series", picks.iter().map(|n| series_json(n, scale)).collect::<Vec<Json>>());
+    report.save().expect("write results/fig8_9.json");
 }

@@ -7,10 +7,13 @@
 //! normalized execution time / normalized binary size — the three
 //! column groups of the paper's Table 1.
 //!
+//! Emits `results/table1.json` alongside the printed table.
+//!
 //! Usage: `table1 [--quick]`
 
 use bench_harness::*;
 use compiler::{delinquent_loop_filter, CompileOptions};
+use obs::Json;
 use perfmon::{MissProfile, Perfmon};
 use sim::Sample;
 
@@ -19,6 +22,7 @@ fn main() {
     let scale = scale_from_args(&args);
     let suite = workloads::suite(scale);
     let config = experiment_adore_config();
+    let mut rows = Json::array();
 
     println!("== Table 1: profile-guided static prefetching ==");
     println!(
@@ -68,5 +72,27 @@ fn main() {
             p_o3,
             p_pf
         );
+        rows.push(
+            Json::object()
+                .with("bench", name)
+                .with("o3_loops", o3.prefetched_loops)
+                .with("profiled_loops", guided.prefetched_loops)
+                .with("o3_cycles", o3_cycles)
+                .with("guided_cycles", guided_cycles)
+                .with("norm_time", norm_time)
+                .with("norm_size", norm_size)
+                .with("profile", &profile)
+                .with(
+                    "paper",
+                    Json::object()
+                        .with("o3_loops", p_o3)
+                        .with("profiled_loops", p_pf)
+                        .with("norm_time", p_time)
+                        .with("norm_size", p_size),
+                ),
+        );
     }
+    let mut report = experiment_report("table1", &args, scale);
+    report.set("rows", rows);
+    report.save().expect("write results/table1.json");
 }

@@ -3,10 +3,13 @@
 //! chasing) and the number of optimized phases, per benchmark (O2
 //! binaries).
 //!
+//! Emits `results/table2.json` alongside the printed table.
+//!
 //! Usage: `table2 [--quick]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
+use obs::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,6 +22,7 @@ fn main() {
         "{:<10} {:>7} {:>9} {:>8} {:>7}   paper: (dir, ind, ptr, phases)",
         "bench", "direct", "indirect", "pointer", "phases"
     );
+    let mut rows = Json::array();
     for name in PAPER_ORDER {
         let w = suite.iter().find(|w| w.name == name).expect("known workload");
         let bin = build(w, &CompileOptions::o2());
@@ -32,5 +36,23 @@ fn main() {
             report.stats.pointer,
             report.phases_optimized,
         );
+        rows.push(
+            Json::object()
+                .with("bench", name)
+                .with("streams", report.stats)
+                .with("phases_optimized", report.phases_optimized)
+                .with("traces_patched", report.traces_patched)
+                .with(
+                    "paper",
+                    Json::object()
+                        .with("direct", pd)
+                        .with("indirect", pi)
+                        .with("pointer", pp)
+                        .with("phases", pph),
+                ),
+        );
     }
+    let mut report = experiment_report("table2", &args, scale);
+    report.set("rows", rows);
+    report.save().expect("write results/table2.json");
 }

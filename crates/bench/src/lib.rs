@@ -10,6 +10,7 @@
 
 use adore::{AdoreConfig, RunReport};
 use compiler::{compile, CompileOptions, CompiledBinary};
+use obs::{Json, Report};
 use sim::{Machine, MachineConfig, SamplingConfig};
 use workloads::Workload;
 
@@ -57,6 +58,14 @@ pub fn build(w: &Workload, opts: &CompileOptions) -> CompiledBinary {
 pub fn run_plain(w: &Workload, bin: &CompiledBinary) -> u64 {
     let mut m = w.prepare(bin, experiment_machine_config());
     m.run_to_halt()
+}
+
+/// Like [`run_plain`], but also returns the machine so callers can read
+/// cache and PMU statistics into a report.
+pub fn run_plain_with_machine(w: &Workload, bin: &CompiledBinary) -> (u64, Machine) {
+    let mut m = w.prepare(bin, experiment_machine_config());
+    let cycles = m.run_to_halt();
+    (cycles, m)
 }
 
 /// Runs a compiled workload under ADORE; returns the report (cycles
@@ -186,6 +195,67 @@ pub fn scale_from_args(args: &[String]) -> f64 {
     }
 }
 
+/// Starts a structured report for an experiment binary, seeded with the
+/// shared run configuration (workload scale, CLI arguments, sampling
+/// parameters). Every `crates/bench` binary emits one of these next to
+/// its human-readable output; see `DESIGN.md` for the schema.
+pub fn experiment_report(tool: &str, args: &[String], scale: f64) -> Report {
+    let sampling = experiment_adore_config().sampling;
+    let mut r = Report::new(tool);
+    r.set(
+        "run_config",
+        Json::object()
+            .with("scale", scale)
+            .with("quick", scale != FULL_SCALE)
+            .with("args", args.to_vec())
+            .with(
+                "sampling",
+                Json::object()
+                    .with("interval_cycles", sampling.interval_cycles)
+                    .with("buffer_capacity", sampling.buffer_capacity)
+                    .with("per_sample_cost", sampling.per_sample_cost)
+                    .with("jitter", sampling.jitter),
+            ),
+    );
+    r
+}
+
+/// Cache and PMU statistics of a finished machine, for report rows.
+pub fn machine_stats_json(m: &Machine) -> Json {
+    let c = &m.pmu().counters;
+    let miss_per_kinsn = if c.retired == 0 {
+        0.0
+    } else {
+        c.dear_misses as f64 * 1000.0 / c.retired as f64
+    };
+    Json::object()
+        .with("pmu", c)
+        .with("dear_miss_per_kinsn", miss_per_kinsn)
+        .with("caches", m.caches())
+}
+
+/// The standard per-benchmark comparison row shared by `fig7`-style
+/// reports: baseline cycles, ADORE cycles and the derived speedup,
+/// with full machine statistics for both runs.
+pub fn comparison_row(
+    name: &str,
+    base_cycles: u64,
+    base_machine: &Machine,
+    report: &RunReport,
+    adore_machine: &Machine,
+) -> Json {
+    Json::object()
+        .with("bench", name)
+        .with("base_cycles", base_cycles)
+        .with("adore_cycles", report.cycles)
+        .with("speedup_pct", speedup_pct(base_cycles, report.cycles))
+        .with("traces_patched", report.traces_patched)
+        .with("phases_optimized", report.phases_optimized)
+        .with("streams", report.stats)
+        .with("base", machine_stats_json(base_machine))
+        .with("adore", machine_stats_json(adore_machine))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +274,33 @@ mod tests {
             assert!(paper_table2(name).is_some(), "{name} missing from table 2");
             assert!(!paper_fig7a(name).is_nan());
         }
+    }
+
+    #[test]
+    fn experiment_report_seeds_run_config() {
+        let r = experiment_report("unit", &["--quick".to_string()], QUICK_SCALE);
+        let j = r.json();
+        assert_eq!(j.get("tool").and_then(Json::as_str), Some("unit"));
+        let rc = j.get("run_config").expect("run_config present");
+        assert_eq!(rc.get("quick"), Some(&Json::Bool(true)));
+        assert!(rc.get("sampling").and_then(|s| s.get("interval_cycles")).is_some());
+        assert!(Json::parse(&j.to_string()).is_ok(), "report serializes to valid JSON");
+    }
+
+    #[test]
+    fn comparison_row_has_schema_keys() {
+        let suite = workloads::suite(0.05);
+        let w = suite.iter().find(|w| w.name == "swim").unwrap();
+        let bin = build(w, &CompileOptions::o2());
+        let (base, bm) = run_plain_with_machine(w, &bin);
+        let (report, am) = run_adore_with_machine(w, &bin, &experiment_adore_config());
+        let row = comparison_row(w.name, base, &bm, &report, &am);
+        assert_eq!(row.get("bench").and_then(Json::as_str), Some("swim"));
+        assert_eq!(row.get("base_cycles").and_then(Json::as_u64), Some(base));
+        assert!(row.get("speedup_pct").and_then(Json::as_f64).is_some());
+        assert!(row.get("streams").and_then(|s| s.get("direct")).is_some());
+        let caches = row.get("base").and_then(|b| b.get("caches")).expect("cache stats");
+        assert!(caches.get("l1d").and_then(|l| l.get("misses")).is_some());
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! A lightweight bench timer replacing `criterion` for this repo.
+//!
+//! The interesting number in most of our benchmarks is the *simulated*
+//! cycle count, which is perfectly deterministic; wall time only
+//! measures the simulator substrate itself. The timer therefore
+//! records both: the benched closure returns a `u64` observable (by
+//! convention: simulated cycles, or an element/hit count), and the
+//! timer tracks wall-clock min/median/mean across iterations.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::json::{Json, ToJson};
+
+/// Iteration counts for a benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed warmup iterations.
+    pub warmup_iters: u32,
+    /// Timed iterations.
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig { warmup_iters: 2, iters: 10 }
+    }
+}
+
+impl BenchConfig {
+    /// A reduced configuration for smoke runs (`--quick`).
+    pub fn quick() -> BenchConfig {
+        BenchConfig { warmup_iters: 1, iters: 3 }
+    }
+
+    /// Picks quick or default from command-line arguments.
+    pub fn from_args(args: &[String]) -> BenchConfig {
+        if args.iter().any(|a| a == "--quick") {
+            BenchConfig::quick()
+        } else {
+            BenchConfig::default()
+        }
+    }
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Median iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: u64,
+    /// The observable returned by the closure on the last timed
+    /// iteration (simulated cycles, by convention).
+    pub value: u64,
+    /// Elements processed per iteration, when declared via
+    /// [`BenchSuite::throughput`].
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Simulated cycles per element, when both figures are available
+    /// and `value` carries a cycle count.
+    pub fn cycles_per_element(&self) -> Option<f64> {
+        let e = self.elements?;
+        if e == 0 {
+            return None;
+        }
+        Some(self.value as f64 / e as f64)
+    }
+
+    /// Wall nanoseconds per element (median iteration).
+    pub fn ns_per_element(&self) -> Option<f64> {
+        let e = self.elements?;
+        if e == 0 {
+            return None;
+        }
+        Some(self.median_ns as f64 / e as f64)
+    }
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        let mut j = Json::object()
+            .with("name", self.name.as_str())
+            .with("iters", self.iters)
+            .with("min_ns", self.min_ns)
+            .with("median_ns", self.median_ns)
+            .with("mean_ns", self.mean_ns)
+            .with("value", self.value);
+        if let Some(e) = self.elements {
+            j.set("elements", e);
+            j.set("cycles_per_element", self.cycles_per_element());
+            j.set("ns_per_element", self.ns_per_element());
+        }
+        j
+    }
+}
+
+/// Runs `f` with warmup and returns its timing summary.
+pub fn run_bench(name: &str, cfg: BenchConfig, mut f: impl FnMut() -> u64) -> BenchResult {
+    for _ in 0..cfg.warmup_iters {
+        black_box(f());
+    }
+    let iters = cfg.iters.max(1);
+    let mut samples_ns = Vec::with_capacity(iters as usize);
+    let mut value = 0u64;
+    for _ in 0..iters {
+        let t = Instant::now();
+        value = black_box(f());
+        samples_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    samples_ns.sort_unstable();
+    let min_ns = samples_ns[0];
+    let median_ns = samples_ns[samples_ns.len() / 2];
+    let mean_ns = samples_ns.iter().sum::<u64>() / samples_ns.len() as u64;
+    BenchResult { name: name.to_string(), iters, min_ns, median_ns, mean_ns, value, elements: None }
+}
+
+/// A named collection of benchmark results that prints a human table
+/// and serializes to the report schema.
+#[derive(Debug)]
+pub struct BenchSuite {
+    /// Suite name (becomes the report's `tool` field).
+    pub name: String,
+    cfg: BenchConfig,
+    results: Vec<BenchResult>,
+    pending_elements: Option<u64>,
+}
+
+impl BenchSuite {
+    /// Creates a suite; `cfg` applies to every benchmark in it.
+    pub fn new(name: &str, cfg: BenchConfig) -> BenchSuite {
+        println!(
+            "== bench suite `{name}` ({} warmup + {} timed iterations) ==",
+            cfg.warmup_iters, cfg.iters
+        );
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>14}",
+            "benchmark", "min", "median", "mean", "value"
+        );
+        BenchSuite { name: name.to_string(), cfg, results: Vec::new(), pending_elements: None }
+    }
+
+    /// Declares the per-iteration element count of the *next* benchmark
+    /// (enables cycles/ns-per-element reporting).
+    pub fn throughput(&mut self, elements: u64) -> &mut BenchSuite {
+        self.pending_elements = Some(elements);
+        self
+    }
+
+    /// Times `f` and records (and prints) the result.
+    pub fn bench(&mut self, name: &str, f: impl FnMut() -> u64) -> &BenchResult {
+        let mut r = run_bench(name, self.cfg, f);
+        r.elements = self.pending_elements.take();
+        let per_elem = r
+            .cycles_per_element()
+            .map(|c| format!(" ({c:.2} cy/elem)"))
+            .unwrap_or_default();
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>14}{per_elem}",
+            r.name,
+            fmt_ns(r.min_ns),
+            fmt_ns(r.median_ns),
+            fmt_ns(r.mean_ns),
+            r.value
+        );
+        self.results.push(r);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All recorded results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the suite as a structured report under `results/` and
+    /// prints the path. See [`crate::report`] for the schema.
+    pub fn save(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut report = crate::Report::new(&self.name);
+        report.set(
+            "bench_config",
+            Json::object()
+                .with("warmup_iters", self.cfg.warmup_iters)
+                .with("iters", self.cfg.iters),
+        );
+        report.set("benchmarks", self.results.to_json());
+        report.save()
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_value_and_orders_stats() {
+        let mut n = 0u64;
+        let r = run_bench("t", BenchConfig { warmup_iters: 1, iters: 5 }, || {
+            n += 1;
+            n * 100
+        });
+        assert_eq!(r.iters, 5);
+        // 1 warmup + 5 timed calls.
+        assert_eq!(r.value, 600);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.mean_ns.max(r.median_ns));
+    }
+
+    #[test]
+    fn throughput_applies_to_next_bench_only() {
+        let mut s = BenchSuite::new("t", BenchConfig { warmup_iters: 0, iters: 1 });
+        s.throughput(100);
+        s.bench("a", || 250);
+        s.bench("b", || 250);
+        assert_eq!(s.results()[0].elements, Some(100));
+        assert_eq!(s.results()[0].cycles_per_element(), Some(2.5));
+        assert_eq!(s.results()[1].elements, None);
+    }
+
+    #[test]
+    fn result_serializes_with_schema_keys() {
+        let r = BenchResult {
+            name: "x".into(),
+            iters: 3,
+            min_ns: 1,
+            median_ns: 2,
+            mean_ns: 2,
+            value: 10,
+            elements: Some(5),
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("cycles_per_element").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("median_ns").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn quick_flag_selects_quick_config() {
+        let cfg = BenchConfig::from_args(&["--quick".to_string()]);
+        assert_eq!(cfg.iters, BenchConfig::quick().iters);
+    }
+}

@@ -1,0 +1,27 @@
+//! Observability and reporting for the ADORE reproduction.
+//!
+//! This crate is intentionally **dependency-free** (std only): the
+//! repository builds fully offline, so anything `serde`/`criterion`
+//! would normally provide lives here instead, scoped to exactly what
+//! the experiment harness needs:
+//!
+//! * [`json`] — a minimal JSON value type, the [`ToJson`] trait, a
+//!   deterministic serializer (object keys keep insertion order) and a
+//!   small parser used by tests and `tools/ci.sh` to validate emitted
+//!   reports.
+//! * [`bench`] — a lightweight bench timer (warmup + N measured
+//!   iterations; min/median/mean wall time, plus simulated-cycle and
+//!   cycles-per-element figures when the benched closure reports them).
+//! * [`report`] — schema-versioned experiment reports written as
+//!   `results/<tool>.json`, so successive PRs can diff speedups,
+//!   coverage and accuracy run-over-run.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod report;
+
+pub use bench::{BenchConfig, BenchResult, BenchSuite};
+pub use json::{Json, ToJson};
+pub use report::{Report, SCHEMA_VERSION};

@@ -9,11 +9,11 @@
 use std::collections::HashMap;
 
 use isa::Pc;
-use serde::{Deserialize, Serialize};
+use obs::{Json, ToJson};
 use sim::Sample;
 
 /// Aggregated miss statistics for one load instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissEntry {
     /// Bundle address of the load.
     pub addr: u64,
@@ -35,8 +35,19 @@ impl MissEntry {
     }
 }
 
+impl ToJson for MissEntry {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("addr", self.addr)
+            .with("slot", self.slot)
+            .with("count", self.count)
+            .with("total_latency", self.total_latency)
+            .with("last_miss_addr", self.last_miss_addr)
+    }
+}
+
 /// A complete sampled cache-miss profile.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MissProfile {
     entries: Vec<MissEntry>,
     /// Total sampled miss latency across all loads.
@@ -132,6 +143,14 @@ impl MissProfile {
     }
 }
 
+impl ToJson for MissProfile {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("total_latency", self.total_latency)
+            .with("entries", self.entries.as_slice())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +229,19 @@ mod tests {
     #[should_panic(expected = "coverage")]
     fn bad_coverage_panics() {
         MissProfile::default().delinquent_loads(0.0);
+    }
+
+    #[test]
+    fn profile_serializes_to_schema_keys() {
+        let samples = vec![sample_with_dear(0, 0x4000_0000, 1, 0x1000_0000, 160)];
+        let p = MissProfile::from_samples(&samples);
+        let j = p.to_json();
+        assert_eq!(j.get("total_latency").and_then(Json::as_u64), Some(160));
+        let e = &j.get("entries").unwrap().as_array().unwrap()[0];
+        assert_eq!(e.get("addr").and_then(Json::as_u64), Some(0x4000_0000));
+        assert_eq!(e.get("slot").and_then(Json::as_u64), Some(1));
+        // The emitted text is valid JSON.
+        assert!(Json::parse(&j.to_string()).is_ok());
     }
 
     #[test]

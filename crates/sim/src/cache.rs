@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use obs::{Json, ToJson};
+
 /// One set-associative, true-LRU, tag-only cache.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -442,6 +444,27 @@ impl Hierarchy {
     /// Number of misses currently in flight.
     pub fn inflight_misses(&self) -> usize {
         self.inflight.len()
+    }
+}
+
+impl ToJson for Hierarchy {
+    /// Per-level hit/miss counts plus `lfetch` issue/drop statistics —
+    /// the cache section of every experiment report.
+    fn to_json(&self) -> Json {
+        let level = |c: &Cache| {
+            let (hits, misses) = c.stats();
+            Json::object().with("hits", hits).with("misses", misses)
+        };
+        let (issued, dropped) = self.lfetch_stats();
+        Json::object()
+            .with("l1d", level(&self.l1d))
+            .with("l1i", level(&self.l1i))
+            .with("l2", level(&self.l2))
+            .with("l3", level(&self.l3))
+            .with(
+                "lfetch",
+                Json::object().with("issued", issued).with("dropped", dropped),
+            )
     }
 }
 

@@ -8,6 +8,7 @@
 //! miss (pc, miss address, latency ≥ 8 cycles).
 
 use isa::{Addr, Pc};
+use obs::{Json, ToJson};
 
 use crate::cache::DEAR_LATENCY_THRESHOLD;
 
@@ -44,6 +45,26 @@ pub struct Counters {
     /// Cycles charged as runtime-system overhead (sampling handler,
     /// patch publication).
     pub overhead_cycles: u64,
+}
+
+impl ToJson for Counters {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("cycles", self.cycles)
+            .with("retired", self.retired)
+            .with("l1d_misses", self.l1d_misses)
+            .with("dear_misses", self.dear_misses)
+            .with("dear_latency", self.dear_latency)
+            .with("l1i_misses", self.l1i_misses)
+            .with("loads", self.loads)
+            .with("dtlb_misses", self.dtlb_misses)
+            .with("branches", self.branches)
+            .with("stall_mem", self.stall_mem)
+            .with("stall_fp", self.stall_fp)
+            .with("stall_branch", self.stall_branch)
+            .with("stall_icache", self.stall_icache)
+            .with("overhead_cycles", self.overhead_cycles)
+    }
 }
 
 /// One Branch Trace Buffer record.

@@ -6,9 +6,9 @@
 //! that [`crate::Workload::prepare`] replays into a machine's memory.
 
 use compiler::{ArrayDecl, Kernel, ListDecl};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sim::{Memory, DATA_BASE};
+
+use crate::rng::Rng64;
 
 /// A deferred memory-initialization action.
 #[derive(Debug, Clone)]
@@ -54,12 +54,7 @@ fn list_order(nodes: u64, run_length: u64, seed: u64) -> Vec<u64> {
     let run = run_length.max(1);
     let n_runs = nodes.div_ceil(run);
     let mut runs: Vec<u64> = (0..n_runs).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Fisher-Yates shuffle of the run order.
-    for i in (1..runs.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        runs.swap(i, j);
-    }
+    Rng64::new(seed).shuffle(&mut runs);
     let mut order = Vec::with_capacity(nodes as usize);
     for r in runs {
         let start = r * run;
@@ -74,9 +69,9 @@ impl InitAction {
     pub fn apply(&self, mem: &mut Memory) {
         match *self {
             InitAction::IndexArray { base, count, range, seed } => {
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Rng64::new(seed);
                 for i in 0..count {
-                    let v = rng.gen_range(0..range.max(1));
+                    let v = rng.below(range.max(1));
                     mem.write(base + 4 * i, 4, v);
                 }
             }

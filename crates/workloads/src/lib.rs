@@ -29,12 +29,14 @@
 
 pub mod builder;
 pub mod micro;
+pub mod rng;
 pub mod suite;
 
 use compiler::Kernel;
 use sim::{Machine, MachineConfig};
 
 pub use builder::{InitAction, WorkloadBuilder};
+pub use rng::Rng64;
 pub use suite::suite;
 
 /// Integer or floating-point benchmark (the paper groups results this

@@ -45,7 +45,7 @@ fn main() {
         let n_runs = nodes / run_len;
         let order: Vec<u64> = (0..n_runs)
             .map(|r| (r * 7 + 3) % n_runs) // simple run permutation
-            .flat_map(|r| (r * run_len..(r + 1) * run_len))
+            .flat_map(|r| r * run_len..(r + 1) * run_len)
             .collect();
         for i in 0..order.len() {
             let node = head + order[i] * node_bytes;

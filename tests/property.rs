@@ -1,39 +1,75 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Previously written with `proptest`; now driven by deterministic
+//! seeded loops over the in-repo [`workloads::Rng64`] generator (the
+//! zero-dependency policy — see README.md). Each property runs at
+//! least as many cases as `proptest`'s default (256), every case is
+//! reproducible from the printed case number, and the invariants are
+//! unchanged.
 
 use isa::{AccessSize, Addr, Asm, Bundle, CmpOp, Gr, Insn, Op, Pr, SlotKind, CODE_BASE};
-use proptest::prelude::*;
 use sim::{Cache, Machine, MachineConfig, Memory};
+use workloads::Rng64;
 
-/// Arbitrary non-branch, non-L instructions for packing tests.
-fn arb_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (1u8..120, 1u8..120, 1u8..120)
-            .prop_map(|(d, a, b)| Insn::new(Op::Add { d: Gr(d), a: Gr(a), b: Gr(b) })),
-        (1u8..120, 1u8..120, -64i64..64)
-            .prop_map(|(d, a, imm)| Insn::new(Op::AddI { d: Gr(d), a: Gr(a), imm })),
-        (1u8..120, 1u8..120, 0i64..128).prop_map(|(d, base, inc)| {
-            Insn::new(Op::Ld {
-                d: Gr(d),
-                base: Gr(base),
-                post_inc: inc,
-                size: AccessSize::U8,
-                spec: false,
-            })
-        }),
-        (1u8..120, 0i64..128)
-            .prop_map(|(base, inc)| Insn::new(Op::Lfetch { base: Gr(base), post_inc: inc })),
-        (2u8..120, 2u8..120, 2u8..120).prop_map(|(d, a, b)| {
-            Insn::new(Op::Fma { d: isa::Fr(d), a: isa::Fr(a), b: isa::Fr(b), c: isa::Fr(d) })
-        }),
-    ]
+/// Cases per property — matches `proptest`'s default configuration.
+const CASES: u64 = 256;
+
+/// A fresh generator for case `case` of the property seeded `seed`, so
+/// any single failing case can be re-run in isolation.
+fn case_rng(seed: u64, case: u64) -> Rng64 {
+    Rng64::new(seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
-proptest! {
-    /// Every instruction sequence the assembler accepts survives
-    /// packing: the program contains exactly the input instructions, in
-    /// order, with only nops interleaved.
-    #[test]
-    fn assembler_preserves_instruction_order(insns in prop::collection::vec(arb_insn(), 1..40)) {
+/// An arbitrary non-branch, non-L instruction for packing tests
+/// (the same five shapes the old `arb_insn` strategy produced).
+fn arb_insn(rng: &mut Rng64) -> Insn {
+    match rng.below(5) {
+        0 => Insn::new(Op::Add {
+            d: Gr(rng.range_u64(1, 120) as u8),
+            a: Gr(rng.range_u64(1, 120) as u8),
+            b: Gr(rng.range_u64(1, 120) as u8),
+        }),
+        1 => Insn::new(Op::AddI {
+            d: Gr(rng.range_u64(1, 120) as u8),
+            a: Gr(rng.range_u64(1, 120) as u8),
+            imm: rng.range_i64(-64, 64),
+        }),
+        2 => Insn::new(Op::Ld {
+            d: Gr(rng.range_u64(1, 120) as u8),
+            base: Gr(rng.range_u64(1, 120) as u8),
+            post_inc: rng.range_i64(0, 128),
+            size: AccessSize::U8,
+            spec: false,
+        }),
+        3 => Insn::new(Op::Lfetch {
+            base: Gr(rng.range_u64(1, 120) as u8),
+            post_inc: rng.range_i64(0, 128),
+        }),
+        _ => {
+            let d = rng.range_u64(2, 120) as u8;
+            Insn::new(Op::Fma {
+                d: isa::Fr(d),
+                a: isa::Fr(rng.range_u64(2, 120) as u8),
+                b: isa::Fr(rng.range_u64(2, 120) as u8),
+                c: isa::Fr(d),
+            })
+        }
+    }
+}
+
+fn arb_insns(rng: &mut Rng64, lo: u64, hi: u64) -> Vec<Insn> {
+    let n = rng.range_u64(lo, hi);
+    (0..n).map(|_| arb_insn(rng)).collect()
+}
+
+/// Every instruction sequence the assembler accepts survives packing:
+/// the program contains exactly the input instructions, in order, with
+/// only nops interleaved.
+#[test]
+fn assembler_preserves_instruction_order() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA55E_3B1E, case);
+        let insns = arb_insns(&mut rng, 1, 40);
         let mut a = Asm::new();
         for i in &insns {
             a.emit(*i);
@@ -47,54 +83,69 @@ proptest! {
             .filter(|i| !i.is_nop() && !matches!(i.op, Op::Halt))
             .copied()
             .collect();
-        prop_assert_eq!(emitted, insns);
+        assert_eq!(emitted, insns, "case {case}");
     }
+}
 
-    /// Bundle packing always produces a template whose slot kinds match
-    /// the placed instructions.
-    #[test]
-    fn packed_bundles_are_template_consistent(insns in prop::collection::vec(arb_insn(), 1..3)) {
+/// Bundle packing always produces a template whose slot kinds match the
+/// placed instructions.
+#[test]
+fn packed_bundles_are_template_consistent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x7E3A_91D2, case);
+        let insns = arb_insns(&mut rng, 1, 3);
         if let Some(b) = Bundle::pack(&insns) {
             let kinds = b.template.kinds();
             for (i, slot) in b.slots.iter().enumerate() {
-                prop_assert_eq!(slot.op.slot_kind(), kinds[i]);
+                assert_eq!(slot.op.slot_kind(), kinds[i], "case {case} slot {i}");
             }
         }
     }
+}
 
-    /// Memory reads return exactly what was written, at every size.
-    #[test]
-    fn memory_round_trips(
-        offset in 0u64..3000,
-        value: u64,
-        size in prop::sample::select(vec![1u64, 2, 4, 8]),
-    ) {
+/// Memory reads return exactly what was written, at every size.
+#[test]
+fn memory_round_trips() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x11AA_22BB, case);
+        let offset = rng.below(3000);
+        let value = rng.next_u64();
+        let size = *rng.choose(&[1u64, 2, 4, 8]);
         let mut m = Memory::new(8192);
         let base = m.alloc(4096, 64);
         m.write(base + offset, size, value);
         let mask = if size == 8 { u64::MAX } else { (1 << (8 * size)) - 1 };
-        prop_assert_eq!(m.read(base + offset, size), value & mask);
+        assert_eq!(m.read(base + offset, size), value & mask, "case {case}");
     }
+}
 
-    /// A line just filled always probes present; a cache never reports
-    /// more than `ways` distinct lines per set.
-    #[test]
-    fn cache_fill_then_probe(addrs in prop::collection::vec(0u64..(1 << 24), 1..200)) {
+/// A line just filled always probes present; a cache never reports more
+/// than `ways` distinct lines per set.
+#[test]
+fn cache_fill_then_probe() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xCAC4_E001, case);
+        let n = rng.range_u64(1, 200);
         let mut c = Cache::new("t", 4096, 64, 4);
-        for &a in &addrs {
+        for _ in 0..n {
+            let a = rng.below(1 << 24);
             c.fill(a);
-            prop_assert!(c.probe(a), "a freshly filled line must be present");
+            assert!(c.probe(a), "case {case}: a freshly filled line must be present");
         }
     }
+}
 
-    /// LRU: within one set, the most recently touched `ways` lines are
-    /// all retained.
-    #[test]
-    fn cache_retains_most_recent_ways(tags in prop::collection::vec(0u64..32, 8..64)) {
+/// LRU: within one set, the most recently touched `ways` lines are all
+/// retained.
+#[test]
+fn cache_retains_most_recent_ways() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xCAC4_E002, case);
         let ways = 4usize;
         // One-set cache: 64-byte lines, 4 ways, 256 bytes.
         let mut c = Cache::new("t", 256, 64, ways);
-        let line = |t: u64| t * 64 * 1; // all map to set 0 (1 set)
+        let line = |t: u64| t * 64; // all map to set 0 (1 set)
+        let tags: Vec<u64> = (0..rng.range_u64(8, 64)).map(|_| rng.below(32)).collect();
         for &t in &tags {
             c.fill(line(t));
         }
@@ -109,31 +160,37 @@ proptest! {
             }
         }
         for &t in &seen {
-            prop_assert!(c.probe(line(t)), "recently used tag {t} evicted");
+            assert!(c.probe(line(t)), "case {case}: recently used tag {t} evicted");
         }
     }
+}
 
-    /// CmpOp semantics agree with Rust's operators.
-    #[test]
-    fn cmp_matches_rust(a: i64, b: i64) {
-        prop_assert_eq!(CmpOp::Eq.eval(a, b), a == b);
-        prop_assert_eq!(CmpOp::Ne.eval(a, b), a != b);
-        prop_assert_eq!(CmpOp::Lt.eval(a, b), a < b);
-        prop_assert_eq!(CmpOp::Le.eval(a, b), a <= b);
-        prop_assert_eq!(CmpOp::Gt.eval(a, b), a > b);
-        prop_assert_eq!(CmpOp::Ge.eval(a, b), a >= b);
-        prop_assert_eq!(CmpOp::Ltu.eval(a, b), (a as u64) < (b as u64));
+/// CmpOp semantics agree with Rust's operators.
+#[test]
+fn cmp_matches_rust() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xC0DE_CA5E, case);
+        let a = rng.next_u64() as i64;
+        let b = if rng.bool() { rng.next_u64() as i64 } else { a };
+        assert_eq!(CmpOp::Eq.eval(a, b), a == b, "case {case}");
+        assert_eq!(CmpOp::Ne.eval(a, b), a != b, "case {case}");
+        assert_eq!(CmpOp::Lt.eval(a, b), a < b, "case {case}");
+        assert_eq!(CmpOp::Le.eval(a, b), a <= b, "case {case}");
+        assert_eq!(CmpOp::Gt.eval(a, b), a > b, "case {case}");
+        assert_eq!(CmpOp::Ge.eval(a, b), a >= b, "case {case}");
+        assert_eq!(CmpOp::Ltu.eval(a, b), (a as u64) < (b as u64), "case {case}");
     }
+}
 
-    /// The machine computes strided sums correctly for arbitrary strides
-    /// and trip counts (functional correctness of the interpreter).
-    #[test]
-    fn machine_computes_strided_sums(
-        trip in 1i64..200,
-        stride_lines in 1i64..4,
-        seed: u64,
-    ) {
-        let stride = stride_lines * 64;
+/// The machine computes strided sums correctly for arbitrary strides
+/// and trip counts (functional correctness of the interpreter).
+#[test]
+fn machine_computes_strided_sums() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x5724_1DE5, case);
+        let trip = rng.range_i64(1, 200);
+        let stride = rng.range_i64(1, 4) * 64;
+        let seed = rng.next_u64();
         let mut a = Asm::new();
         a.movl(Gr(14), 0x1000_0000);
         a.movl(Gr(9), trip);
@@ -154,13 +211,17 @@ proptest! {
             expected = expected.wrapping_add(v);
         }
         m.run(u64::MAX);
-        prop_assert_eq!(m.gr(Gr(21)) as u64, expected);
+        assert_eq!(m.gr(Gr(21)) as u64, expected, "case {case}");
     }
+}
 
-    /// Pattern classification recovers the exact stride of any direct
-    /// post-increment walk.
-    #[test]
-    fn classifier_recovers_arbitrary_strides(stride in 1i64..4096) {
+/// Pattern classification recovers the exact stride of any direct
+/// post-increment walk.
+#[test]
+fn classifier_recovers_arbitrary_strides() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xC1A5_51FE, case);
+        let stride = rng.range_i64(1, 4096);
         let mut a = Asm::new();
         a.label("l");
         a.ld(AccessSize::U8, Gr(20), Gr(14), stride);
@@ -188,21 +249,25 @@ proptest! {
             }
         }
         match adore::classify(&trace, pos.unwrap()) {
-            Ok(adore::Pattern::Direct { stride: s, .. }) => prop_assert_eq!(s, stride),
-            other => prop_assert!(false, "expected direct, got {:?}", other),
+            Ok(adore::Pattern::Direct { stride: s, .. }) => {
+                assert_eq!(s, stride, "case {case}")
+            }
+            other => panic!("case {case}: expected direct, got {other:?}"),
         }
     }
+}
 
-    /// The runtime prefetch scheduler never loses or reorders program
-    /// instructions, and the back edge stays a branch, for arbitrary
-    /// direct-walk loop bodies.
-    #[test]
-    fn prefetch_scheduling_preserves_program_instructions(
-        n_loads in 1usize..4,
-        extra_adds in 0usize..6,
-        stride in prop::sample::select(vec![8i64, 64, 128, 264, 512]),
-        latency in 20f64..300.0,
-    ) {
+/// The runtime prefetch scheduler never loses or reorders program
+/// instructions, and the back edge stays a branch, for arbitrary
+/// direct-walk loop bodies.
+#[test]
+fn prefetch_scheduling_preserves_program_instructions() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x5C4E_D01E, case);
+        let n_loads = rng.range_u64(1, 4) as usize;
+        let extra_adds = rng.below(6) as usize;
+        let stride = *rng.choose(&[8i64, 64, 128, 264, 512]);
+        let latency = 20.0 + rng.f64() * 280.0;
         let mut a = Asm::new();
         a.label("loop");
         for i in 0..n_loads {
@@ -273,17 +338,21 @@ proptest! {
             })
             .copied()
             .collect();
-        prop_assert_eq!(after, original);
+        assert_eq!(after, original, "case {case}");
         // The back edge is still a branch.
         let (bi, si) = opt.back_edge;
-        prop_assert!(opt.body[bi].slots[si as usize].op.is_branch());
+        assert!(opt.body[bi].slots[si as usize].op.is_branch(), "case {case}");
         // Streams were deduplicated: at most one per distinct base.
-        prop_assert!(opt.stats.direct <= n_loads);
+        assert!(opt.stats.direct <= n_loads, "case {case}");
     }
+}
 
-    /// Binary encoding round-trips arbitrary packed programs.
-    #[test]
-    fn encoding_round_trips(insns in prop::collection::vec(arb_insn(), 1..60)) {
+/// Binary encoding round-trips arbitrary packed programs.
+#[test]
+fn encoding_round_trips() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xE2C0_DE00, case);
+        let insns = arb_insns(&mut rng, 1, 60);
         let mut a = Asm::new();
         for i in &insns {
             a.emit(*i);
@@ -292,23 +361,54 @@ proptest! {
         let p = a.finish(CODE_BASE).unwrap();
         let bytes = isa::encode_program(&p);
         let q = isa::decode_program(&bytes).unwrap();
-        prop_assert_eq!(p.bundles(), q.bundles());
-        prop_assert_eq!(p.entry(), q.entry());
+        assert_eq!(p.bundles(), q.bundles(), "case {case}");
+        assert_eq!(p.entry(), q.entry(), "case {case}");
     }
+}
 
-    /// Decoding arbitrary garbage never panics.
-    #[test]
-    fn decoding_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+/// Decoding arbitrary garbage never panics.
+#[test]
+fn decoding_garbage_never_panics() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xDEC0_DE00, case);
+        let len = rng.below(512) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = isa::decode_program(&bytes);
     }
+}
 
-    /// Addresses always bundle-align downward.
-    #[test]
-    fn addresses_bundle_align(addr: u64) {
+/// Decoding a *mutated* valid program never panics either (more
+/// structure than pure garbage: valid headers, corrupt payloads).
+#[test]
+fn decoding_mutated_programs_never_panics() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xDEC0_DE01, case);
+        let insns = arb_insns(&mut rng, 1, 20);
+        let mut a = Asm::new();
+        for i in &insns {
+            a.emit(*i);
+        }
+        a.halt();
+        let p = a.finish(CODE_BASE).unwrap();
+        let mut bytes = isa::encode_program(&p);
+        for _ in 0..rng.range_u64(1, 8) {
+            let at = rng.below(bytes.len() as u64) as usize;
+            bytes[at] = rng.next_u64() as u8;
+        }
+        let _ = isa::decode_program(&bytes);
+    }
+}
+
+/// Addresses always bundle-align downward.
+#[test]
+fn addresses_bundle_align() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xA11C_4ED5, case);
+        let addr = rng.next_u64();
         let a = Addr(addr).bundle_align();
-        prop_assert_eq!(a.0 % 16, 0);
-        prop_assert!(a.0 <= addr);
-        prop_assert!(addr - a.0 < 16);
+        assert_eq!(a.0 % 16, 0, "case {case}");
+        assert!(a.0 <= addr, "case {case}");
+        assert!(addr - a.0 < 16, "case {case}");
     }
 }
 

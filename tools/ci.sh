@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# The tier-1 gate, runnable fully offline (the workspace has zero
+# external dependencies — see README.md "Zero-dependency policy").
+#
+#   tools/ci.sh
+#
+# Steps:
+#   1. release build of every crate, warnings denied
+#   2. full test suite (unit + integration + doc tests)
+#   3. one smoke experiment + one smoke microbenchmark, each of which
+#      must emit schema-valid JSON under results/
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-D warnings"
+export CARGO_NET_OFFLINE="true"
+
+echo "== build (release, -D warnings) =="
+cargo build --release --workspace --benches
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== smoke: fig7 --quick =="
+cargo run --release -q -p adore-bench --bin fig7 -- --quick
+
+echo "== smoke: bench simulator --quick =="
+cargo bench -q -p adore-bench --bench simulator -- --quick
+
+echo "== validate JSON reports =="
+for f in results/fig7.json results/bench_simulator.json; do
+    [ -f "$f" ] || { echo "missing report: $f" >&2; exit 1; }
+    python3 -m json.tool "$f" > /dev/null
+    python3 - "$f" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, "schema_version must be 1"
+assert "tool" in doc and "generated_unix_s" in doc, "missing envelope keys"
+print(f"  ok: {sys.argv[1]} (tool={doc['tool']})")
+EOF
+done
+
+echo "CI gate passed."
