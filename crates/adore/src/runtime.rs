@@ -128,6 +128,15 @@ pub struct RunReport {
     pub promoted: usize,
 }
 
+// Run state crosses thread boundaries in the parallel experiment
+// engine: configs are cloned into worker cells and reports travel back
+// through the merged result slots. Keep both `Send` by construction.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<AdoreConfig>();
+    assert_send::<RunReport>();
+};
+
 impl ToJson for TimePoint {
     fn to_json(&self) -> Json {
         Json::object()
@@ -463,6 +472,7 @@ mod tests {
             buffer_capacity: 50,
             per_sample_cost: 100,
             jitter: 0.3,
+            ..Default::default()
         };
         c
     }
@@ -510,6 +520,7 @@ mod tests {
             buffer_capacity: 50,
             per_sample_cost: 150,
             jitter: 0.3,
+            ..Default::default()
         };
         let (report, cycles) = run_workload(&config, 40_016);
         assert_eq!(report.traces_patched, 0);

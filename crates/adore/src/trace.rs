@@ -371,6 +371,7 @@ mod tests {
             buffer_capacity: 64,
             per_sample_cost: 0,
             jitter: 0.3,
+            ..Default::default()
         });
         let mut m = Machine::new(program.clone(), cfg);
         if arena > 0 {

@@ -37,6 +37,7 @@ fn profiled() -> (isa::Program, UserEventBuffer) {
         buffer_capacity: 100,
         per_sample_cost: 0,
         jitter: 0.3,
+        ..Default::default()
     });
     let mut m = Machine::new(program.clone(), cfg);
     m.mem_mut().alloc(20_016 * 64, 64);

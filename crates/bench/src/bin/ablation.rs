@@ -2,81 +2,40 @@
 //! happens to representative benchmarks when individual mechanisms are
 //! switched off (or, for the §6 instrumentation extension, on).
 //!
-//! Emits `results/ablation.json` alongside the printed table.
+//! Emits `results/ablation.json` alongside the printed table: one
+//! report section of comparison rows per variant, keyed by variant.
 //!
-//! Usage: `ablation [--quick]`
+//! Usage: `ablation [--quick] [--jobs N]`
 
-use adore::AdoreConfig;
 use bench_harness::*;
 use compiler::CompileOptions;
-use obs::Json;
-use sim::MachineConfig;
-use workloads::Workload;
 
-fn speedup(w: &Workload, config: &AdoreConfig, mcfg: MachineConfig) -> f64 {
-    let bin = build(w, &CompileOptions::o2());
-    let mut base = w.prepare(&bin, mcfg.clone());
-    base.run_to_halt();
-    let mut m = w.prepare(&bin, config.machine_config(mcfg));
-    let report = adore::run(&mut m, config);
-    speedup_pct(base.cycles(), report.cycles)
-}
+const BENCHES: [&str; 4] = ["mcf", "art", "swim", "lucas"];
+
+const VARIANTS: [(&str, &str, fn(&mut Cell)); 7] = [
+    ("full", "full system", |_| {}),
+    ("no_jitter", "no sampling-period jitter", |c| c.adore.sampling.jitter = 0.0),
+    ("no_pointer", "no pointer-chase prefetching", |c| c.adore.prefetch.enable_pointer = false),
+    ("no_indirect", "no indirect prefetching", |c| c.adore.prefetch.enable_indirect = false),
+    ("no_direct", "no direct prefetching", |c| c.adore.prefetch.enable_direct = false),
+    ("no_bw_cap", "no memory-bandwidth cap", |c| c.machine.cache.mem_service_interval = 0),
+    ("instrumentation", "+ runtime instrumentation (§6)", |c| c.adore.instrument_unanalyzable = true),
+];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
-    let suite = workloads::suite(scale);
-    let by = |n: &str| suite.iter().find(|w| w.name == n).unwrap();
-
+    let cli = cli::parse();
+    let mut spec = ExperimentSpec::paper_defaults("ablation", &cli);
+    for (key, _, tweak) in VARIANTS {
+        spec = spec.section_with(key, &BENCHES, CompileOptions::o2(), Measure::Comparison, tweak);
+    }
+    let result = spec.run();
     println!("== Ablation of design choices (speedup % under O2 + ADORE) ==\n");
     println!("{:<34} {:>8} {:>8} {:>8} {:>8}", "configuration", "mcf", "art", "swim", "lucas");
-
-    let mut rows = Json::array();
-    let mut row = |label: &str, config: &AdoreConfig, mcfg: MachineConfig| {
-        let names = ["mcf", "art", "swim", "lucas"];
-        let vals: Vec<f64> = names.iter().map(|n| speedup(by(n), config, mcfg.clone())).collect();
-        println!(
-            "{:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
-            label, vals[0], vals[1], vals[2], vals[3]
-        );
-        let mut speedups = Json::object();
-        for (n, v) in names.iter().zip(&vals) {
-            speedups.set(n, *v);
-        }
-        rows.push(Json::object().with("configuration", label).with("speedup_pct", speedups));
-    };
-
-    let full = experiment_adore_config();
-    row("full system", &full, experiment_machine_config());
-
-    let mut c = experiment_adore_config();
-    c.sampling.jitter = 0.0;
-    row("no sampling-period jitter", &c, experiment_machine_config());
-
-    let mut c = experiment_adore_config();
-    c.prefetch.enable_pointer = false;
-    row("no pointer-chase prefetching", &c, experiment_machine_config());
-
-    let mut c = experiment_adore_config();
-    c.prefetch.enable_indirect = false;
-    row("no indirect prefetching", &c, experiment_machine_config());
-
-    let mut c = experiment_adore_config();
-    c.prefetch.enable_direct = false;
-    row("no direct prefetching", &c, experiment_machine_config());
-
-    let mut mcfg = experiment_machine_config();
-    mcfg.cache.mem_service_interval = 0;
-    row("no memory-bandwidth cap", &full, mcfg);
-
-    let mut c = experiment_adore_config();
-    c.instrument_unanalyzable = true;
-    row("+ runtime instrumentation (§6)", &c, experiment_machine_config());
-
-    let mut report = experiment_report("ablation", &args, scale);
-    report.set("rows", rows);
-    report.save().expect("write results/ablation.json");
-
+    for (key, label, _) in VARIANTS {
+        let v: Vec<f64> = result.rows(key).iter().map(|r| jf(r, "speedup_pct")).collect();
+        println!("{label:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%", v[0], v[1], v[2], v[3]);
+    }
+    result.save().expect("write results/ablation.json");
     println!(
         "\nReading the rows: each pattern toggle hits the benchmark that\n\
          depends on it (mcf=pointer, art=indirect+direct, swim=direct).\n\

@@ -5,65 +5,35 @@
 //!
 //! Emits `results/breakdown.json` alongside the printed table.
 //!
-//! Usage: `breakdown [--quick]`
+//! Usage: `breakdown [--quick] [--jobs N]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
 use obs::Json;
-use sim::Counters;
 
-fn pct(part: u64, total: u64) -> f64 {
-    100.0 * part as f64 / total.max(1) as f64
-}
-
-fn row(label: &str, c: &Counters, cycles: u64) {
-    let accounted =
-        c.stall_mem + c.stall_fp + c.stall_branch + c.stall_icache + c.overhead_cycles;
+fn print_side(label: &str, s: &Json) {
     println!(
-        "  {label:<8} {cycles:>13} cycles | mem {:>5.1}% | fp {:>4.1}% | br {:>4.1}% | i$ {:>4.1}% | ovh {:>4.1}% | busy {:>5.1}%",
-        pct(c.stall_mem, cycles),
-        pct(c.stall_fp, cycles),
-        pct(c.stall_branch, cycles),
-        pct(c.stall_icache, cycles),
-        pct(c.overhead_cycles, cycles),
-        pct(cycles.saturating_sub(accounted), cycles),
+        "  {label:<8} {:>13} cycles | mem {:>5.1}% | fp {:>4.1}% | br {:>4.1}% | i$ {:>4.1}% | ovh {:>4.1}% | busy {:>5.1}%",
+        ju(s, "cycles"), jf(s, "mem_stall_pct"), jf(s, "fp_stall_pct"), jf(s, "branch_stall_pct"),
+        jf(s, "icache_stall_pct"), jf(s, "overhead_pct"), jf(s, "busy_pct"),
     );
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
-    let suite = workloads::suite(scale);
-    let config = experiment_adore_config();
-
+    let cli = cli::parse();
+    let result = ExperimentSpec::paper_defaults("breakdown", &cli)
+        .section("rows", &PAPER_ORDER, CompileOptions::o2(), Measure::Breakdown)
+        .run();
     println!("== Cycle breakdown (workload characterization, §2.1) ==");
-    let side = |c: &Counters, cycles: u64| {
-        let accounted =
-            c.stall_mem + c.stall_fp + c.stall_branch + c.stall_icache + c.overhead_cycles;
-        Json::object()
-            .with("cycles", cycles)
-            .with("counters", c)
-            .with("mem_stall_pct", pct(c.stall_mem, cycles))
-            .with("busy_pct", pct(cycles.saturating_sub(accounted), cycles))
-    };
-    let mut rows = Json::array();
-    for name in PAPER_ORDER {
-        let w = suite.iter().find(|w| w.name == name).expect("known workload");
-        let bin = build(w, &CompileOptions::o2());
-        println!("{name}:");
-        let mut base = w.prepare(&bin, experiment_machine_config());
-        base.run_to_halt();
-        row("O2", &base.pmu().counters, base.cycles());
-        let (report, m) = run_adore_with_machine(w, &bin, &config);
-        row("+ADORE", &m.pmu().counters, report.cycles);
-        rows.push(
-            Json::object()
-                .with("bench", name)
-                .with("o2", side(&base.pmu().counters, base.cycles()))
-                .with("adore", side(&m.pmu().counters, report.cycles)),
-        );
+    for r in result.rows("rows") {
+        println!("{}:", js(r, "bench"));
+        match je(r) {
+            Some(e) => println!("  ERROR: {e}"),
+            None => {
+                print_side("O2", r.get("o2").expect("o2 side"));
+                print_side("+ADORE", r.get("adore").expect("adore side"));
+            }
+        }
     }
-    let mut report = experiment_report("breakdown", &args, scale);
-    report.set("rows", rows);
-    report.save().expect("write results/breakdown.json");
+    result.save().expect("write results/breakdown.json");
 }

@@ -2,139 +2,51 @@
 //!
 //! Emits `results/diag.json` alongside the printed trace.
 //!
-//! Usage: `diag [workload ...] [--quick] [--profile] [--adore]`
+//! Usage: `diag [workload ...] [--quick] [--profile] [--adore]
+//!              [--no-pointer] [--no-direct] [--jobs N]`
 
-use adore::{PhaseDecision, PhaseDetector};
 use bench_harness::*;
 use compiler::CompileOptions;
 use obs::Json;
-use perfmon::{Perfmon, UserEventBuffer};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
-    let picks: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
-    let suite = workloads::suite(scale);
-    let config = experiment_adore_config();
-    let mut entries = Json::array();
-
-    for w in &suite {
-        if !picks.is_empty() && !picks.contains(&w.name) {
-            continue;
-        }
-        println!("=== {} ===", w.name);
-        let bin = build(w, &CompileOptions::o2());
-        let mcfg = config.machine_config(experiment_machine_config());
-        let mut m = w.prepare(&bin, mcfg);
-        let mut pm = Perfmon::new(config.perfmon.clone());
-        let mut detector = PhaseDetector::new(config.phase.clone());
-        let mut decisions: Vec<String> = Vec::new();
-        let mut window_stats: Vec<(f64, f64, f64)> = Vec::new();
-        pm.run_with_windows(&mut m, |_, w, ueb: &UserEventBuffer| {
-            window_stats.push((w.cpi, w.dpi * 1000.0, w.pc_center));
-            let d = detector.evaluate(ueb);
-            decisions.push(match d {
-                PhaseDecision::Unstable => "U".into(),
-                PhaseDecision::Stable(s) => format!("S(cpi={:.2},dpi{:.2}/k)", s.cpi, s.dpi * 1000.0),
-                PhaseDecision::InTracePool(_) => "P".into(),
-                PhaseDecision::LowMissRate => "L".into(),
-            });
-        });
-        println!("cycles={} windows={}", m.cycles(), window_stats.len());
-        let count = |tag: char| decisions.iter().filter(|d| d.starts_with(tag)).count();
-        let mut entry = Json::object()
-            .with("workload", w.name)
-            .with("cycles", m.cycles())
-            .with("windows", window_stats.len())
-            .with(
-                "decisions",
-                Json::object()
-                    .with("unstable", count('U'))
-                    .with("stable", count('S'))
-                    .with("in_trace_pool", count('P'))
-                    .with("low_miss_rate", count('L')),
-            );
-        for (i, ((cpi, dpk, pc), d)) in window_stats.iter().zip(&decisions).enumerate() {
-            if i < 24 || d.starts_with('S') {
-                println!(
-                    "  w{i:>3}: cpi={cpi:>6.2} dear/kinsn={dpk:>7.3} pc={pc:>14.0} -> {d}"
-                );
-            }
-        }
-        if args.iter().any(|a| a == "--profile") {
-            // Aggregate a miss profile over the whole run and print it.
-            let bin2 = build(w, &CompileOptions::o2());
-            let mcfg2 = config.machine_config(experiment_machine_config());
-            let mut m2 = w.prepare(&bin2, mcfg2);
-            let mut pm2 = perfmon::Perfmon::new(config.perfmon.clone());
-            let mut all_samples: Vec<sim::Sample> = Vec::new();
-            pm2.run_with_windows(&mut m2, |_, w, _| {
-                all_samples.extend(w.samples.iter().cloned());
-            });
-            let profile = perfmon::MissProfile::from_samples(all_samples.iter());
-            entry.set("profile", &profile);
-            println!("miss profile: {} entries, total latency {}", profile.entries().len(), profile.total_latency());
-            for e in profile.entries().iter().take(16) {
-                let name = bin2
-                    .loop_containing(isa::Addr(e.addr))
-                    .map(|l| l.name.as_str())
-                    .unwrap_or("?");
-                println!(
-                    "  pc={:#x}+{} `{}` count={} total_lat={} avg={:.0}",
-                    e.addr, e.slot, name, e.count, e.total_latency,
-                    e.total_latency as f64 / e.count as f64
-                );
-            }
-        }
-        if args.iter().any(|a| a == "--adore") {
-            let mut config = config.clone();
-            if args.iter().any(|a| a == "--no-pointer") {
-                config.prefetch.enable_pointer = false;
-            }
-            if args.iter().any(|a| a == "--no-direct") {
-                config.prefetch.enable_direct = false;
-            }
-            let bin2 = build(w, &CompileOptions::o2());
-            let mcfg2 = config.machine_config(experiment_machine_config());
-            let mut m2 = w.prepare(&bin2, mcfg2);
-            let report = adore::run(&mut m2, &config);
-            entry.set("adore", Json::object().with("run", &report).with("caches", m2.caches()));
-            let (lf_issued, lf_dropped) = m2.caches().lfetch_stats();
-            println!(
-                "ADORE: cycles={} patched={} phases={} stats={:?} lfetch={}/{} dropped",
-                report.cycles, report.traces_patched, report.phases_optimized, report.stats,
-                lf_dropped, lf_issued
-            );
-            for (pc, reason) in &report.skips {
-                let loop_name = bin2
-                    .loop_containing(pc.addr)
-                    .map(|l| l.name.as_str())
-                    .unwrap_or("?");
-                println!("  skip {pc} in `{loop_name}`: {reason:?}");
-            }
-            for e in &report.events {
-                println!("  opt-event at {} cycles:", e.at_cycles);
-                for (start, is_loop, len, loads, ins) in &e.traces {
-                    let name = bin2
-                        .loop_containing(*start)
-                        .map(|l| l.name.as_str())
-                        .unwrap_or("?");
-                    println!(
-                        "    trace@{start} `{name}` loop={is_loop} bundles={len} loads={loads} inserted={ins:?}"
-                    );
-                }
-            }
-            for t in report.timeline.iter().step_by(4) {
-                println!("  t={:>12} cpi={:>6.2} dear/kinsn={:>7.3}", t.cycles, t.cpi, t.dear_per_kinsn);
-            }
-        }
-        entries.push(entry);
+fn print_lines(r: &Json, key: &str) {
+    for l in r.get(key).and_then(Json::as_array).unwrap_or(&[]) {
+        println!("{}", l.as_str().unwrap_or(""));
     }
-    let mut out = experiment_report("diag", &args, scale);
-    out.set("workloads", entries);
-    out.save().expect("write results/diag.json");
 }
 
-// Appended: deep-dive ADORE run report (invoked for each selected
-// workload after the phase trace when --adore is passed).
+fn main() {
+    let cli = cli::parse();
+    let names: Vec<&'static str> = PAPER_ORDER
+        .iter()
+        .copied()
+        .filter(|n| cli.picks.is_empty() || cli.picks.iter().any(|p| p == n))
+        .collect();
+    let measure =
+        Measure::Diag { profile: cli.flag("--profile"), adore: cli.flag("--adore") };
+    let (no_ptr, no_dir) = (cli.flag("--no-pointer"), cli.flag("--no-direct"));
+    let result = ExperimentSpec::paper_defaults("diag", &cli)
+        .section_with("workloads", &names, CompileOptions::o2(), measure, move |c| {
+            c.adore.prefetch.enable_pointer &= !no_ptr;
+            c.adore.prefetch.enable_direct &= !no_dir;
+        })
+        .run();
+    for r in result.rows("workloads") {
+        let name = r.get("workload").or_else(|| r.get("bench")).and_then(Json::as_str);
+        println!("=== {} ===", name.unwrap_or("?"));
+        if let Some(e) = je(r) {
+            println!("ERROR: {e}");
+            continue;
+        }
+        println!("cycles={} windows={}", ju(r, "cycles"), ju(r, "windows"));
+        print_lines(r, "lines");
+        if let Some(p) = r.get("profile") {
+            println!("miss profile: {} entries, total latency {}",
+                p.get("entries").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0),
+                ju(p, "total_latency"));
+            print_lines(r, "profile_lines");
+        }
+        print_lines(r, "adore_lines");
+    }
+    result.save().expect("write results/diag.json");
+}

@@ -5,39 +5,26 @@
 //!
 //! Emits `results/fig10.json` alongside the printed table.
 //!
-//! Usage: `fig10 [--quick]`
+//! Usage: `fig10 [--quick] [--jobs N]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
-use obs::Json;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
-    let suite = workloads::suite(scale);
-
+    let cli = cli::parse();
+    let result = ExperimentSpec::paper_defaults("fig10", &cli)
+        .section("rows", &PAPER_ORDER, CompileOptions::o2(),
+            Measure::CompareCompile(Box::new(CompileOptions::o2_original())))
+        .run();
     println!("== Fig. 10: original O2 (SWP, no reservation) vs restricted O2 ==");
-    println!(
-        "{:<10} {:>16} {:>16} {:>10}  (paper: >3% only for equake, mcf, facerec, swim)",
-        "bench", "restricted O2", "original O2", "speedup%"
-    );
-    let mut rows = Json::array();
-    for name in PAPER_ORDER {
-        let w = suite.iter().find(|w| w.name == name).expect("known workload");
-        let restricted = build(w, &CompileOptions::o2());
-        let original = build(w, &CompileOptions::o2_original());
-        let rc = run_plain(w, &restricted);
-        let oc = run_plain(w, &original);
-        println!("{:<10} {:>16} {:>16} {:>9.1}%", name, rc, oc, speedup_pct(rc, oc));
-        rows.push(
-            Json::object()
-                .with("bench", name)
-                .with("restricted_cycles", rc)
-                .with("original_cycles", oc)
-                .with("speedup_pct", speedup_pct(rc, oc)),
-        );
+    println!("{:<10} {:>16} {:>16} {:>10}  (paper: >3% only for equake, mcf, facerec, swim)",
+        "bench", "restricted O2", "original O2", "speedup%");
+    for r in result.rows("rows") {
+        match je(r) {
+            Some(e) => println!("{:<10} ERROR: {e}", js(r, "bench")),
+            None => println!("{:<10} {:>16} {:>16} {:>9.1}%", js(r, "bench"),
+                ju(r, "restricted_cycles"), ju(r, "original_cycles"), jf(r, "speedup_pct")),
+        }
     }
-    let mut report = experiment_report("fig10", &args, scale);
-    report.set("rows", rows);
-    report.save().expect("write results/fig10.json");
+    result.save().expect("write results/fig10.json");
 }

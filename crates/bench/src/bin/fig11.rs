@@ -4,42 +4,25 @@
 //!
 //! Emits `results/fig11.json` alongside the printed table.
 //!
-//! Usage: `fig11 [--quick]`
+//! Usage: `fig11 [--quick] [--jobs N]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
-use obs::Json;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
-    let suite = workloads::suite(scale);
-    let mut config = experiment_adore_config();
-    config.insert_prefetches = false;
-
+    let cli = cli::parse();
+    let result = ExperimentSpec::paper_defaults("fig11", &cli)
+        .section("rows", &PAPER_ORDER, CompileOptions::o2(), Measure::Overhead)
+        .run();
     println!("== Fig. 11: overhead of runtime machinery without prefetch insertion ==");
-    println!(
-        "{:<10} {:>14} {:>22} {:>10}  (paper: 1-2% overhead)",
-        "bench", "O2 cycles", "O2+sampling cycles", "overhead%"
-    );
-    let mut rows = Json::array();
-    for name in PAPER_ORDER {
-        let w = suite.iter().find(|w| w.name == name).expect("known workload");
-        let bin = build(w, &CompileOptions::o2());
-        let base = run_plain(w, &bin);
-        let report = run_adore(w, &bin, &config);
-        let overhead = (report.cycles as f64 / base as f64 - 1.0) * 100.0;
-        println!("{:<10} {:>14} {:>22} {:>9.2}%", name, base, report.cycles, overhead);
-        rows.push(
-            Json::object()
-                .with("bench", name)
-                .with("o2_cycles", base)
-                .with("sampling_cycles", report.cycles)
-                .with("overhead_pct", overhead)
-                .with("windows", report.windows),
-        );
+    println!("{:<10} {:>14} {:>22} {:>10}  (paper: 1-2% overhead)",
+        "bench", "O2 cycles", "O2+sampling cycles", "overhead%");
+    for r in result.rows("rows") {
+        match je(r) {
+            Some(e) => println!("{:<10} ERROR: {e}", js(r, "bench")),
+            None => println!("{:<10} {:>14} {:>22} {:>9.2}%", js(r, "bench"),
+                ju(r, "o2_cycles"), ju(r, "sampling_cycles"), jf(r, "overhead_pct")),
+        }
     }
-    let mut report = experiment_report("fig11", &args, scale);
-    report.set("rows", rows);
-    report.save().expect("write results/fig11.json");
+    result.save().expect("write results/fig11.json");
 }

@@ -3,60 +3,41 @@
 //!
 //! Emits `results/fig7.json` alongside the printed table.
 //!
-//! Usage: `fig7 [a|b|both] [--quick]`
+//! Usage: `fig7 [a|b|both] [--quick] [--jobs N]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
-use obs::Json;
-
-fn run_part(part: char, scale: f64) -> Json {
-    let base_opts = match part {
-        'a' => CompileOptions::o2(),
-        _ => CompileOptions::o3(),
-    };
-    let paper: fn(&str) -> f64 = match part {
-        'a' => paper_fig7a,
-        _ => paper_fig7b,
-    };
-    println!("== Fig. 7({part}): {} + runtime prefetching ==", if part == 'a' { "O2" } else { "O3" });
-    println!(
-        "{:<10} {:>14} {:>14} {:>10} {:>10}  {:>8} {:>8}",
-        "bench", "base cycles", "adore cycles", "speedup%", "paper%", "patched", "phases"
-    );
-    let suite = workloads::suite(scale);
-    let mut rows = Json::array();
-    for name in PAPER_ORDER {
-        let w = suite.iter().find(|w| w.name == name).expect("known workload");
-        let bin = build(w, &base_opts);
-        let (base, base_machine) = run_plain_with_machine(w, &bin);
-        let (report, adore_machine) = run_adore_with_machine(w, &bin, &experiment_adore_config());
-        let s = speedup_pct(base, report.cycles);
-        println!(
-            "{:<10} {:>14} {:>14} {:>9.1}% {:>9.1}%  {:>8} {:>8}",
-            name, base, report.cycles, s, paper(name), report.traces_patched,
-            report.phases_optimized
-        );
-        rows.push(
-            comparison_row(name, base, &base_machine, &report, &adore_machine)
-                .with("paper_speedup_pct", paper(name)),
-        );
-    }
-    rows
-}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
-    let part = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("both");
-    let mut report = experiment_report("fig7", &args, scale);
-    match part {
-        "a" => report.set("part_a", run_part('a', scale)),
-        "b" => report.set("part_b", run_part('b', scale)),
-        _ => {
-            report.set("part_a", run_part('a', scale));
-            println!();
-            report.set("part_b", run_part('b', scale));
+    let cli = cli::parse();
+    let part = cli.pick().unwrap_or("both").to_string();
+    let mut spec = ExperimentSpec::paper_defaults("fig7", &cli);
+    if part != "b" {
+        spec = spec.section_with("part_a", &PAPER_ORDER, CompileOptions::o2(), Measure::Comparison,
+            |c| c.extra("paper_speedup_pct", paper_fig7a(c.workload)));
+    }
+    if part != "a" {
+        spec = spec.section_with("part_b", &PAPER_ORDER, CompileOptions::o3(), Measure::Comparison,
+            |c| c.extra("paper_speedup_pct", paper_fig7b(c.workload)));
+    }
+    let result = spec.run();
+    for (tag, key, opt) in [('a', "part_a", "O2"), ('b', "part_b", "O3")] {
+        let rows = result.rows(key);
+        if rows.is_empty() {
+            continue;
+        }
+        println!("== Fig. 7({tag}): {opt} + runtime prefetching ==");
+        println!("{:<10} {:>14} {:>14} {:>10} {:>10}  {:>8} {:>8}",
+            "bench", "base cycles", "adore cycles", "speedup%", "paper%", "patched", "phases");
+        for r in rows {
+            match je(r) {
+                Some(e) => println!("{:<10} ERROR: {e}", js(r, "bench")),
+                None => println!("{:<10} {:>14} {:>14} {:>9.1}% {:>9.1}%  {:>8} {:>8}",
+                    js(r, "bench"), ju(r, "base_cycles"), ju(r, "adore_cycles"),
+                    jf(r, "speedup_pct"), jf(r, "paper_speedup_pct"),
+                    ju(r, "traces_patched"), ju(r, "phases_optimized")),
+            }
         }
     }
-    report.save().expect("write results/fig7.json");
+    result.save().expect("write results/fig7.json");
 }

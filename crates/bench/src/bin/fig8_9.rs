@@ -4,120 +4,68 @@
 //!
 //! Emits `results/fig8_9.json` with both series per workload.
 //!
-//! Usage: `fig8_9 [art|mcf|both] [--quick] [--csv]`
+//! Usage: `fig8_9 [art|mcf|both] [--quick] [--csv] [--jobs N]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
 use obs::Json;
-use perfmon::Perfmon;
 
-fn series_without(w: &workloads::Workload) -> Vec<(u64, f64, f64)> {
-    // Sampling only (monitoring without optimization), like the paper's
-    // "No Runtime Prefetching" curves, which were also measured via the
-    // PMU.
-    let config = experiment_adore_config();
-    let bin = build(w, &CompileOptions::o2());
-    let mcfg = config.machine_config(experiment_machine_config());
-    let mut m = w.prepare(&bin, mcfg);
-    let mut pm = Perfmon::new(config.perfmon.clone());
-    let mut out = Vec::new();
-    pm.run_with_windows(&mut m, |_, win, _| {
-        let t = win.samples.last().map(|s| s.cycles).unwrap_or(0);
-        out.push((t, win.cpi, win.dear_per_kinsn));
-    });
-    out
+fn series<'a>(r: &'a Json, key: &str) -> &'a [Json] {
+    r.get(key).and_then(Json::as_array).unwrap_or(&[])
 }
 
-fn series_with(w: &workloads::Workload) -> Vec<(u64, f64, f64)> {
-    let config = experiment_adore_config();
-    let bin = build(w, &CompileOptions::o2());
-    let report = run_adore(w, &bin, &config);
-    report.timeline.iter().map(|t| (t.cycles, t.cpi, t.dear_per_kinsn)).collect()
-}
-
-fn run_one_csv(name: &str, scale: f64) {
-    let suite = workloads::suite(scale);
-    let w = suite.iter().find(|w| w.name == name).expect("known workload");
-    println!("series,cycles,cpi,dear_per_kinsn");
-    for (t, cpi, dpk) in series_without(w) {
-        println!("baseline,{t},{cpi:.4},{dpk:.4}");
-    }
-    for (t, cpi, dpk) in series_with(w) {
-        println!("adore,{t},{cpi:.4},{dpk:.4}");
-    }
-}
-
-fn run_one(name: &str, scale: f64) {
-    let suite = workloads::suite(scale);
-    let w = suite.iter().find(|w| w.name == name).expect("known workload");
+fn print_table(r: &Json) {
+    let name = js(r, "bench");
     let figure = if name == "art" { "Fig. 8 (179.art)" } else { "Fig. 9 (181.mcf)" };
     println!("== {figure}: CPI and DEAR_CACHE_LAT8/1000-instructions over time ==");
-    let without = series_without(w);
-    let with = series_with(w);
-    println!("-- no runtime prefetching --");
-    println!("{:>14} {:>8} {:>12}", "cycles", "CPI", "miss/kinsn");
-    for (t, cpi, dpk) in &without {
-        println!("{t:>14} {cpi:>8.3} {dpk:>12.3}");
+    for (label, key) in [("no", "baseline"), ("with", "adore")] {
+        println!("-- {label} runtime prefetching --");
+        println!("{:>14} {:>8} {:>12}", "cycles", "CPI", "miss/kinsn");
+        for p in series(r, key) {
+            println!("{:>14} {:>8.3} {:>12.3}", ju(p, "cycles"), jf(p, "cpi"), jf(p, "dear_per_kinsn"));
+        }
     }
-    println!("-- with runtime prefetching --");
-    println!("{:>14} {:>8} {:>12}", "cycles", "CPI", "miss/kinsn");
-    for (t, cpi, dpk) in &with {
-        println!("{t:>14} {cpi:>8.3} {dpk:>12.3}");
-    }
-    let avg = |v: &[(u64, f64, f64)], f: fn(&(u64, f64, f64)) -> f64| {
-        v.iter().map(f).sum::<f64>() / v.len().max(1) as f64
+    let avg = |key: &str, f: &str| {
+        let s = series(r, key);
+        s.iter().map(|p| jf(p, f)).sum::<f64>() / s.len().max(1) as f64
     };
-    println!(
-        "summary: CPI {:.3} -> {:.3}; miss/kinsn {:.3} -> {:.3}; end-time {} -> {} cycles",
-        avg(&without, |x| x.1),
-        avg(&with, |x| x.1),
-        avg(&without, |x| x.2),
-        avg(&with, |x| x.2),
-        without.last().map(|x| x.0).unwrap_or(0),
-        with.last().map(|x| x.0).unwrap_or(0),
-    );
+    println!("summary: CPI {:.3} -> {:.3}; miss/kinsn {:.3} -> {:.3}; end-time {} -> {} cycles",
+        avg("baseline", "cpi"), avg("adore", "cpi"), avg("baseline", "dear_per_kinsn"),
+        avg("adore", "dear_per_kinsn"), ju(r, "baseline_end_cycles"), ju(r, "adore_end_cycles"));
 }
 
-/// Both series of one workload as the report's per-benchmark entry.
-fn series_json(name: &str, scale: f64) -> Json {
-    let suite = workloads::suite(scale);
-    let w = suite.iter().find(|w| w.name == name).expect("known workload");
-    let point = |(cycles, cpi, dpk): &(u64, f64, f64)| {
-        Json::object().with("cycles", *cycles).with("cpi", *cpi).with("dear_per_kinsn", *dpk)
-    };
-    let without = series_without(w);
-    let with = series_with(w);
-    Json::object()
-        .with("bench", name)
-        .with("baseline_end_cycles", without.last().map(|x| x.0).unwrap_or(0))
-        .with("adore_end_cycles", with.last().map(|x| x.0).unwrap_or(0))
-        .with("baseline", without.iter().map(point).collect::<Vec<Json>>())
-        .with("adore", with.iter().map(point).collect::<Vec<Json>>())
+fn print_csv(r: &Json) {
+    println!("series,cycles,cpi,dear_per_kinsn");
+    for (label, key) in [("baseline", "baseline"), ("adore", "adore")] {
+        for p in series(r, key) {
+            println!("{label},{},{:.4},{:.4}", ju(p, "cycles"), jf(p, "cpi"), jf(p, "dear_per_kinsn"));
+        }
+    }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
-    let pick = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("both");
-    let csv = args.iter().any(|a| a == "--csv");
-    match (pick, csv) {
-        ("art", false) => run_one("art", scale),
-        ("mcf", false) => run_one("mcf", scale),
-        ("art", true) => run_one_csv("art", scale),
-        ("mcf", true) => run_one_csv("mcf", scale),
-        (_, true) => run_one_csv("art", scale),
-        _ => {
-            run_one("art", scale);
-            println!();
-            run_one("mcf", scale);
-        }
-    }
-    let picks: &[&str] = match pick {
-        "art" => &["art"],
-        "mcf" => &["mcf"],
+    let cli = cli::parse();
+    let csv = cli.flag("--csv");
+    let picks: &[&'static str] = match cli.pick() {
+        Some("art") => &["art"],
+        Some("mcf") => &["mcf"],
+        _ if csv => &["art"],
         _ => &["art", "mcf"],
     };
-    let mut report = experiment_report("fig8_9", &args, scale);
-    report.set("series", picks.iter().map(|n| series_json(n, scale)).collect::<Vec<Json>>());
-    report.save().expect("write results/fig8_9.json");
+    let result = ExperimentSpec::paper_defaults("fig8_9", &cli)
+        .section("series", picks, CompileOptions::o2(), Measure::Timeline)
+        .run();
+    for (i, r) in result.rows("series").iter().enumerate() {
+        match je(r) {
+            Some(e) => println!("{}: ERROR: {e}", js(r, "bench")),
+            None if csv => print_csv(r),
+            None => {
+                if i > 0 {
+                    println!();
+                }
+                print_table(r);
+            }
+        }
+    }
+    result.save().expect("write results/fig8_9.json");
 }

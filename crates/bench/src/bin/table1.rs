@@ -9,90 +9,35 @@
 //!
 //! Emits `results/table1.json` alongside the printed table.
 //!
-//! Usage: `table1 [--quick]`
+//! Usage: `table1 [--quick] [--jobs N]`
 
 use bench_harness::*;
-use compiler::{delinquent_loop_filter, CompileOptions};
+use compiler::CompileOptions;
 use obs::Json;
-use perfmon::{MissProfile, Perfmon};
-use sim::Sample;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
-    let suite = workloads::suite(scale);
-    let config = experiment_adore_config();
-    let mut rows = Json::array();
-
+    let cli = cli::parse();
+    let result = ExperimentSpec::paper_defaults("table1", &cli)
+        .section_with("rows", &PAPER_ORDER, CompileOptions::o3(),
+            Measure::GuidedPrefetch { coverage: 0.9 }, |c| {
+                let (o3, pf, time, size) = paper_table1(c.workload).unwrap();
+                c.extra("paper", Json::object().with("o3_loops", o3).with("profiled_loops", pf)
+                    .with("norm_time", time).with("norm_size", size));
+            })
+        .run();
     println!("== Table 1: profile-guided static prefetching ==");
-    println!(
-        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}  (paper: loops {:>4}->{:>3}, time, size)",
-        "bench", "O3 loops", "prof loops", "norm time", "norm size", "p.time", "p.size", "O3", "pf"
-    );
-
-    for name in PAPER_ORDER {
-        let w = suite.iter().find(|w| w.name == name).expect("known workload");
-        let o3 = build(w, &CompileOptions::o3());
-
-        // Training run: plain sampling on the *unprefetched* binary —
-        // a profile collected under static prefetching would hide
-        // exactly the loads the filter must keep.
-        let o2 = build(w, &CompileOptions::o2());
-        let mcfg = config.machine_config(experiment_machine_config());
-        let mut m = w.prepare(&o2, mcfg);
-        let mut pm = Perfmon::new(config.perfmon.clone());
-        let mut samples: Vec<Sample> = Vec::new();
-        pm.run_with_windows(&mut m, |_, w, _| samples.extend(w.samples.iter().cloned()));
-        let o3_cycles = run_plain(w, &o3);
-
-        let profile = MissProfile::from_samples(samples.iter());
-
-        let mut opts = CompileOptions::o3();
-        // An empty training profile (the run was too short to fill a
-        // single sample buffer, e.g. gzip) gives no guidance: keep the
-        // default prefetching rather than filtering everything out.
-        if !profile.is_empty() {
-            opts.prefetch_filter = Some(delinquent_loop_filter(&profile, &o2, 0.9));
+    println!("{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}  (paper: loops {:>4}->{:>3}, time, size)",
+        "bench", "O3 loops", "prof loops", "norm time", "norm size", "p.time", "p.size", "O3", "pf");
+    for r in result.rows("rows") {
+        if let Some(e) = je(r) {
+            println!("{:<10} ERROR: {e}", js(r, "bench"));
+            continue;
         }
-        let guided = build(w, &opts);
-        let guided_cycles = run_plain(w, &guided);
-
-        let norm_time = guided_cycles as f64 / o3_cycles as f64;
-        let norm_size = guided.program.size_bytes() as f64 / o3.program.size_bytes() as f64;
-        let (p_o3, p_pf, p_time, p_size) = paper_table1(name).unwrap();
-        println!(
-            "{:<10} {:>8} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  (paper: {:>4}->{:>3})",
-            name,
-            o3.prefetched_loops,
-            guided.prefetched_loops,
-            norm_time,
-            norm_size,
-            p_time,
-            p_size,
-            p_o3,
-            p_pf
-        );
-        rows.push(
-            Json::object()
-                .with("bench", name)
-                .with("o3_loops", o3.prefetched_loops)
-                .with("profiled_loops", guided.prefetched_loops)
-                .with("o3_cycles", o3_cycles)
-                .with("guided_cycles", guided_cycles)
-                .with("norm_time", norm_time)
-                .with("norm_size", norm_size)
-                .with("profile", &profile)
-                .with(
-                    "paper",
-                    Json::object()
-                        .with("o3_loops", p_o3)
-                        .with("profiled_loops", p_pf)
-                        .with("norm_time", p_time)
-                        .with("norm_size", p_size),
-                ),
-        );
+        let p = r.get("paper").expect("paper present");
+        println!("{:<10} {:>8} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  (paper: {:>4}->{:>3})",
+            js(r, "bench"), ju(r, "o3_loops"), ju(r, "profiled_loops"), jf(r, "norm_time"),
+            jf(r, "norm_size"), jf(p, "norm_time"), jf(p, "norm_size"),
+            ju(p, "o3_loops"), ju(p, "profiled_loops"));
     }
-    let mut report = experiment_report("table1", &args, scale);
-    report.set("rows", rows);
-    report.save().expect("write results/table1.json");
+    result.save().expect("write results/table1.json");
 }

@@ -5,54 +5,35 @@
 //!
 //! Emits `results/table2.json` alongside the printed table.
 //!
-//! Usage: `table2 [--quick]`
+//! Usage: `table2 [--quick] [--jobs N]`
 
 use bench_harness::*;
 use compiler::CompileOptions;
 use obs::Json;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
-    let suite = workloads::suite(scale);
-    let config = experiment_adore_config();
-
+    let cli = cli::parse();
+    let result = ExperimentSpec::paper_defaults("table2", &cli)
+        .section_with("rows", &PAPER_ORDER, CompileOptions::o2(), Measure::Streams, |c| {
+            let (pd, pi, pp, pph) = paper_table2(c.workload).unwrap();
+            c.extra("paper", Json::object().with("direct", pd).with("indirect", pi)
+                .with("pointer", pp).with("phases", pph));
+        })
+        .run();
     println!("== Table 2: prefetching data analysis (O2 + ADORE) ==");
-    println!(
-        "{:<10} {:>7} {:>9} {:>8} {:>7}   paper: (dir, ind, ptr, phases)",
-        "bench", "direct", "indirect", "pointer", "phases"
-    );
-    let mut rows = Json::array();
-    for name in PAPER_ORDER {
-        let w = suite.iter().find(|w| w.name == name).expect("known workload");
-        let bin = build(w, &CompileOptions::o2());
-        let report = run_adore(w, &bin, &config);
-        let (pd, pi, pp, pph) = paper_table2(name).unwrap();
-        println!(
-            "{:<10} {:>7} {:>9} {:>8} {:>7}   paper: ({pd:>3}, {pi:>3}, {pp:>3}, {pph:>3})",
-            name,
-            report.stats.direct,
-            report.stats.indirect,
-            report.stats.pointer,
-            report.phases_optimized,
-        );
-        rows.push(
-            Json::object()
-                .with("bench", name)
-                .with("streams", report.stats)
-                .with("phases_optimized", report.phases_optimized)
-                .with("traces_patched", report.traces_patched)
-                .with(
-                    "paper",
-                    Json::object()
-                        .with("direct", pd)
-                        .with("indirect", pi)
-                        .with("pointer", pp)
-                        .with("phases", pph),
-                ),
-        );
+    println!("{:<10} {:>7} {:>9} {:>8} {:>7}   paper: (dir, ind, ptr, phases)",
+        "bench", "direct", "indirect", "pointer", "phases");
+    for r in result.rows("rows") {
+        if let Some(e) = je(r) {
+            println!("{:<10} ERROR: {e}", js(r, "bench"));
+            continue;
+        }
+        let s = r.get("streams").expect("streams present");
+        let p = r.get("paper").expect("paper present");
+        println!("{:<10} {:>7} {:>9} {:>8} {:>7}   paper: ({:>3}, {:>3}, {:>3}, {:>3})",
+            js(r, "bench"), ju(s, "direct"), ju(s, "indirect"), ju(s, "pointer"),
+            ju(r, "phases_optimized"), ju(p, "direct"), ju(p, "indirect"), ju(p, "pointer"),
+            ju(p, "phases"));
     }
-    let mut report = experiment_report("table2", &args, scale);
-    report.set("rows", rows);
-    report.save().expect("write results/table2.json");
+    result.save().expect("write results/table2.json");
 }

@@ -1,0 +1,111 @@
+//! Shared command-line parsing for every experiment binary.
+//!
+//! All nine binaries accept the same surface:
+//!
+//! ```text
+//! <bin> [picks ...] [--quick] [--jobs N] [--<flag> ...]
+//! ```
+//!
+//! * positional *picks* select a subset (a part, a workload list);
+//! * `--quick` switches to the reduced workload scale;
+//! * `--jobs N` (or the `ADORE_JOBS` environment variable) sets the
+//!   engine worker count; the default is the machine's available
+//!   parallelism.
+//!
+//! `--jobs` is deliberately stripped from [`Cli::report_args`]: the JSON
+//! report must be byte-identical for any worker count, so the recorded
+//! argument list cannot mention it.
+
+use crate::{FULL_SCALE, QUICK_SCALE};
+
+/// Parsed command line shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Workload scale derived from `--quick`.
+    pub scale: f64,
+    /// Engine worker count (`--jobs` > `ADORE_JOBS` > available cores).
+    pub jobs: usize,
+    /// Positional (non-flag) arguments, in order.
+    pub picks: Vec<String>,
+    /// `--`-prefixed flags (minus `--jobs`), in order.
+    pub flags: Vec<String>,
+    /// Arguments as recorded in the report: everything except `--jobs`,
+    /// which must not influence report bytes.
+    pub report_args: Vec<String>,
+}
+
+impl Cli {
+    /// True when `--<name>` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// First positional argument, if any.
+    pub fn pick(&self) -> Option<&str> {
+        self.picks.first().map(String::as_str)
+    }
+}
+
+/// Parses the process arguments (skipping argv[0]).
+pub fn parse() -> Cli {
+    parse_from(std::env::args().skip(1).collect())
+}
+
+/// Parses an explicit argument list (used by tests).
+pub fn parse_from(args: Vec<String>) -> Cli {
+    let mut jobs: Option<usize> = None;
+    let mut picks = Vec::new();
+    let mut flags = Vec::new();
+    let mut report_args = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            jobs = it.next().and_then(|n| n.parse().ok()).or(jobs);
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            jobs = n.parse().ok().or(jobs);
+        } else if a.starts_with("--") {
+            flags.push(a.clone());
+            report_args.push(a);
+        } else {
+            picks.push(a.clone());
+            report_args.push(a);
+        }
+    }
+    let jobs = jobs
+        .or_else(|| std::env::var("ADORE_JOBS").ok().and_then(|n| n.parse().ok()))
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let scale = if flags.iter().any(|f| f == "--quick") { QUICK_SCALE } else { FULL_SCALE };
+    Cli { scale, jobs, picks, flags, report_args }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jobs_is_parsed_and_stripped_from_report_args() {
+        let c = parse_from(v(&["a", "--quick", "--jobs", "4"]));
+        assert_eq!(c.jobs, 4);
+        assert_eq!(c.scale, QUICK_SCALE);
+        assert_eq!(c.picks, vec!["a"]);
+        assert_eq!(c.report_args, v(&["a", "--quick"]));
+
+        let c = parse_from(v(&["--jobs=2", "mcf"]));
+        assert_eq!(c.jobs, 2);
+        assert_eq!(c.report_args, v(&["mcf"]));
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let c = parse_from(v(&[]));
+        assert_eq!(c.scale, FULL_SCALE);
+        assert!(c.jobs >= 1);
+        assert!(c.pick().is_none());
+        assert!(!c.flag("--csv"));
+    }
+}

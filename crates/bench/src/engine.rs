@@ -1,0 +1,826 @@
+//! The parallel experiment engine.
+//!
+//! Every figure and table of the paper is a grid of *cells*: one
+//! (workload × [`CompileOptions`] × [`AdoreConfig`]) point measured in
+//! a particular way. An [`ExperimentSpec`] declares the grid — sections
+//! of cells plus which report columns each cell emits — and
+//! [`ExperimentSpec::run`] executes it on a pool of scoped worker
+//! threads:
+//!
+//! * **work distribution** — an atomic cursor over the flattened cell
+//!   list; workers pull the next index until the grid is drained;
+//! * **determinism** — each cell's sampling seed derives from its
+//!   identity (tool/section/workload), never from thread or timing
+//!   state, and results land in submission-indexed slots, so the merged
+//!   report is byte-identical for any `--jobs` value (the envelope
+//!   timestamp is the single exception);
+//! * **baseline cache** — the no-prefetch run of each
+//!   (workload, options, machine) triple is memoized behind a per-key
+//!   [`OnceLock`], so a baseline shared by many cells (every ablation
+//!   variant, the overhead and comparison measures) executes once;
+//! * **failure isolation** — a cell that fails to compile produces an
+//!   `error` row and the rest of the grid completes (previously one bad
+//!   workload panicked the whole binary);
+//! * **observability** — per-cell timing goes to stderr through
+//!   [`obs::Progress`] while the deterministic cell labels and cache
+//!   statistics are embedded in the report's `engine` section.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use adore::{AdoreConfig, PhaseDecision, PhaseDetector};
+use compiler::{compile, delinquent_loop_filter, CompileOptions, CompiledBinary};
+use obs::{Json, Progress, Report, ToJson};
+use sim::{Counters, MachineConfig, SamplingConfig};
+use workloads::Workload;
+
+use crate::cli::Cli;
+use crate::{experiment_report_with, machine_stats_json, speedup_pct};
+
+// ---------------------------------------------------------------------
+// Spec types
+// ---------------------------------------------------------------------
+
+/// How a cell is measured — which runs it performs and which row
+/// columns it emits.
+#[derive(Debug, Clone)]
+pub enum Measure {
+    /// One plain (unmonitored) run of the cell's options.
+    Plain,
+    /// Plain run of the cell's options versus a plain run of `other`
+    /// (Fig. 10: restricted vs original `O2`).
+    CompareCompile(Box<CompileOptions>),
+    /// Cached baseline versus a full ADORE run (Fig. 7, ablation).
+    Comparison,
+    /// Cached baseline versus sampling-only ADORE — prefetch insertion
+    /// forced off (Fig. 11).
+    Overhead,
+    /// ADORE run only; stream/phase statistics (Table 2).
+    Streams,
+    /// Per-window CPI / miss-rate series with and without runtime
+    /// prefetching (Fig. 8/9).
+    Timeline,
+    /// Profile-guided static prefetching: train on the unprefetched
+    /// binary, filter `O3`'s prefetch set to the delinquent loops
+    /// covering `coverage` of sampled latency (Table 1).
+    GuidedPrefetch {
+        /// Fraction of sampled miss latency the kept loops must cover.
+        coverage: f64,
+    },
+    /// Cycle-accounting breakdown before and after ADORE (§2.1).
+    Breakdown,
+    /// Phase-detection / optimization diagnostic trace.
+    Diag {
+        /// Also collect an aggregate miss profile.
+        profile: bool,
+        /// Also run ADORE and record its decisions.
+        adore: bool,
+    },
+}
+
+/// One grid cell: a workload measured under one configuration.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload name (must resolve in the suite or the spec's extra
+    /// workloads).
+    pub workload: &'static str,
+    /// Compilation options of the primary binary.
+    pub opts: CompileOptions,
+    /// ADORE configuration (sampling seed is overwritten per cell).
+    pub adore: AdoreConfig,
+    /// Machine configuration for every run of this cell.
+    pub machine: MachineConfig,
+    /// What to measure.
+    pub measure: Measure,
+    /// Extra columns merged into the finished row (paper numbers etc.).
+    pub extra: Json,
+}
+
+impl Cell {
+    /// Adds an extra column to the cell's row.
+    pub fn extra(&mut self, key: &str, value: impl ToJson) {
+        self.extra.set(key, value);
+    }
+}
+
+struct Section {
+    key: String,
+    cells: Vec<Cell>,
+}
+
+/// A declarative experiment: the grid plus shared configuration.
+///
+/// The paper-wide ADORE and machine configurations live *on the spec*
+/// ([`ExperimentSpec::paper_adore_config`] /
+/// [`ExperimentSpec::paper_machine_config`] seed them;
+/// [`ExperimentSpec::tune_adore`] / [`ExperimentSpec::tune_machine`]
+/// override them), so a config tweak in one binary cannot silently
+/// diverge from the others.
+pub struct ExperimentSpec {
+    tool: String,
+    scale: f64,
+    jobs: usize,
+    report_args: Vec<String>,
+    adore: AdoreConfig,
+    machine: MachineConfig,
+    sections: Vec<Section>,
+    extra_workloads: Vec<Workload>,
+}
+
+impl ExperimentSpec {
+    /// The ADORE configuration used by all experiments: paper-like
+    /// ratios (sampling interval ≥ the equivalent of 100k cycles at the
+    /// paper's machine scale, scaled to our shorter runs — see
+    /// DESIGN.md).
+    pub fn paper_adore_config() -> AdoreConfig {
+        let mut c = AdoreConfig::enabled();
+        c.sampling = SamplingConfig {
+            interval_cycles: 2_500,
+            buffer_capacity: 500,
+            per_sample_cost: 20,
+            jitter: 0.3,
+            ..Default::default()
+        };
+        c
+    }
+
+    /// Machine configuration used by all experiments (Itanium 2
+    /// defaults).
+    pub fn paper_machine_config() -> MachineConfig {
+        MachineConfig::default()
+    }
+
+    /// A spec seeded with the paper configurations and the shared CLI
+    /// surface (scale, jobs, recorded arguments).
+    pub fn paper_defaults(tool: &str, cli: &Cli) -> ExperimentSpec {
+        ExperimentSpec {
+            tool: tool.to_string(),
+            scale: cli.scale,
+            jobs: cli.jobs,
+            report_args: cli.report_args.clone(),
+            adore: ExperimentSpec::paper_adore_config(),
+            machine: ExperimentSpec::paper_machine_config(),
+            sections: Vec::new(),
+            extra_workloads: Vec::new(),
+        }
+    }
+
+    /// The spec's ADORE configuration (cells inherit it).
+    pub fn adore_config(&self) -> &AdoreConfig {
+        &self.adore
+    }
+
+    /// The spec's machine configuration (cells inherit it).
+    pub fn machine_config(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Overrides the spec-wide ADORE configuration for all *subsequent*
+    /// sections.
+    pub fn tune_adore(mut self, f: impl FnOnce(&mut AdoreConfig)) -> ExperimentSpec {
+        f(&mut self.adore);
+        self
+    }
+
+    /// Overrides the spec-wide machine configuration for all
+    /// *subsequent* sections.
+    pub fn tune_machine(mut self, f: impl FnOnce(&mut MachineConfig)) -> ExperimentSpec {
+        f(&mut self.machine);
+        self
+    }
+
+    /// Overrides the worker count (tests pin this; binaries get it from
+    /// the CLI).
+    pub fn jobs(mut self, n: usize) -> ExperimentSpec {
+        self.jobs = n.max(1);
+        self
+    }
+
+    /// Adds a workload that is not part of the standard suite.
+    pub fn with_workload(mut self, w: Workload) -> ExperimentSpec {
+        self.extra_workloads.push(w);
+        self
+    }
+
+    /// Adds a section: one cell per workload, all sharing `opts` and
+    /// `measure`, emitted under report key `key` in workload order.
+    pub fn section(
+        self,
+        key: &str,
+        benches: &[&'static str],
+        opts: CompileOptions,
+        measure: Measure,
+    ) -> ExperimentSpec {
+        self.section_with(key, benches, opts, measure, |_| {})
+    }
+
+    /// Like [`ExperimentSpec::section`], with a per-cell tweak applied
+    /// at spec-build time (config variants, paper-number columns).
+    pub fn section_with(
+        mut self,
+        key: &str,
+        benches: &[&'static str],
+        opts: CompileOptions,
+        measure: Measure,
+        tweak: impl Fn(&mut Cell),
+    ) -> ExperimentSpec {
+        let cells = benches
+            .iter()
+            .map(|&workload| {
+                let mut cell = Cell {
+                    workload,
+                    opts: opts.clone(),
+                    adore: self.adore.clone(),
+                    machine: self.machine.clone(),
+                    measure: measure.clone(),
+                    extra: Json::object(),
+                };
+                tweak(&mut cell);
+                cell
+            })
+            .collect();
+        self.sections.push(Section { key: key.to_string(), cells });
+        self
+    }
+
+    /// Executes the grid and returns the merged result.
+    pub fn run(self) -> EngineResult {
+        let mut suite = workloads::suite(self.scale);
+        suite.extend(self.extra_workloads.iter().cloned());
+
+        // Flatten the grid; fix each cell's sampling seed from its
+        // identity so results do not depend on scheduling.
+        let mut cells: Vec<(usize, Cell)> = Vec::new();
+        for (si, section) in self.sections.iter().enumerate() {
+            for cell in &section.cells {
+                let mut cell = cell.clone();
+                cell.adore.sampling.seed =
+                    cell_seed(&[&self.tool, &section.key, cell.workload]);
+                cells.push((si, cell));
+            }
+        }
+
+        let n = cells.len();
+        let progress = Progress::new(&self.tool, n);
+        let cache = BaselineCache::new();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Json>> = (0..n).map(|_| OnceLock::new()).collect();
+        let jobs = self.jobs.clamp(1, n.max(1));
+
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let (si, cell) = &cells[i];
+                    let t = Instant::now();
+                    let row = match run_cell(cell, &suite, &cache) {
+                        Ok(row) => row,
+                        Err(e) => {
+                            Json::object().with("bench", cell.workload).with("error", e.to_string())
+                        }
+                    };
+                    let row = merge_extra(row, &cell.extra);
+                    let label = format!("{}/{}", self.sections[*si].key, cell.workload);
+                    progress.item_done(i, &label, t.elapsed());
+                    slots[i].set(row).expect("each slot written once");
+                });
+            }
+        });
+
+        // Ordered merge: rows in spec order, untouched by scheduling.
+        let mut rows: Vec<Vec<Json>> = self.sections.iter().map(|_| Vec::new()).collect();
+        let mut failed = 0usize;
+        for ((si, _), slot) in cells.iter().zip(&slots) {
+            let row = slot.get().cloned().expect("all cells completed");
+            if row.get("error").is_some() {
+                failed += 1;
+            }
+            rows[*si].push(row);
+        }
+
+        let (lookups, computes) = cache.stats();
+        let mut report =
+            experiment_report_with(&self.tool, &self.report_args, self.scale, &self.adore.sampling);
+        let mut sections_out = Vec::new();
+        for (section, rows) in self.sections.iter().zip(rows) {
+            report.set(&section.key, rows.as_slice());
+            sections_out.push((section.key.clone(), rows));
+        }
+        report.set(
+            "engine",
+            Json::object()
+                .with("cells", n)
+                .with("cell_labels", progress.labels())
+                .with("errors", failed)
+                .with(
+                    "baseline_cache",
+                    Json::object()
+                        .with("lookups", lookups)
+                        .with("computes", computes)
+                        .with("hits", lookups - computes),
+                ),
+        );
+
+        let wall = progress.wall();
+        eprintln!(
+            "[{}] {} cells in {}ms (jobs={}, baseline cache {} hits / {} lookups)",
+            self.tool,
+            n,
+            wall.as_millis(),
+            jobs,
+            lookups - computes,
+            lookups
+        );
+        EngineResult { report, sections: sections_out, wall, failed }
+    }
+}
+
+/// The merged output of a grid run.
+pub struct EngineResult {
+    report: Report,
+    sections: Vec<(String, Vec<Json>)>,
+    /// Wall-clock duration of the grid.
+    pub wall: Duration,
+    /// Number of cells that produced an `error` row.
+    pub failed: usize,
+}
+
+impl EngineResult {
+    /// Rows of a section, in spec order (empty for unknown keys).
+    pub fn rows(&self, key: &str) -> &[Json] {
+        self.sections
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, rows)| rows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The assembled report.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Writes the report to `results/<tool>.json`.
+    pub fn save(&self) -> std::io::Result<std::path::PathBuf> {
+        self.report.save()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a cell failed. The grid keeps running; the failed cell's row
+/// carries the message.
+#[derive(Debug, Clone)]
+pub enum CellError {
+    /// The workload name resolves neither in the suite nor in the
+    /// spec's extra workloads.
+    UnknownWorkload(String),
+    /// Compilation failed (`run_plain`'s old panic path, made a value).
+    Compile {
+        /// Workload whose kernel failed to compile.
+        workload: String,
+        /// Rendered compiler error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::UnknownWorkload(w) => write!(f, "unknown workload `{w}`"),
+            CellError::Compile { workload, message } => {
+                write!(f, "compiling {workload}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Compiles a workload, turning failure into a [`CellError`] instead of
+/// a panic, so one bad cell fails its row rather than the whole grid.
+pub fn try_build(w: &Workload, opts: &CompileOptions) -> Result<CompiledBinary, CellError> {
+    compile(&w.kernel, opts)
+        .map_err(|e| CellError::Compile { workload: w.name.to_string(), message: e.to_string() })
+}
+
+// ---------------------------------------------------------------------
+// Baseline cache
+// ---------------------------------------------------------------------
+
+/// A memoized plain (no-prefetch, unmonitored) run.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// The compiled binary (reused by the monitored run of the cell).
+    pub bin: CompiledBinary,
+    /// Total cycles of the plain run.
+    pub cycles: u64,
+    /// Final PMU counters.
+    pub counters: Counters,
+    /// Cache/PMU statistics row ([`machine_stats_json`]).
+    pub stats: Json,
+}
+
+type BaselineSlot = Arc<OnceLock<Result<Baseline, String>>>;
+
+/// Concurrent memo of baseline runs keyed by
+/// (workload, compile options, machine config). Each key is computed
+/// exactly once — concurrent requesters block on the key's `OnceLock` —
+/// so hit counts are deterministic for a given grid.
+pub struct BaselineCache {
+    map: Mutex<HashMap<String, BaselineSlot>>,
+    lookups: AtomicUsize,
+    computes: AtomicUsize,
+}
+
+impl Default for BaselineCache {
+    fn default() -> Self {
+        BaselineCache::new()
+    }
+}
+
+impl BaselineCache {
+    /// An empty cache.
+    pub fn new() -> BaselineCache {
+        BaselineCache {
+            map: Mutex::new(HashMap::new()),
+            lookups: AtomicUsize::new(0),
+            computes: AtomicUsize::new(0),
+        }
+    }
+
+    /// The plain run of `w` under `opts` on `machine`, computed at most
+    /// once per distinct key.
+    pub fn plain(
+        &self,
+        w: &Workload,
+        opts: &CompileOptions,
+        machine: &MachineConfig,
+    ) -> Result<Baseline, CellError> {
+        self.lookups.fetch_add(1, Ordering::SeqCst);
+        let key = format!("{}|{}|{:?}", w.name, opts_key(opts), machine);
+        let slot = {
+            let mut map = self.map.lock().expect("baseline cache lock");
+            map.entry(key).or_default().clone()
+        };
+        let out = slot.get_or_init(|| {
+            self.computes.fetch_add(1, Ordering::SeqCst);
+            let bin = match try_build(w, opts) {
+                Ok(bin) => bin,
+                Err(e) => return Err(e.to_string()),
+            };
+            let mut m = w.prepare(&bin, machine.clone());
+            let cycles = m.run_to_halt();
+            Ok(Baseline { cycles, counters: m.pmu().counters, stats: machine_stats_json(&m), bin })
+        });
+        out.clone().map_err(|message| CellError::Compile {
+            workload: w.name.to_string(),
+            message,
+        })
+    }
+
+    /// `(lookups, computes)` so far; hits are the difference. Both are
+    /// deterministic for a fixed grid, independent of the worker count.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.lookups.load(Ordering::SeqCst), self.computes.load(Ordering::SeqCst))
+    }
+}
+
+/// Deterministic key for compile options (the `Debug` form of the
+/// filter set would depend on hash order).
+fn opts_key(o: &CompileOptions) -> String {
+    let filter = o.prefetch_filter.as_ref().map(|s| {
+        let mut v: Vec<&str> = s.iter().map(String::as_str).collect();
+        v.sort_unstable();
+        v.join(",")
+    });
+    format!(
+        "{:?}/res={}/swp={}/filter={:?}",
+        o.opt_level, o.reserve_registers, o.software_pipelining, filter
+    )
+}
+
+/// FNV-1a over the cell identity, finalized splitmix-style: stable
+/// across runs, platforms and scheduling.
+fn cell_seed(parts: &[&str]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in parts {
+        for b in p.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+fn merge_extra(mut row: Json, extra: &Json) -> Json {
+    if let Json::Object(fields) = extra {
+        for (k, v) in fields {
+            row.set(k, v.clone());
+        }
+    }
+    row
+}
+
+// ---------------------------------------------------------------------
+// Measures
+// ---------------------------------------------------------------------
+
+fn run_cell(cell: &Cell, suite: &[Workload], cache: &BaselineCache) -> Result<Json, CellError> {
+    let w = suite
+        .iter()
+        .find(|w| w.name == cell.workload)
+        .ok_or_else(|| CellError::UnknownWorkload(cell.workload.to_string()))?;
+    match &cell.measure {
+        Measure::Plain => plain_cell(w, cell, cache),
+        Measure::CompareCompile(other) => compare_compile_cell(w, cell, other, cache),
+        Measure::Comparison => comparison_cell(w, cell, cache),
+        Measure::Overhead => overhead_cell(w, cell, cache),
+        Measure::Streams => streams_cell(w, cell),
+        Measure::Timeline => timeline_cell(w, cell),
+        Measure::GuidedPrefetch { coverage } => guided_cell(w, cell, *coverage, cache),
+        Measure::Breakdown => breakdown_cell(w, cell, cache),
+        Measure::Diag { profile, adore } => diag_cell(w, cell, *profile, *adore),
+    }
+}
+
+fn run_adore_in(cell: &Cell, w: &Workload, bin: &CompiledBinary) -> (adore::RunReport, sim::Machine) {
+    let mcfg = cell.adore.machine_config(cell.machine.clone());
+    let mut m = w.prepare(bin, mcfg);
+    let r = adore::run(&mut m, &cell.adore);
+    (r, m)
+}
+
+fn plain_cell(w: &Workload, cell: &Cell, cache: &BaselineCache) -> Result<Json, CellError> {
+    let base = cache.plain(w, &cell.opts, &cell.machine)?;
+    Ok(Json::object().with("bench", w.name).with("cycles", base.cycles).with("stats", base.stats))
+}
+
+fn compare_compile_cell(
+    w: &Workload,
+    cell: &Cell,
+    other: &CompileOptions,
+    cache: &BaselineCache,
+) -> Result<Json, CellError> {
+    let restricted = cache.plain(w, &cell.opts, &cell.machine)?;
+    let original = cache.plain(w, other, &cell.machine)?;
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("restricted_cycles", restricted.cycles)
+        .with("original_cycles", original.cycles)
+        .with("speedup_pct", speedup_pct(restricted.cycles, original.cycles)))
+}
+
+fn comparison_cell(w: &Workload, cell: &Cell, cache: &BaselineCache) -> Result<Json, CellError> {
+    let base = cache.plain(w, &cell.opts, &cell.machine)?;
+    let (report, m) = run_adore_in(cell, w, &base.bin);
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("base_cycles", base.cycles)
+        .with("adore_cycles", report.cycles)
+        .with("speedup_pct", speedup_pct(base.cycles, report.cycles))
+        .with("traces_patched", report.traces_patched)
+        .with("phases_optimized", report.phases_optimized)
+        .with("streams", report.stats)
+        .with("base", base.stats)
+        .with("adore", machine_stats_json(&m)))
+}
+
+fn overhead_cell(w: &Workload, cell: &Cell, cache: &BaselineCache) -> Result<Json, CellError> {
+    let base = cache.plain(w, &cell.opts, &cell.machine)?;
+    let mut cell = cell.clone();
+    cell.adore.insert_prefetches = false;
+    let (report, _) = run_adore_in(&cell, w, &base.bin);
+    let overhead = (report.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("o2_cycles", base.cycles)
+        .with("sampling_cycles", report.cycles)
+        .with("overhead_pct", overhead)
+        .with("windows", report.windows))
+}
+
+fn streams_cell(w: &Workload, cell: &Cell) -> Result<Json, CellError> {
+    let bin = try_build(w, &cell.opts)?;
+    let (report, _) = run_adore_in(cell, w, &bin);
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("streams", report.stats)
+        .with("phases_optimized", report.phases_optimized)
+        .with("traces_patched", report.traces_patched))
+}
+
+fn timeline_cell(w: &Workload, cell: &Cell) -> Result<Json, CellError> {
+    let bin = try_build(w, &cell.opts)?;
+    // "No runtime prefetching" series: monitoring without optimization,
+    // measured through the PMU exactly like the paper's curves.
+    let mcfg = cell.adore.machine_config(cell.machine.clone());
+    let mut m = w.prepare(&bin, mcfg);
+    let mut pm = perfmon::Perfmon::new(cell.adore.perfmon.clone());
+    let mut without: Vec<Json> = Vec::new();
+    let mut without_end = 0u64;
+    pm.run_with_windows(&mut m, |_, win, _| {
+        let t = win.samples.last().map(|s| s.cycles).unwrap_or(0);
+        without_end = t;
+        without.push(point(t, win.cpi, win.dear_per_kinsn));
+    });
+    let (report, _) = run_adore_in(cell, w, &bin);
+    let with: Vec<Json> =
+        report.timeline.iter().map(|t| point(t.cycles, t.cpi, t.dear_per_kinsn)).collect();
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("baseline_end_cycles", without_end)
+        .with("adore_end_cycles", report.timeline.last().map(|t| t.cycles).unwrap_or(0))
+        .with("baseline", without)
+        .with("adore", with))
+}
+
+fn point(cycles: u64, cpi: f64, dpk: f64) -> Json {
+    Json::object().with("cycles", cycles).with("cpi", cpi).with("dear_per_kinsn", dpk)
+}
+
+fn guided_cell(
+    w: &Workload,
+    cell: &Cell,
+    coverage: f64,
+    cache: &BaselineCache,
+) -> Result<Json, CellError> {
+    let o3 = cache.plain(w, &cell.opts, &cell.machine)?;
+    // Training run: plain sampling on the *unprefetched* binary — a
+    // profile collected under static prefetching would hide exactly the
+    // loads the filter must keep.
+    let o2 = try_build(w, &CompileOptions::o2())?;
+    let mut m = w.prepare(&o2, cell.adore.machine_config(cell.machine.clone()));
+    let mut pm = perfmon::Perfmon::new(cell.adore.perfmon.clone());
+    let mut samples: Vec<sim::Sample> = Vec::new();
+    pm.run_with_windows(&mut m, |_, win, _| samples.extend(win.samples.iter().cloned()));
+    let profile = perfmon::MissProfile::from_samples(samples.iter());
+
+    let mut guided_opts = cell.opts.clone();
+    // An empty training profile (run too short to fill one sample
+    // buffer, e.g. gzip) gives no guidance: keep default prefetching
+    // rather than filtering everything out.
+    if !profile.is_empty() {
+        guided_opts.prefetch_filter = Some(delinquent_loop_filter(&profile, &o2, coverage));
+    }
+    let guided = try_build(w, &guided_opts)?;
+    let mut gm = w.prepare(&guided, cell.machine.clone());
+    let guided_cycles = gm.run_to_halt();
+
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("o3_loops", o3.bin.prefetched_loops)
+        .with("profiled_loops", guided.prefetched_loops)
+        .with("o3_cycles", o3.cycles)
+        .with("guided_cycles", guided_cycles)
+        .with("norm_time", guided_cycles as f64 / o3.cycles as f64)
+        .with(
+            "norm_size",
+            guided.program.size_bytes() as f64 / o3.bin.program.size_bytes() as f64,
+        )
+        .with("profile", &profile))
+}
+
+fn breakdown_cell(w: &Workload, cell: &Cell, cache: &BaselineCache) -> Result<Json, CellError> {
+    let base = cache.plain(w, &cell.opts, &cell.machine)?;
+    let (report, m) = run_adore_in(cell, w, &base.bin);
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("o2", breakdown_side(&base.counters, base.cycles))
+        .with("adore", breakdown_side(&m.pmu().counters, report.cycles)))
+}
+
+/// One side of the §2.1 cycle-accounting row.
+pub fn breakdown_side(c: &Counters, cycles: u64) -> Json {
+    let pct = |part: u64| 100.0 * part as f64 / cycles.max(1) as f64;
+    let accounted = c.stall_mem + c.stall_fp + c.stall_branch + c.stall_icache + c.overhead_cycles;
+    Json::object()
+        .with("cycles", cycles)
+        .with("counters", c)
+        .with("mem_stall_pct", pct(c.stall_mem))
+        .with("fp_stall_pct", pct(c.stall_fp))
+        .with("branch_stall_pct", pct(c.stall_branch))
+        .with("icache_stall_pct", pct(c.stall_icache))
+        .with("overhead_pct", pct(c.overhead_cycles))
+        .with("busy_pct", pct(cycles.saturating_sub(accounted)))
+}
+
+fn diag_cell(w: &Workload, cell: &Cell, profile: bool, adore_run: bool) -> Result<Json, CellError> {
+    let bin = try_build(w, &cell.opts)?;
+    let mut m = w.prepare(&bin, cell.adore.machine_config(cell.machine.clone()));
+    let mut pm = perfmon::Perfmon::new(cell.adore.perfmon.clone());
+    let mut detector = PhaseDetector::new(cell.adore.phase.clone());
+    let mut decisions: Vec<String> = Vec::new();
+    let mut lines: Vec<String> = Vec::new();
+    let mut windows = 0usize;
+    pm.run_with_windows(&mut m, |_, win, ueb| {
+        let d = detector.evaluate(ueb);
+        let tag = match d {
+            PhaseDecision::Unstable => "U".into(),
+            PhaseDecision::Stable(s) => format!("S(cpi={:.2},dpi{:.2}/k)", s.cpi, s.dpi * 1000.0),
+            PhaseDecision::InTracePool(_) => "P".into(),
+            PhaseDecision::LowMissRate => "L".into(),
+        };
+        if windows < 24 || tag.starts_with('S') {
+            lines.push(format!(
+                "  w{windows:>3}: cpi={:>6.2} dear/kinsn={:>7.3} pc={:>14.0} -> {tag}",
+                win.cpi,
+                win.dpi * 1000.0,
+                win.pc_center
+            ));
+        }
+        decisions.push(tag);
+        windows += 1;
+    });
+    let count = |tag: char| decisions.iter().filter(|d| d.starts_with(tag)).count();
+    let mut entry = Json::object()
+        .with("workload", w.name)
+        .with("cycles", m.cycles())
+        .with("windows", windows)
+        .with(
+            "decisions",
+            Json::object()
+                .with("unstable", count('U'))
+                .with("stable", count('S'))
+                .with("in_trace_pool", count('P'))
+                .with("low_miss_rate", count('L')),
+        )
+        .with("lines", lines);
+
+    if profile {
+        let mut m2 = w.prepare(&bin, cell.adore.machine_config(cell.machine.clone()));
+        let mut pm2 = perfmon::Perfmon::new(cell.adore.perfmon.clone());
+        let mut all: Vec<sim::Sample> = Vec::new();
+        pm2.run_with_windows(&mut m2, |_, win, _| all.extend(win.samples.iter().cloned()));
+        let prof = perfmon::MissProfile::from_samples(all.iter());
+        let mut plines = Vec::new();
+        for e in prof.entries().iter().take(16) {
+            let name =
+                bin.loop_containing(isa::Addr(e.addr)).map(|l| l.name.as_str()).unwrap_or("?");
+            plines.push(format!(
+                "  pc={:#x}+{} `{}` count={} total_lat={} avg={:.0}",
+                e.addr,
+                e.slot,
+                name,
+                e.count,
+                e.total_latency,
+                e.total_latency as f64 / e.count as f64
+            ));
+        }
+        entry.set("profile", &prof);
+        entry.set("profile_lines", plines);
+    }
+
+    if adore_run {
+        let (report, m2) = run_adore_in(cell, w, &bin);
+        let (lf_issued, lf_dropped) = m2.caches().lfetch_stats();
+        let mut alines = vec![format!(
+            "ADORE: cycles={} patched={} phases={} stats={:?} lfetch={}/{} dropped",
+            report.cycles,
+            report.traces_patched,
+            report.phases_optimized,
+            report.stats,
+            lf_dropped,
+            lf_issued
+        )];
+        for (pc, reason) in &report.skips {
+            let loop_name =
+                bin.loop_containing(pc.addr).map(|l| l.name.as_str()).unwrap_or("?");
+            alines.push(format!("  skip {pc} in `{loop_name}`: {reason:?}"));
+        }
+        for e in &report.events {
+            alines.push(format!("  opt-event at {} cycles:", e.at_cycles));
+            for (start, is_loop, len, loads, ins) in &e.traces {
+                let name = bin.loop_containing(*start).map(|l| l.name.as_str()).unwrap_or("?");
+                alines.push(format!(
+                    "    trace@{start} `{name}` loop={is_loop} bundles={len} loads={loads} inserted={ins:?}"
+                ));
+            }
+        }
+        for t in report.timeline.iter().step_by(4) {
+            alines.push(format!(
+                "  t={:>12} cpi={:>6.2} dear/kinsn={:>7.3}",
+                t.cycles, t.cpi, t.dear_per_kinsn
+            ));
+        }
+        entry.set(
+            "adore",
+            Json::object().with("run", &report).with("caches", m2.caches()),
+        );
+        entry.set("adore_lines", alines);
+    }
+    Ok(entry)
+}

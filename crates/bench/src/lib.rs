@@ -1,12 +1,21 @@
 //! Shared harness for regenerating every table and figure of the paper.
 //!
 //! Each experiment binary (`fig7`, `table1`, `table2`, `fig8_9`,
-//! `fig10`, `fig11`) uses these helpers to compile workloads, run them
-//! with or without ADORE, and print the same rows/series the paper
-//! reports, side by side with the paper's published numbers.
-//! `EXPERIMENTS.md` records a captured copy of each output.
+//! `fig10`, `fig11`, `ablation`, `breakdown`, `diag`) declares an
+//! [`engine::ExperimentSpec`] — a grid of (workload × compile options ×
+//! ADORE config) cells — and the parallel engine executes it, merges
+//! the rows deterministically, and writes `results/<tool>.json`. The
+//! helpers below (paper numbers, row math, report plumbing) are shared
+//! by the specs and by the tests. `EXPERIMENTS.md` records a captured
+//! copy of each output.
 
 #![warn(missing_docs)]
+
+pub mod cli;
+pub mod engine;
+
+pub use cli::Cli;
+pub use engine::{BaselineCache, Cell, CellError, EngineResult, ExperimentSpec, Measure};
 
 use adore::{AdoreConfig, RunReport};
 use compiler::{compile, CompileOptions, CompiledBinary};
@@ -20,35 +29,29 @@ pub const FULL_SCALE: f64 = 1.0;
 /// Reduced scale for quick smoke runs (`--quick`).
 pub const QUICK_SCALE: f64 = 0.25;
 
-/// The ADORE configuration used by all experiments: paper-like ratios
-/// (sampling interval ≥ the equivalent of 100k cycles at the paper's
-/// machine scale, scaled to our shorter runs).
+/// The ADORE configuration used by all experiments.
+///
+/// Delegates to [`ExperimentSpec::paper_adore_config`] — the spec owns
+/// the paper configuration; this function remains for component
+/// benchmarks and tests that run outside the engine.
 pub fn experiment_adore_config() -> AdoreConfig {
-    let mut c = AdoreConfig::enabled();
-    // The simulated runs are ~1000x shorter than the paper's (tens of
-    // millions of cycles instead of minutes at 900 MHz), so the sampling
-    // interval is scaled down to keep a comparable number of samples per
-    // phase; the per-sample cost is scaled with it so total sampling
-    // overhead stays at the paper's 1-2 % (see DESIGN.md).
-    c.sampling = SamplingConfig {
-        interval_cycles: 2_500,
-        buffer_capacity: 500,
-        per_sample_cost: 20,
-        jitter: 0.3,
-    };
-    c
+    ExperimentSpec::paper_adore_config()
 }
 
 /// Machine configuration used by all experiments (Itanium 2 defaults).
+///
+/// Delegates to [`ExperimentSpec::paper_machine_config`].
 pub fn experiment_machine_config() -> MachineConfig {
-    MachineConfig::default()
+    ExperimentSpec::paper_machine_config()
 }
 
 /// Compiles a workload with the given options.
 ///
 /// # Panics
 ///
-/// Panics if compilation fails (workloads are validated by tests).
+/// Panics if compilation fails. Engine cells use [`engine::try_build`]
+/// instead so a bad cell fails its row, not the process; this variant
+/// remains for benchmarks and tests where a panic is the right answer.
 pub fn build(w: &Workload, opts: &CompileOptions) -> CompiledBinary {
     compile(&w.kernel, opts).unwrap_or_else(|e| panic!("compiling {}: {e}", w.name))
 }
@@ -195,12 +198,19 @@ pub fn scale_from_args(args: &[String]) -> f64 {
     }
 }
 
-/// Starts a structured report for an experiment binary, seeded with the
-/// shared run configuration (workload scale, CLI arguments, sampling
-/// parameters). Every `crates/bench` binary emits one of these next to
-/// its human-readable output; see `DESIGN.md` for the schema.
-pub fn experiment_report(tool: &str, args: &[String], scale: f64) -> Report {
-    let sampling = experiment_adore_config().sampling;
+/// Starts a structured report seeded with the shared run configuration
+/// (workload scale, recorded CLI arguments, sampling parameters).
+///
+/// Every field here must be deterministic: the engine's acceptance
+/// criterion is byte-identical reports for any `--jobs` value, so the
+/// argument list excludes `--jobs` (see [`cli::parse`]) and the
+/// sampling block excludes the per-cell seed.
+pub fn experiment_report_with(
+    tool: &str,
+    args: &[String],
+    scale: f64,
+    sampling: &SamplingConfig,
+) -> Report {
     let mut r = Report::new(tool);
     r.set(
         "run_config",
@@ -220,6 +230,11 @@ pub fn experiment_report(tool: &str, args: &[String], scale: f64) -> Report {
     r
 }
 
+/// [`experiment_report_with`] using the paper sampling configuration.
+pub fn experiment_report(tool: &str, args: &[String], scale: f64) -> Report {
+    experiment_report_with(tool, args, scale, &experiment_adore_config().sampling)
+}
+
 /// Cache and PMU statistics of a finished machine, for report rows.
 pub fn machine_stats_json(m: &Machine) -> Json {
     let c = &m.pmu().counters;
@@ -234,26 +249,25 @@ pub fn machine_stats_json(m: &Machine) -> Json {
         .with("caches", m.caches())
 }
 
-/// The standard per-benchmark comparison row shared by `fig7`-style
-/// reports: baseline cycles, ADORE cycles and the derived speedup,
-/// with full machine statistics for both runs.
-pub fn comparison_row(
-    name: &str,
-    base_cycles: u64,
-    base_machine: &Machine,
-    report: &RunReport,
-    adore_machine: &Machine,
-) -> Json {
-    Json::object()
-        .with("bench", name)
-        .with("base_cycles", base_cycles)
-        .with("adore_cycles", report.cycles)
-        .with("speedup_pct", speedup_pct(base_cycles, report.cycles))
-        .with("traces_patched", report.traces_patched)
-        .with("phases_optimized", report.phases_optimized)
-        .with("streams", report.stats)
-        .with("base", machine_stats_json(base_machine))
-        .with("adore", machine_stats_json(adore_machine))
+/// `row.get(key)` as f64, defaulting to NaN — for printing engine rows.
+pub fn jf(row: &Json, key: &str) -> f64 {
+    row.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+/// `row.get(key)` as u64, defaulting to 0 — for printing engine rows.
+pub fn ju(row: &Json, key: &str) -> u64 {
+    row.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// `row.get(key)` as &str, defaulting to `"?"` — for printing engine rows.
+pub fn js<'a>(row: &'a Json, key: &str) -> &'a str {
+    row.get(key).and_then(Json::as_str).unwrap_or("?")
+}
+
+/// The engine error message of a failed cell's row, if any. Binaries
+/// print these instead of data columns.
+pub fn je(row: &Json) -> Option<&str> {
+    row.get("error").and_then(Json::as_str)
 }
 
 #[cfg(test)]
@@ -285,22 +299,6 @@ mod tests {
         assert_eq!(rc.get("quick"), Some(&Json::Bool(true)));
         assert!(rc.get("sampling").and_then(|s| s.get("interval_cycles")).is_some());
         assert!(Json::parse(&j.to_string()).is_ok(), "report serializes to valid JSON");
-    }
-
-    #[test]
-    fn comparison_row_has_schema_keys() {
-        let suite = workloads::suite(0.05);
-        let w = suite.iter().find(|w| w.name == "swim").unwrap();
-        let bin = build(w, &CompileOptions::o2());
-        let (base, bm) = run_plain_with_machine(w, &bin);
-        let (report, am) = run_adore_with_machine(w, &bin, &experiment_adore_config());
-        let row = comparison_row(w.name, base, &bm, &report, &am);
-        assert_eq!(row.get("bench").and_then(Json::as_str), Some("swim"));
-        assert_eq!(row.get("base_cycles").and_then(Json::as_u64), Some(base));
-        assert!(row.get("speedup_pct").and_then(Json::as_f64).is_some());
-        assert!(row.get("streams").and_then(|s| s.get("direct")).is_some());
-        let caches = row.get("base").and_then(|b| b.get("caches")).expect("cache stats");
-        assert!(caches.get("l1d").and_then(|l| l.get("misses")).is_some());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Engine-level guarantees the redesign is sold on: a parallel run's
+//! report is byte-identical to a serial run's, the baseline cache
+//! computes each key exactly once, and a failing cell ruins only its
+//! own row.
+
+use bench_harness::*;
+use compiler::CompileOptions;
+use obs::Json;
+
+fn cli(scale: f64, jobs: usize) -> Cli {
+    Cli { scale, jobs, picks: vec![], flags: vec![], report_args: vec!["--unit".into()] }
+}
+
+fn spec(jobs: usize) -> ExperimentSpec {
+    ExperimentSpec::paper_defaults("unit", &cli(0.05, jobs))
+        .section("comparison", &["swim", "art"], CompileOptions::o2(), Measure::Comparison)
+        .section("overhead", &["swim", "art"], CompileOptions::o2(), Measure::Overhead)
+}
+
+/// The report with its only volatile field (the envelope timestamp)
+/// zeroed — everything else must be reproducible.
+fn canonical(result: &EngineResult) -> String {
+    let mut j = result.report().json().clone();
+    j.set("generated_unix_s", 0u64);
+    j.pretty()
+}
+
+#[test]
+fn parallel_report_is_byte_identical_to_serial() {
+    let serial = spec(1).run();
+    let parallel = spec(4).run();
+    assert_eq!(canonical(&serial), canonical(&parallel));
+    assert_eq!(serial.failed, 0);
+
+    // Schema of a comparison row (what fig7-style consumers read).
+    let row = &serial.rows("comparison")[0];
+    assert_eq!(row.get("bench").and_then(Json::as_str), Some("swim"));
+    assert!(row.get("speedup_pct").and_then(Json::as_f64).is_some());
+    assert!(row.get("streams").and_then(|s| s.get("direct")).is_some());
+    let caches = row.get("base").and_then(|b| b.get("caches")).expect("cache stats");
+    assert!(caches.get("l1d").and_then(|l| l.get("misses")).is_some());
+
+    // The overhead section reused both comparison baselines: 4 lookups,
+    // 2 computes — and that arithmetic is jobs-independent.
+    let engine = serial.report().json().get("engine").expect("engine section");
+    let cache = engine.get("baseline_cache").expect("cache stats");
+    assert_eq!(cache.get("lookups").and_then(Json::as_u64), Some(4));
+    assert_eq!(cache.get("computes").and_then(Json::as_u64), Some(2));
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(engine.get("cells").and_then(Json::as_u64), Some(4));
+}
+
+#[test]
+fn baseline_cache_counts_hits_and_distinguishes_machines() {
+    let suite = workloads::suite(0.05);
+    let w = suite.iter().find(|w| w.name == "swim").unwrap();
+    let cache = BaselineCache::new();
+    let mcfg = experiment_machine_config();
+    let a = cache.plain(w, &CompileOptions::o2(), &mcfg).unwrap();
+    let b = cache.plain(w, &CompileOptions::o2(), &mcfg).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(cache.stats(), (2, 1), "second lookup must hit");
+
+    // A different machine configuration (the ablation's uncapped-bus
+    // variant) is a different key — sharing would corrupt the study.
+    let mut uncapped = experiment_machine_config();
+    uncapped.cache.mem_service_interval = 0;
+    cache.plain(w, &CompileOptions::o2(), &uncapped).unwrap();
+    assert_eq!(cache.stats(), (3, 2));
+
+    // Different compile options likewise.
+    cache.plain(w, &CompileOptions::o2_original(), &mcfg).unwrap();
+    assert_eq!(cache.stats(), (4, 3));
+}
+
+#[test]
+fn compile_failure_fails_only_its_row() {
+    let suite = workloads::suite(0.05);
+    let mut bad = suite.iter().find(|w| w.name == "swim").unwrap().clone();
+    bad.name = "badloop";
+    bad.kernel.loops[0].trip = 0;
+    let result = ExperimentSpec::paper_defaults("unit_bad", &cli(0.05, 2))
+        .with_workload(bad)
+        .section("rows", &["swim", "badloop", "nosuch"], CompileOptions::o2(), Measure::Comparison)
+        .run();
+    assert_eq!(result.failed, 2);
+    let rows = result.rows("rows");
+    assert_eq!(rows.len(), 3, "failed cells still occupy their slots");
+    assert!(je(&rows[0]).is_none(), "healthy cell unaffected");
+    assert!(rows[0].get("speedup_pct").is_some());
+    let msg = je(&rows[1]).expect("compile-failure row");
+    assert!(msg.contains("zero trip count"), "{msg}");
+    assert!(je(&rows[2]).expect("unknown-workload row").contains("unknown workload"));
+}

@@ -134,6 +134,14 @@ pub struct CompiledBinary {
     pub prefetched_loops: usize,
 }
 
+// Compiled binaries are built inside engine worker threads and cached
+// across cells; both directions require `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledBinary>();
+    assert_send_sync::<CompileOptions>();
+};
+
 impl CompiledBinary {
     /// The innermost loop containing `addr`, if any.
     pub fn loop_containing(&self, addr: Addr) -> Option<&LoopInfo> {

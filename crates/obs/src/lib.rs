@@ -15,13 +15,18 @@
 //! * [`report`] — schema-versioned experiment reports written as
 //!   `results/<tool>.json`, so successive PRs can diff speedups,
 //!   coverage and accuracy run-over-run.
+//! * [`progress`] — ordered merge of concurrently produced progress
+//!   rows: live (out-of-order) stderr lines plus a deterministic,
+//!   submission-ordered view for report embedding.
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod json;
+pub mod progress;
 pub mod report;
 
 pub use bench::{BenchConfig, BenchResult, BenchSuite};
 pub use json::{Json, ToJson};
+pub use progress::{Progress, ProgressEntry};
 pub use report::{Report, SCHEMA_VERSION};

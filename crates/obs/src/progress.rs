@@ -1,0 +1,122 @@
+//! Ordered progress reporting for concurrently produced work items.
+//!
+//! The parallel experiment engine finishes cells in whatever order the
+//! worker threads happen to run them, but reports must stay
+//! byte-identical to a serial run. This module splits the two concerns:
+//!
+//! * **live lines** — each completed item prints one line to stderr
+//!   immediately (out of order, with wall-clock timing), so a human
+//!   watching a long run sees progress;
+//! * **ordered merge** — every item is also recorded in a slot indexed
+//!   by its position in the original work list, and [`Progress::merged`]
+//!   returns the deterministic, submission-ordered sequence for
+//!   embedding in a JSON report. Only the *labels* are deterministic;
+//!   wall times stay on stderr so reports remain reproducible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One completed work item: its deterministic label and how long it
+/// took on whichever worker ran it.
+#[derive(Debug, Clone)]
+pub struct ProgressEntry {
+    /// Deterministic item label (e.g. `part_a/mcf`).
+    pub label: String,
+    /// Wall-clock duration of the item (volatile — stderr only).
+    pub millis: u128,
+}
+
+/// A thread-safe progress sink for a fixed-size batch of work items.
+#[derive(Debug)]
+pub struct Progress {
+    tool: String,
+    total: usize,
+    done: AtomicUsize,
+    entries: Mutex<Vec<Option<ProgressEntry>>>,
+    start: Instant,
+}
+
+impl Progress {
+    /// Starts tracking `total` items for `tool`.
+    pub fn new(tool: &str, total: usize) -> Progress {
+        Progress {
+            tool: tool.to_string(),
+            total,
+            done: AtomicUsize::new(0),
+            entries: Mutex::new(vec![None; total]),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records completion of the item at `index` (its position in the
+    /// submission order) and prints a live line to stderr.
+    pub fn item_done(&self, index: usize, label: &str, elapsed: Duration) {
+        let done = self.done.fetch_add(1, Ordering::SeqCst) + 1;
+        eprintln!(
+            "[{}] {done}/{} {label} {}ms",
+            self.tool,
+            self.total,
+            elapsed.as_millis()
+        );
+        let mut slots = self.entries.lock().expect("progress lock");
+        if index < slots.len() {
+            slots[index] = Some(ProgressEntry { label: label.to_string(), millis: elapsed.as_millis() });
+        }
+    }
+
+    /// Completed items so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    /// All recorded entries in submission order — deterministic
+    /// regardless of which worker finished which item when.
+    pub fn merged(&self) -> Vec<ProgressEntry> {
+        self.entries.lock().expect("progress lock").iter().flatten().cloned().collect()
+    }
+
+    /// Submission-ordered labels only (the report-safe projection).
+    pub fn labels(&self) -> Vec<String> {
+        self.merged().into_iter().map(|e| e.label).collect()
+    }
+
+    /// Wall-clock time since the sink was created.
+    pub fn wall(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_submission_ordered_despite_completion_order() {
+        let p = Progress::new("unit", 4);
+        p.item_done(2, "c", Duration::from_millis(1));
+        p.item_done(0, "a", Duration::from_millis(2));
+        p.item_done(3, "d", Duration::from_millis(3));
+        p.item_done(1, "b", Duration::from_millis(4));
+        assert_eq!(p.labels(), vec!["a", "b", "c", "d"]);
+        assert_eq!(p.completed(), 4);
+    }
+
+    #[test]
+    fn concurrent_item_done_is_safe_and_complete() {
+        let p = Progress::new("unit", 64);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = &p;
+                s.spawn(move || {
+                    for i in (t..64).step_by(4) {
+                        p.item_done(i, &format!("item{i}"), Duration::ZERO);
+                    }
+                });
+            }
+        });
+        let labels = p.labels();
+        assert_eq!(labels.len(), 64);
+        assert_eq!(labels[17], "item17");
+    }
+}

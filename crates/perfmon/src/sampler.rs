@@ -130,6 +130,7 @@ mod tests {
             buffer_capacity: cap,
             per_sample_cost: 0,
             jitter: 0.3,
+            ..Default::default()
         });
         Machine::new(a.finish(CODE_BASE).unwrap(), cfg)
     }

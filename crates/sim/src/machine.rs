@@ -38,7 +38,17 @@ pub struct SamplingConfig {
     /// `interval * (1 ± jitter)`. Without it, samples alias onto loop
     /// structure and the DEAR only ever observes one load per loop.
     pub jitter: f64,
+    /// Seed for the period-randomization LCG. Deterministic for a given
+    /// configuration: two machines with the same seed draw identical
+    /// jitter sequences, which is what lets the parallel experiment
+    /// engine reproduce serial results cell for cell regardless of
+    /// worker count or scheduling order.
+    pub seed: u64,
 }
+
+/// Default LCG seed (golden-ratio constant, the historical hardwired
+/// value — kept so runs without an explicit seed reproduce old reports).
+pub const DEFAULT_SAMPLING_SEED: u64 = 0x9e3779b97f4a7c15;
 
 impl Default for SamplingConfig {
     fn default() -> SamplingConfig {
@@ -47,6 +57,7 @@ impl Default for SamplingConfig {
             buffer_capacity: 100,
             per_sample_cost: 150,
             jitter: 0.3,
+            seed: DEFAULT_SAMPLING_SEED,
         }
     }
 }
@@ -165,6 +176,17 @@ pub struct Machine {
     samples: Option<SampleState>,
 }
 
+// The parallel experiment engine runs one full simulation per worker
+// thread, so every piece of run state must stay `Send`. Assert it at
+// compile time: adding an `Rc`/raw pointer to any field breaks the
+// build here rather than in a downstream crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+    assert_send::<MachineConfig>();
+    assert_send::<SamplingConfig>();
+};
+
 impl Machine {
     /// Creates a machine ready to run `program`.
     pub fn new(program: Program, config: MachineConfig) -> Machine {
@@ -176,7 +198,7 @@ impl Machine {
             next_at: s.interval_cycles,
             index: 0,
             buffer: Vec::with_capacity(s.buffer_capacity),
-            rng: 0x9e3779b97f4a7c15,
+            rng: s.seed,
         });
         Machine {
             mem: Memory::new(config.mem_capacity),
@@ -907,6 +929,7 @@ mod tests {
             buffer_capacity: 16,
             per_sample_cost: 0,
             jitter: 0.3,
+            ..Default::default()
         });
         let mut m = Machine::new(p, cfg);
         assert_eq!(m.run(u64::MAX), StopReason::SampleBufferOverflow);
@@ -1033,6 +1056,7 @@ mod tests {
             buffer_capacity: 64,
             per_sample_cost: 0,
             jitter: 0.25,
+            ..Default::default()
         });
         let mut m = Machine::new(p, cfg);
         let mut stamps = Vec::new();
@@ -1053,6 +1077,35 @@ mod tests {
             distinct.insert(gap / 100);
         }
         assert!(distinct.len() > 5, "jitter must actually vary the period");
+    }
+
+    #[test]
+    fn sampling_seed_is_deterministic_per_machine() {
+        let stamps_with = |seed: u64| {
+            let mut a = Asm::new();
+            a.movl(Gr(10), 0);
+            a.label("loop");
+            a.addi(Gr(10), Gr(10), 1);
+            a.cmpi(CmpOp::Lt, Pr(1), Pr(2), Gr(10), 400_000);
+            a.br_cond(Pr(1), "loop");
+            a.halt();
+            let mut cfg = MachineConfig::default();
+            cfg.sampling = Some(SamplingConfig {
+                interval_cycles: 1_000,
+                buffer_capacity: 32,
+                per_sample_cost: 0,
+                jitter: 0.3,
+                seed,
+            });
+            let mut m = Machine::new(a.finish(CODE_BASE).unwrap(), cfg);
+            let mut stamps = Vec::new();
+            while m.run(u64::MAX) == StopReason::SampleBufferOverflow {
+                stamps.extend(m.drain_samples().into_iter().map(|s| s.cycles));
+            }
+            stamps
+        };
+        assert_eq!(stamps_with(7), stamps_with(7), "same seed, same samples");
+        assert_ne!(stamps_with(7), stamps_with(8), "seed must steer the jitter");
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub struct Workload {
     pub inits: Vec<InitAction>,
 }
 
+// Workers of the parallel experiment engine each hold references into
+// one shared, immutable suite and clone nothing mutable — which only
+// works while `Workload` stays `Send + Sync` (no interior mutability).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Workload>();
+};
+
 impl Workload {
     /// Builds a workload from a finished builder.
     pub fn from_builder(

@@ -13,6 +13,7 @@ fn fast_adore() -> AdoreConfig {
         buffer_capacity: 200,
         per_sample_cost: 20,
         jitter: 0.3,
+        ..Default::default()
     };
     c
 }
@@ -164,6 +165,7 @@ fn sampling_overhead_is_within_paper_bounds() {
         buffer_capacity: 100,
         per_sample_cost: 150,
         jitter: 0.3,
+        ..Default::default()
     };
     let mut m = w.prepare(&bin, config.machine_config(MachineConfig::default()));
     let report = run(&mut m, &config);

@@ -7,8 +7,11 @@
 # Steps:
 #   1. release build of every crate, warnings denied
 #   2. full test suite (unit + integration + doc tests)
-#   3. one smoke experiment + one smoke microbenchmark, each of which
-#      must emit schema-valid JSON under results/
+#   3. smoke experiments through the parallel engine: fig7 --quick at
+#      --jobs 1 and --jobs 2 must produce byte-identical reports
+#      (modulo the envelope timestamp); wall-clocks of both are logged
+#   4. schema validation of the emitted JSON, including the engine's
+#      merged sections
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,8 +24,29 @@ cargo build --release --workspace --benches
 echo "== test =="
 cargo test -q --workspace
 
-echo "== smoke: fig7 --quick =="
-cargo run --release -q -p adore-bench --bin fig7 -- --quick
+echo "== smoke: fig7 --quick --jobs 1 vs --jobs 2 =="
+t0=$(date +%s%N)
+cargo run --release -q -p adore-bench --bin fig7 -- --quick --jobs 1
+t1=$(date +%s%N)
+cp results/fig7.json results/fig7.jobs1.json
+cargo run --release -q -p adore-bench --bin fig7 -- --quick --jobs 2
+t2=$(date +%s%N)
+serial_ms=$(( (t1 - t0) / 1000000 ))
+parallel_ms=$(( (t2 - t1) / 1000000 ))
+echo "wall-clock: jobs=1 ${serial_ms}ms, jobs=2 ${parallel_ms}ms" \
+     "(speedup $(python3 -c "print(f'{$serial_ms/max($parallel_ms,1):.2f}x')") on $(nproc) cores)"
+
+echo "== determinism: reports byte-identical modulo timestamp =="
+python3 - <<'EOF'
+import json
+a = json.load(open("results/fig7.jobs1.json"))
+b = json.load(open("results/fig7.json"))
+a["generated_unix_s"] = b["generated_unix_s"] = 0
+sa, sb = (json.dumps(x, indent=1) for x in (a, b))
+assert sa == sb, "parallel report differs from serial report"
+print(f"  ok: {len(sa)} canonical bytes identical across --jobs")
+EOF
+rm -f results/fig7.jobs1.json
 
 echo "== smoke: bench simulator --quick =="
 cargo bench -q -p adore-bench --bench simulator -- --quick
@@ -36,6 +60,17 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema_version"] == 1, "schema_version must be 1"
 assert "tool" in doc and "generated_unix_s" in doc, "missing envelope keys"
+if doc["tool"] == "fig7":  # engine-merged report: check grid metadata
+    eng = doc["engine"]
+    cells = eng["cells"]
+    assert cells == len(eng["cell_labels"]), "cell label per cell"
+    cache = eng["baseline_cache"]
+    assert cache["hits"] == cache["lookups"] - cache["computes"]
+    assert eng["errors"] == 0, "no cell may fail in the smoke grid"
+    rows = doc["part_a"] + doc["part_b"]
+    assert cells == len(rows), "one merged row per cell"
+    for row in rows:
+        assert {"bench", "base_cycles", "adore_cycles", "speedup_pct"} <= row.keys()
 print(f"  ok: {sys.argv[1]} (tool={doc['tool']})")
 EOF
 done
