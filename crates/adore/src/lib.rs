@@ -77,5 +77,5 @@ pub use patch::{install, unpatch, PatchedTrace};
 pub use pattern::{classify, Pattern, PatternError};
 pub use phase::{PhaseConfig, PhaseDecision, PhaseDetector, PhaseSignature};
 pub use prefetch::{optimize_trace, InsertionStats, OptimizedTrace, PrefetchConfig, SkipReason};
-pub use runtime::{run, AdoreConfig, RunReport, TimePoint};
+pub use runtime::{run, run_with_limit, AdoreConfig, RunReport, TimePoint};
 pub use trace::{select_traces, PathProfile, Trace, TraceConfig};

@@ -179,6 +179,14 @@ impl ToJson for RunReport {
 /// [`AdoreConfig::machine_config`]); without sampling the program just
 /// runs to completion with an empty report.
 pub fn run(machine: &mut Machine, config: &AdoreConfig) -> RunReport {
+    run_with_limit(machine, config, u64::MAX)
+}
+
+/// Like [`run`], but stops once `cycle_limit` (absolute cycle count)
+/// is reached or the machine faults, instead of requiring the program
+/// to halt. The differential fuzzing oracle uses this to bound
+/// generated programs that never terminate.
+pub fn run_with_limit(machine: &mut Machine, config: &AdoreConfig, cycle_limit: u64) -> RunReport {
     let mut perfmon = Perfmon::new(config.perfmon.clone());
     let mut detector = PhaseDetector::new(config.phase.clone());
     // (signature, attempts, exhausted, last attempt window): a phase may
@@ -215,7 +223,7 @@ pub fn run(machine: &mut Machine, config: &AdoreConfig) -> RunReport {
     let mut skips: Vec<(Pc, SkipReason)> = Vec::new();
     let mut events: Vec<OptEvent> = Vec::new();
 
-    perfmon.run_with_windows(machine, |m, w, ueb| {
+    perfmon.run_with_windows_until(machine, cycle_limit, |m, w, ueb| {
         timeline.push(TimePoint {
             cycles: w.samples.last().map(|s| s.cycles).unwrap_or(0),
             cpi: w.cpi,

@@ -322,16 +322,48 @@ fn kind_of(bundle: &Bundle, slot: usize) -> SlotKind {
 /// Finds the complement predicate for `qp` by scanning backwards (first
 /// the current bundle, then already-copied bundles) for the compare that
 /// defines it.
+///
+/// The flip is only sound when the complement is guaranteed to hold the
+/// negation of `qp` at the branch, so two additional conditions are
+/// enforced:
+///
+/// * the defining compare must be **unpredicated** (a predicated-off
+///   compare leaves both targets stale, and the stale pair need not be
+///   complementary);
+/// * no compare **between** the definition and the branch may clobber
+///   either predicate of the pair (a later compare sharing only one of
+///   the two registers breaks the complement).
 fn complement_of(copied: &[Bundle], current: &Bundle, slot: usize, qp: Pr) -> Option<Pr> {
-    let scan = |insn: &Insn| -> Option<Pr> {
+    // Walk backwards from the branch; remember every predicate written
+    // by compares seen before the definition is found.
+    let mut clobbered: Vec<Pr> = Vec::new();
+    let mut scan = |insn: &Insn| -> Option<Option<Pr>> {
         match insn.op {
             Op::Cmp { pt, pf, .. } | Op::CmpI { pt, pf, .. } => {
-                if pt == qp {
+                let complement = if pt == qp {
                     Some(pf)
                 } else if pf == qp {
                     Some(pt)
                 } else {
                     None
+                };
+                match complement {
+                    Some(c) => {
+                        // Found the defining compare. The flip is sound
+                        // only if the compare always executes and the
+                        // complement register was not overwritten since.
+                        let executes = insn.qp.map(|q| q.index() == 0).unwrap_or(true);
+                        if executes && !clobbered.contains(&c) {
+                            Some(Some(c))
+                        } else {
+                            Some(None)
+                        }
+                    }
+                    None => {
+                        clobbered.push(pt);
+                        clobbered.push(pf);
+                        None
+                    }
                 }
             }
             _ => None,
@@ -339,13 +371,13 @@ fn complement_of(copied: &[Bundle], current: &Bundle, slot: usize, qp: Pr) -> Op
     };
     for s in (0..slot).rev() {
         if let Some(p) = scan(&current.slots[s]) {
-            return Some(p);
+            return p;
         }
     }
     for b in copied.iter().rev() {
         for s in (0..3).rev() {
             if let Some(p) = scan(&b.slots[s]) {
-                return Some(p);
+                return p;
             }
         }
     }
@@ -608,6 +640,52 @@ mod tests {
             matches!(i.op, Op::AddI { imm: 100, .. })
         });
         assert!(!has_cold, "the cold path must be excluded");
+    }
+
+    #[test]
+    fn predicated_defining_compare_refuses_flip() {
+        // A compare that is itself predicated may be skipped at runtime,
+        // leaving the pt/pf pair stale and possibly non-complementary:
+        // complement_of must refuse it.
+        let cmp = Insn::predicated(
+            Pr(3),
+            Op::CmpI { op: CmpOp::Eq, pt: Pr(5), pf: Pr(9), a: Gr(10), imm: 0 },
+        );
+        let b = Bundle::pack(&[cmp]).unwrap();
+        assert_eq!(complement_of(&[], &b, 3, Pr(5)), None);
+
+        // The same compare unpredicated (or predicated on p0) is fine.
+        let cmp = Insn::new(Op::CmpI { op: CmpOp::Eq, pt: Pr(5), pf: Pr(9), a: Gr(10), imm: 0 });
+        let b = Bundle::pack(&[cmp]).unwrap();
+        assert_eq!(complement_of(&[], &b, 3, Pr(5)), Some(Pr(9)));
+        let cmp = Insn::predicated(
+            Pr(0),
+            Op::CmpI { op: CmpOp::Eq, pt: Pr(5), pf: Pr(9), a: Gr(10), imm: 0 },
+        );
+        let b = Bundle::pack(&[cmp]).unwrap();
+        assert_eq!(complement_of(&[], &b, 3, Pr(5)), Some(Pr(9)));
+    }
+
+    #[test]
+    fn clobbered_complement_refuses_flip() {
+        // cmp1 defines p5/p9; cmp2 later clobbers p9 (pairing it with
+        // p7). At the branch, p9 is no longer the complement of p5.
+        let cmp1 = Insn::new(Op::CmpI { op: CmpOp::Eq, pt: Pr(5), pf: Pr(9), a: Gr(10), imm: 0 });
+        let cmp2 = Insn::new(Op::CmpI { op: CmpOp::Ne, pt: Pr(7), pf: Pr(9), a: Gr(11), imm: 0 });
+        let earlier = Bundle::pack(&[cmp1]).unwrap();
+        let current = Bundle::pack(&[cmp2]).unwrap();
+        assert_eq!(complement_of(&[earlier.clone()], &current, 3, Pr(5)), None);
+
+        // Without the clobber the definition is found across bundles.
+        let harmless = Bundle::pack(&[Insn::new(Op::CmpI {
+            op: CmpOp::Ne,
+            pt: Pr(7),
+            pf: Pr(8),
+            a: Gr(11),
+            imm: 0,
+        })])
+        .unwrap();
+        assert_eq!(complement_of(&[earlier], &harmless, 3, Pr(5)), Some(Pr(9)));
     }
 
     #[test]

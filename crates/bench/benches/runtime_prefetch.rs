@@ -17,7 +17,7 @@ fn main() {
     let workloads = workloads::suite(0.05);
     for name in ["mcf", "art", "swim"] {
         let w = workloads.iter().find(|w| w.name == name).unwrap().clone();
-        let bin = build(&w, &CompileOptions::o2());
+        let bin = build(&w, &CompileOptions::o2()).unwrap_or_else(|e| panic!("{e}"));
         suite.bench(&format!("fig7/{name}_baseline"), || run_plain(&w, &bin));
         let config = experiment_adore_config();
         suite.bench(&format!("fig7/{name}_adore"), || run_adore(&w, &bin, &config).cycles);

@@ -1,0 +1,181 @@
+//! Differential fuzzing driver: proves ADORE preserves program
+//! semantics (see `crates/oracle` and DESIGN.md §"Differential
+//! oracle").
+//!
+//! Generates seeded random programs and runs each through the
+//! three-way oracle — reference interpreter, plain machine, ADORE
+//! machine — failing (exit code 1) on any architectural divergence.
+//! Mismatching cases are shrunk and written to `tests/corpus/`, where
+//! the `corpus_replay` test re-checks them on every `cargo test`.
+//!
+//! Emits `results/fuzz.json`.
+//!
+//! Usage: `fuzz [--cases=N] [--seed=N] [--quick] [--jobs N]`
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bench_harness::cli;
+use obs::{Json, Report};
+use oracle::{check, generate, shrink, CaseResult, Coverage, DiffConfig, GenConfig};
+
+/// Value of a `--name=value` flag.
+fn flag_value(flags: &[String], name: &str) -> Option<u64> {
+    let prefix = format!("--{name}=");
+    flags.iter().find_map(|f| f.strip_prefix(&prefix)).and_then(|v| v.parse().ok())
+}
+
+/// `tests/corpus/` under the workspace root (the directory holding
+/// `Cargo.lock`), overridable with `ADORE_CORPUS_DIR`.
+fn corpus_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("ADORE_CORPUS_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(mut at) = std::env::current_dir() {
+        loop {
+            if at.join("Cargo.lock").is_file() {
+                return at.join("tests").join("corpus");
+            }
+            if !at.pop() {
+                break;
+            }
+        }
+    }
+    PathBuf::from("tests/corpus")
+}
+
+enum CaseReport {
+    Agree { outcome_label: &'static str, traces_patched: usize },
+    Undecided { why: String },
+    Mismatch { stage: &'static str, detail: String, shrunk_items: usize, file: PathBuf },
+}
+
+fn main() {
+    let cli = cli::parse();
+    let cases = flag_value(&cli.flags, "cases")
+        .unwrap_or(if cli.flag("--quick") { 128 } else { 512 }) as usize;
+    let base_seed = flag_value(&cli.flags, "seed").unwrap_or(1);
+    let gen_cfg = GenConfig::default();
+    let diff_cfg = DiffConfig::default();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, u64, Coverage, CaseReport)>> =
+        Mutex::new(Vec::with_capacity(cases));
+    let done = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..cli.jobs.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cases {
+                    return;
+                }
+                let case_seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let (spec, cov) = generate(case_seed, &gen_cfg);
+                let report = match check(&spec, &diff_cfg) {
+                    CaseResult::Agree { outcome, traces_patched } => {
+                        CaseReport::Agree { outcome_label: outcome.label(), traces_patched }
+                    }
+                    CaseResult::Undecided(why) => CaseReport::Undecided { why },
+                    CaseResult::Mismatch(m) => {
+                        eprintln!(
+                            "[fuzz] MISMATCH seed {case_seed:#x} at {}: {} — shrinking",
+                            m.stage, m.detail
+                        );
+                        let small = shrink(&spec, &diff_cfg);
+                        let dir = corpus_dir();
+                        std::fs::create_dir_all(&dir).expect("create corpus dir");
+                        let file = dir.join(format!("fuzz_{case_seed:016x}.txt"));
+                        std::fs::write(&file, oracle::serialize_repro(&small))
+                            .expect("write reproducer");
+                        CaseReport::Mismatch {
+                            stage: m.stage,
+                            detail: m.detail,
+                            shrunk_items: small.items.len(),
+                            file,
+                        }
+                    }
+                };
+                results.lock().unwrap().push((i, case_seed, cov, report));
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if d % 64 == 0 || d == cases {
+                    eprintln!("[fuzz] {d}/{cases} cases");
+                }
+            });
+        }
+    });
+
+    let mut results = results.into_inner().unwrap();
+    results.sort_by_key(|(i, ..)| *i);
+
+    let mut coverage = Coverage::default();
+    let mut outcomes: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut mismatches = 0u64;
+    let mut undecided = 0u64;
+    let mut cases_with_patches = 0u64;
+    let mut traces_patched_total = 0u64;
+    let mut mismatch_rows = Json::array();
+    for (_, case_seed, cov, report) in &results {
+        coverage.absorb(cov);
+        match report {
+            CaseReport::Agree { outcome_label, traces_patched } => {
+                *outcomes.entry(outcome_label).or_insert(0) += 1;
+                if *traces_patched > 0 {
+                    cases_with_patches += 1;
+                }
+                traces_patched_total += *traces_patched as u64;
+            }
+            CaseReport::Undecided { why } => {
+                undecided += 1;
+                eprintln!("[fuzz] undecided seed {case_seed:#x}: {why}");
+            }
+            CaseReport::Mismatch { stage, detail, shrunk_items, file } => {
+                mismatches += 1;
+                mismatch_rows.push(
+                    Json::object()
+                        .with("seed", *case_seed)
+                        .with("stage", *stage)
+                        .with("detail", detail.as_str())
+                        .with("shrunk_items", *shrunk_items as u64)
+                        .with("corpus_file", file.display().to_string()),
+                );
+            }
+        }
+    }
+
+    let mut outcome_obj = Json::object();
+    for (label, count) in &outcomes {
+        outcome_obj.set(label, *count);
+    }
+    let mut coverage_obj = Json::object();
+    for (name, count) in coverage.fields() {
+        coverage_obj.set(name, count);
+    }
+
+    let mut report = Report::new("fuzz");
+    report.set("args", cli.report_args.clone());
+    report.set("seed", base_seed);
+    report.set("cases", cases as u64);
+    report.set("mismatches", mismatches);
+    report.set("undecided", undecided);
+    report.set("outcomes", outcome_obj);
+    report.set("coverage", coverage_obj);
+    report.set("cases_with_patches", cases_with_patches);
+    report.set("traces_patched_total", traces_patched_total);
+    report.set("mismatch_details", mismatch_rows);
+    report.save().expect("write results/fuzz.json");
+
+    println!(
+        "fuzz: {cases} cases, {mismatches} mismatches, {undecided} undecided, \
+         {cases_with_patches} cases patched ({traces_patched_total} traces)"
+    );
+    for (label, count) in &outcomes {
+        println!("  {label}: {count}");
+    }
+    if mismatches > 0 {
+        eprintln!("[fuzz] FAIL: {mismatches} semantic mismatches (reproducers in tests/corpus/)");
+        std::process::exit(1);
+    }
+}

@@ -18,7 +18,7 @@ pub use cli::Cli;
 pub use engine::{BaselineCache, Cell, CellError, EngineResult, ExperimentSpec, Measure};
 
 use adore::{AdoreConfig, RunReport};
-use compiler::{compile, CompileOptions, CompiledBinary};
+use compiler::{CompileOptions, CompiledBinary};
 use obs::{Json, Report};
 use sim::{Machine, MachineConfig, SamplingConfig};
 use workloads::Workload;
@@ -47,13 +47,14 @@ pub fn experiment_machine_config() -> MachineConfig {
 
 /// Compiles a workload with the given options.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if compilation fails. Engine cells use [`engine::try_build`]
-/// instead so a bad cell fails its row, not the process; this variant
-/// remains for benchmarks and tests where a panic is the right answer.
-pub fn build(w: &Workload, opts: &CompileOptions) -> CompiledBinary {
-    compile(&w.kernel, opts).unwrap_or_else(|e| panic!("compiling {}: {e}", w.name))
+/// Returns [`CellError::Compile`] when the kernel does not compile —
+/// the same error the engine reports for a failed cell, so callers
+/// outside the engine (benchmarks, tests, the fuzz harness) decide for
+/// themselves whether a bad build aborts the process.
+pub fn build(w: &Workload, opts: &CompileOptions) -> Result<CompiledBinary, CellError> {
+    engine::try_build(w, opts)
 }
 
 /// Runs a compiled workload to completion with no monitoring; returns

@@ -147,6 +147,25 @@ impl fmt::Display for CmpOp {
     }
 }
 
+impl std::str::FromStr for CmpOp {
+    type Err = ();
+
+    /// Parses the mnemonic form produced by `Display` (`eq`, `ne`,
+    /// `lt`, `le`, `gt`, `ge`, `ltu`).
+    fn from_str(s: &str) -> Result<CmpOp, ()> {
+        Ok(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            "ltu" => CmpOp::Ltu,
+            _ => return Err(()),
+        })
+    }
+}
+
 /// The kind of issue slot an instruction requires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlotKind {
@@ -483,6 +502,22 @@ impl fmt::Display for Insn {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cmp_op_mnemonics_round_trip() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Ltu,
+        ] {
+            assert_eq!(op.to_string().parse::<CmpOp>(), Ok(op));
+        }
+        assert_eq!("frob".parse::<CmpOp>(), Err(()));
+    }
 
     #[test]
     fn addr_alignment() {

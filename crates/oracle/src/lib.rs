@@ -1,0 +1,34 @@
+//! Differential fuzzing oracle for the ADORE reproduction.
+//!
+//! ADORE's whole contract is that runtime optimization is *invisible*:
+//! inserting prefetches and patching traces may change timing, but must
+//! never change what a program computes. This crate proves that
+//! property mechanically:
+//!
+//! * [`interp`] — a reference interpreter implementing only the
+//!   architectural semantics of the ISA (no caches, no pipeline, no
+//!   sampling): the ground truth;
+//! * [`generator`] — a seeded random program generator emitting
+//!   well-formed, terminating programs that exercise the surfaces
+//!   ADORE transforms;
+//! * [`diff`] — the three-way harness: each program runs on the
+//!   reference interpreter, on [`sim::Machine`] with ADORE off, and on
+//!   [`sim::Machine`] with an aggressive ADORE configuration, and the
+//!   final architectural states must agree bit-for-bit;
+//! * [`spec`] / [`text`] — the symbolic program form the shrinker
+//!   minimizes and the line-based reproducer format replayed from
+//!   `tests/corpus/`.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod generator;
+pub mod interp;
+pub mod spec;
+pub mod text;
+
+pub use diff::{check, shrink, CaseOutcome, CaseResult, DiffConfig, FinalState, Mismatch};
+pub use generator::{generate, Coverage, GenConfig};
+pub use interp::{Interp, Outcome};
+pub use spec::{BranchKind, Item, ProgSpec};
+pub use text::{parse_repro, serialize_repro, ParseError};

@@ -86,11 +86,29 @@ impl Perfmon {
     pub fn run_with_windows(
         &mut self,
         machine: &mut Machine,
+        on_window: impl FnMut(&mut Machine, &ProfileWindow, &UserEventBuffer),
+    ) -> u64 {
+        self.run_with_windows_until(machine, u64::MAX, on_window)
+    }
+
+    /// Like [`run_with_windows`](Perfmon::run_with_windows), but stops
+    /// once `cycle_limit` (absolute cycle count) is reached or the
+    /// machine faults. Differential-testing harnesses use the limit to
+    /// bound runaway programs that would otherwise never halt.
+    ///
+    /// Returns the final cycle count; the machine records whether it
+    /// halted or faulted.
+    pub fn run_with_windows_until(
+        &mut self,
+        machine: &mut Machine,
+        cycle_limit: u64,
         mut on_window: impl FnMut(&mut Machine, &ProfileWindow, &UserEventBuffer),
     ) -> u64 {
         loop {
-            match machine.run(u64::MAX) {
-                StopReason::Halted => return machine.cycles(),
+            match machine.run(cycle_limit) {
+                StopReason::Halted | StopReason::Faulted(_) | StopReason::CycleLimit => {
+                    return machine.cycles();
+                }
                 StopReason::SampleBufferOverflow => {
                     let samples = machine.drain_samples();
                     machine.charge_cycles(self.config.overflow_copy_cost);
@@ -104,7 +122,6 @@ impl Perfmon {
                     let w = self.ueb.last().expect("just pushed").clone();
                     on_window(machine, &w, &self.ueb);
                 }
-                StopReason::CycleLimit => unreachable!("no cycle limit was set"),
             }
         }
     }

@@ -42,7 +42,7 @@ pub mod tlb;
 
 pub use cache::{AccessResult, Cache, CacheConfig, Hierarchy, HitLevel, DEAR_LATENCY_THRESHOLD};
 pub use machine::{
-    Machine, MachineConfig, PatchError, SamplingConfig, StopReason, DEFAULT_SAMPLING_SEED,
+    Fault, Machine, MachineConfig, PatchError, SamplingConfig, StopReason, DEFAULT_SAMPLING_SEED,
 };
 pub use mem::{Memory, DATA_BASE};
 pub use pmu::{BranchTraceBuffer, BtbEntry, Counters, DearKind, DearRecord, Pmu, Sample};

@@ -109,6 +109,56 @@ pub enum StopReason {
     SampleBufferOverflow,
     /// The requested cycle limit was reached.
     CycleLimit,
+    /// The program performed an unrecoverable architectural fault
+    /// (wild branch, unmapped data access, return-stack underflow).
+    /// The machine stays faulted: further `run` calls return the same
+    /// reason without executing anything.
+    Faulted(Fault),
+}
+
+/// An architectural fault raised by the executing program.
+///
+/// Faults are defined outcomes, not harness crashes: a generated or
+/// adversarial program that branches into the void or dereferences a
+/// wild pointer stops with a precise fault instead of panicking the
+/// simulator. Earlier slots of the faulting bundle keep their effects;
+/// the faulting instruction has none (no destination write, no
+/// post-increment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Instruction fetch from an address with no bundle behind it.
+    UnmappedFetch(Addr),
+    /// Non-speculative load outside the data arena.
+    UnmappedLoad {
+        /// Faulting data address.
+        addr: u64,
+        /// Access width in bytes.
+        len: u64,
+    },
+    /// Store outside the data arena.
+    UnmappedStore {
+        /// Faulting data address.
+        addr: u64,
+        /// Access width in bytes.
+        len: u64,
+    },
+    /// `br.ret` with an empty return stack.
+    ReturnUnderflow,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::UnmappedFetch(a) => write!(f, "instruction fetch from unmapped address {a}"),
+            Fault::UnmappedLoad { addr, len } => {
+                write!(f, "{len}-byte load from unmapped address {addr:#x}")
+            }
+            Fault::UnmappedStore { addr, len } => {
+                write!(f, "{len}-byte store to unmapped address {addr:#x}")
+            }
+            Fault::ReturnUnderflow => write!(f, "br.ret with empty return stack"),
+        }
+    }
 }
 
 /// Error returned by patching operations.
@@ -173,6 +223,7 @@ pub struct Machine {
     cycle: u64,
     half_bundle: bool,
     halted: bool,
+    fault: Option<Fault>,
     samples: Option<SampleState>,
 }
 
@@ -217,6 +268,7 @@ impl Machine {
             cycle: 0,
             half_bundle: false,
             halted: false,
+            fault: None,
             samples,
             pool: Vec::new(),
             program,
@@ -239,6 +291,11 @@ impl Machine {
     /// Whether the program has halted.
     pub fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    /// The architectural fault the program raised, if any.
+    pub fn fault(&self) -> Option<Fault> {
+        self.fault
     }
 
     /// The PMU state.
@@ -286,6 +343,11 @@ impl Machine {
         if r.index() != 0 {
             self.gr[r.index()] = v;
         }
+    }
+
+    /// Reads a predicate register.
+    pub fn pr(&self, p: isa::Pr) -> bool {
+        self.pr[p.index()]
     }
 
     /// Reads a floating-point register.
@@ -375,10 +437,13 @@ impl Machine {
 
     // ---- execution ---------------------------------------------------
 
-    /// Runs until halt, sample-buffer overflow, or `cycle_limit`
+    /// Runs until halt, fault, sample-buffer overflow, or `cycle_limit`
     /// (absolute cycle count) is reached.
     pub fn run(&mut self, cycle_limit: u64) -> StopReason {
         while !self.halted {
+            if let Some(f) = self.fault {
+                return StopReason::Faulted(f);
+            }
             if self.cycle >= cycle_limit {
                 return StopReason::CycleLimit;
             }
@@ -392,14 +457,17 @@ impl Machine {
         StopReason::Halted
     }
 
-    /// Runs to completion, ignoring samples (drains them on overflow).
+    /// Runs to completion (halt or fault), ignoring samples (drains
+    /// them on overflow).
     pub fn run_to_halt(&mut self) -> u64 {
-        while !self.halted {
-            if self.run(u64::MAX) == StopReason::SampleBufferOverflow {
-                self.drain_samples();
+        loop {
+            match self.run(u64::MAX) {
+                StopReason::SampleBufferOverflow => {
+                    self.drain_samples();
+                }
+                _ => return self.cycle, // Halted or Faulted
             }
         }
-        self.cycle
     }
 
     fn stall_until(&mut self, ready: u64, source: StallSource) {
@@ -476,7 +544,8 @@ impl Machine {
     fn step_bundle(&mut self) {
         let bundle_addr = self.ip;
         let Some(bundle) = self.bundle_at(bundle_addr).cloned() else {
-            panic!("instruction fetch from unmapped address {bundle_addr}");
+            self.fault = Some(Fault::UnmappedFetch(bundle_addr));
+            return;
         };
 
         // Instruction fetch.
@@ -580,8 +649,11 @@ impl Machine {
                     let addr = self.gr[base.index()] as u64;
                     let value = if spec {
                         self.mem.read_spec(addr, size.bytes())
-                    } else {
+                    } else if self.mem.contains(addr, size.bytes()) {
                         self.mem.read(addr, size.bytes())
+                    } else {
+                        self.fault = Some(Fault::UnmappedLoad { addr, len: size.bytes() });
+                        break;
                     };
                     let tlb_lat = self.tlb.access(addr);
                     if tlb_lat > 0 {
@@ -598,6 +670,10 @@ impl Machine {
                 }
                 Op::St { s, base, post_inc, size } => {
                     let addr = self.gr[base.index()] as u64;
+                    if !self.mem.contains(addr, size.bytes()) {
+                        self.fault = Some(Fault::UnmappedStore { addr, len: size.bytes() });
+                        break;
+                    }
                     self.mem.write(addr, size.bytes(), self.gr[s.index()] as u64);
                     let _ = self.tlb.access(addr); // stores fill but don't stall
                     self.caches.store(addr);
@@ -608,6 +684,10 @@ impl Machine {
                 }
                 Op::Ldf { d, base, post_inc } => {
                     let addr = self.gr[base.index()] as u64;
+                    if !self.mem.contains(addr, 8) {
+                        self.fault = Some(Fault::UnmappedLoad { addr, len: 8 });
+                        break;
+                    }
                     let value = self.mem.read_f64(addr);
                     let tlb_lat = self.tlb.access(addr);
                     if tlb_lat > 0 {
@@ -623,6 +703,10 @@ impl Machine {
                 }
                 Op::Stf { s, base, post_inc } => {
                     let addr = self.gr[base.index()] as u64;
+                    if !self.mem.contains(addr, 8) {
+                        self.fault = Some(Fault::UnmappedStore { addr, len: 8 });
+                        break;
+                    }
                     self.mem.write_f64(addr, self.fr[s.index()]);
                     self.caches.store(addr);
                     if post_inc != 0 {
@@ -681,10 +765,10 @@ impl Machine {
                     taken = Some(target);
                 }
                 Op::BrRet => {
-                    let target = self
-                        .ret_stack
-                        .pop()
-                        .expect("br.ret with empty return stack");
+                    let Some(target) = self.ret_stack.pop() else {
+                        self.fault = Some(Fault::ReturnUnderflow);
+                        break;
+                    };
                     self.pmu.record_branch(pc, target, true);
                     taken = Some(target);
                 }
@@ -700,6 +784,14 @@ impl Machine {
             if let Op::BrCond { target } = insn.op {
                 let _ = target;
             }
+        }
+
+        // A fault freezes the machine at the faulting instruction:
+        // earlier slots keep their effects, the ip does not advance,
+        // and no sample is taken.
+        if self.fault.is_some() {
+            self.pmu.counters.cycles = self.cycle;
+            return;
         }
 
         // Record fall-through outcomes of predicated-off conditional
@@ -777,6 +869,88 @@ mod tests {
         assert_eq!(m.gr(Gr(12)), 12);
         assert_eq!(m.gr(Gr(13)), 27);
         assert_eq!(m.gr(Gr(14)), 2);
+    }
+
+    #[test]
+    fn wild_fetch_faults_instead_of_panicking() {
+        // Overwrite the final halt with nops so execution runs off the
+        // end of the image: the fetch must fault, not panic.
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 7);
+            a.halt();
+        });
+        let nop_bundle = isa::Bundle::pack(&[
+            isa::Insn::nop(SlotKind::M),
+            isa::Insn::nop(SlotKind::I),
+            isa::Insn::nop(SlotKind::I),
+        ])
+        .unwrap();
+        m.replace_bundle(Addr(CODE_BASE + 16), nop_bundle).unwrap();
+        let wild = Addr(CODE_BASE + 32);
+        assert_eq!(m.run(u64::MAX), StopReason::Faulted(Fault::UnmappedFetch(wild)));
+        assert!(!m.is_halted());
+        assert_eq!(m.fault(), Some(Fault::UnmappedFetch(wild)));
+        // The machine stays faulted; re-running returns the same reason.
+        assert_eq!(m.run(u64::MAX), StopReason::Faulted(Fault::UnmappedFetch(wild)));
+        // Architectural state before the fault is preserved.
+        assert_eq!(m.gr(Gr(10)), 7);
+    }
+
+    #[test]
+    fn unmapped_load_faults_with_address() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 0x123);
+            a.ld(AccessSize::U8, Gr(11), Gr(10), 16);
+            a.halt();
+        });
+        let r = m.run(u64::MAX);
+        assert_eq!(r, StopReason::Faulted(Fault::UnmappedLoad { addr: 0x123, len: 8 }));
+        // No destination write, no post-increment.
+        assert_eq!(m.gr(Gr(11)), 0);
+        assert_eq!(m.gr(Gr(10)), 0x123);
+    }
+
+    #[test]
+    fn unmapped_store_faults_with_address() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 64);
+            a.st(AccessSize::U4, Gr(10), Gr(11), 0);
+            a.halt();
+        });
+        let r = m.run(u64::MAX);
+        assert_eq!(r, StopReason::Faulted(Fault::UnmappedStore { addr: 64, len: 4 }));
+    }
+
+    #[test]
+    fn speculative_load_never_faults() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 0x123);
+            a.ld_s(AccessSize::U8, Gr(11), Gr(10), 0);
+            a.halt();
+        });
+        assert_eq!(m.run(u64::MAX), StopReason::Halted);
+        assert_eq!(m.gr(Gr(11)), 0); // deferred NaT → zero
+    }
+
+    #[test]
+    fn return_underflow_faults() {
+        let mut m = machine_for(|a| {
+            a.ret();
+            a.halt();
+        });
+        assert_eq!(m.run(u64::MAX), StopReason::Faulted(Fault::ReturnUnderflow));
+    }
+
+    #[test]
+    fn run_to_halt_terminates_on_fault() {
+        let mut m = machine_for(|a| {
+            a.movl(Gr(10), 0x40);
+            a.ld(AccessSize::U8, Gr(11), Gr(10), 0);
+            a.halt();
+        });
+        let cycles = m.run_to_halt();
+        assert!(cycles > 0);
+        assert!(matches!(m.fault(), Some(Fault::UnmappedLoad { .. })));
     }
 
     #[test]

@@ -76,6 +76,11 @@ impl Rng64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
     /// A uniformly random boolean.
     pub fn bool(&mut self) -> bool {
         self.next_u64() & 1 == 1

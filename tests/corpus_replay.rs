@@ -1,0 +1,47 @@
+//! Replays every reproducer in `tests/corpus/` through the three-way
+//! differential oracle (reference interpreter, plain machine, ADORE
+//! machine) as a permanent regression suite.
+//!
+//! Files land here when the `fuzz` binary finds a semantic mismatch:
+//! it shrinks the case and writes it in the `adore-oracle-reproducer`
+//! text format. Once the underlying bug is fixed, the reproducer stays
+//! behind and must agree forever after. An empty (or absent) corpus
+//! passes vacuously.
+
+use oracle::{check, parse_repro, CaseResult, DiffConfig};
+
+#[test]
+fn corpus_replays_without_mismatch() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return; // no corpus yet — vacuously green
+    };
+    let cfg = DiffConfig::default();
+    let mut replayed = 0u32;
+    for entry in entries {
+        let path = entry.expect("read corpus dir").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("txt") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let spec =
+            parse_repro(&text).unwrap_or_else(|e| panic!("{}: parse: {e}", path.display()));
+        match check(&spec, &cfg) {
+            CaseResult::Agree { .. } => {}
+            CaseResult::Undecided(why) => {
+                panic!("{}: no verdict (corpus entries must terminate): {why}", path.display())
+            }
+            CaseResult::Mismatch(m) => {
+                panic!(
+                    "{}: REGRESSION — {} run diverged: {}",
+                    path.display(),
+                    m.stage,
+                    m.detail
+                )
+            }
+        }
+        replayed += 1;
+    }
+    eprintln!("replayed {replayed} corpus reproducer(s)");
+}

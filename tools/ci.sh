@@ -10,8 +10,11 @@
 #   3. smoke experiments through the parallel engine: fig7 --quick at
 #      --jobs 1 and --jobs 2 must produce byte-identical reports
 #      (modulo the envelope timestamp); wall-clocks of both are logged
-#   4. schema validation of the emitted JSON, including the engine's
-#      merged sections
+#   4. differential fuzz smoke: 512 fixed-seed cases through the
+#      three-way oracle (reference interpreter vs plain machine vs
+#      ADORE machine); any semantic mismatch fails the gate
+#   5. schema validation of the emitted JSON, including the engine's
+#      merged sections and the fuzz report
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +50,29 @@ assert sa == sb, "parallel report differs from serial report"
 print(f"  ok: {len(sa)} canonical bytes identical across --jobs")
 EOF
 rm -f results/fig7.jobs1.json
+
+echo "== smoke: differential fuzz oracle, 512 deterministic cases =="
+cargo run --release -q -p adore-bench --bin fuzz -- --cases=512 --seed=1
+
+echo "== validate fuzz report =="
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/fuzz.json"))
+assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["tool"] == "fuzz", "tool must be fuzz"
+assert doc["cases"] >= 512, "CI smoke must run at least 512 cases"
+assert doc["mismatches"] == 0, "semantic mismatch: ADORE changed program behavior"
+assert doc["undecided"] == 0, "every smoke case must reach a verdict"
+assert doc["cases_with_patches"] > 0, "no case was patched: the oracle tested nothing"
+assert sum(doc["outcomes"].values()) == doc["cases"], "outcome counts must cover all cases"
+cov = doc["coverage"]
+for key in ("ld1", "ld2", "ld4", "ld8", "st1", "st2", "st4", "st8", "ldf", "stf",
+            "spec_ld", "lfetch", "predicated", "flushes", "hot_loops", "calls"):
+    assert cov.get(key, 0) > 0, f"coverage hole: {key} never generated"
+print(f"  ok: {doc['cases']} cases, 0 mismatches,"
+      f" {doc['cases_with_patches']} cases patched"
+      f" ({doc['traces_patched_total']} traces)")
+EOF
 
 echo "== smoke: bench simulator --quick =="
 cargo bench -q -p adore-bench --bench simulator -- --quick
