@@ -27,6 +27,11 @@ pub struct PatchedTrace {
     pub len: usize,
     /// Inserted-prefetch statistics for this trace.
     pub stats: InsertionStats,
+    /// The machine's code-store generation after this install. Every
+    /// mutation of mapped code bumps the generation and re-decodes the
+    /// affected bundles, which is what keeps the predecoded fast path
+    /// coherent with patched code (see `sim::CodeStore`).
+    pub code_generation: u64,
 }
 
 /// Installs an optimized trace and redirects the original code to it.
@@ -52,6 +57,7 @@ pub fn install(machine: &mut Machine, ot: &OptimizedTrace) -> Result<PatchedTrac
     bundles.push(Bundle::branch_only(Insn::new(Op::Br { target: ot.fall_through_exit })));
     let len = bundles.len();
 
+    let generation_before = machine.code_generation();
     let installed_at = machine.install_trace(bundles)?;
     debug_assert_eq!(installed_at, pool_addr);
 
@@ -60,6 +66,16 @@ pub fn install(machine: &mut Machine, ot: &OptimizedTrace) -> Result<PatchedTrac
         Bundle::branch_only(Insn::new(Op::Br { target: pool_addr })),
     )?;
 
+    // Publishing the trace and redirecting the head are two distinct
+    // code mutations; both must have invalidated any stale predecoded
+    // bundles, or the fast path could keep executing the old code.
+    let code_generation = machine.code_generation();
+    debug_assert!(
+        code_generation >= generation_before + 2,
+        "trace install must bump the code-store generation twice \
+         (pool install + head redirect): {generation_before} -> {code_generation}"
+    );
+
     Ok(PatchedTrace {
         pool_addr,
         body_addr,
@@ -67,6 +83,7 @@ pub fn install(machine: &mut Machine, ot: &OptimizedTrace) -> Result<PatchedTrac
         saved,
         len,
         stats: ot.stats,
+        code_generation,
     })
 }
 
@@ -77,7 +94,12 @@ pub fn install(machine: &mut Machine, ot: &OptimizedTrace) -> Result<PatchedTrac
 ///
 /// Fails when the original head no longer maps to a code bundle.
 pub fn unpatch(machine: &mut Machine, patched: &PatchedTrace) -> Result<(), PatchError> {
+    let generation_before = machine.code_generation();
     machine.replace_bundle(patched.original_head, patched.saved.clone())?;
+    debug_assert!(
+        machine.code_generation() > generation_before,
+        "unpatching must invalidate the predecoded head bundle"
+    );
     Ok(())
 }
 
@@ -165,6 +187,43 @@ mod tests {
         );
         assert!(patched.len >= 4);
         assert_eq!(patched.stats.direct, 1);
+    }
+
+    #[test]
+    fn patched_code_is_cycle_exact_across_exec_paths() {
+        // A patched machine exercises the trace pool and a rewritten
+        // static bundle — exactly the code-store mutations the fast
+        // path's generation tagging must survive. Both paths must agree
+        // cycle for cycle on the patched program.
+        let iters = 20_000i64;
+        let mut results = Vec::new();
+        for path in [sim::ExecPath::Reference, sim::ExecPath::Fast] {
+            let mut a = Asm::new();
+            a.movl(Gr(14), 0x1000_0000);
+            a.movl(Gr(9), iters);
+            a.label("loop");
+            a.ld(AccessSize::U8, Gr(20), Gr(14), 64);
+            a.add(Gr(21), Gr(20), Gr(21));
+            a.addi(Gr(9), Gr(9), -1);
+            a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+            a.br_cond(Pr(1), "loop");
+            a.halt();
+            let p = a.finish(CODE_BASE).unwrap();
+            let head = Addr(CODE_BASE + 2 * 16);
+            let mut config = MachineConfig::default();
+            config.exec_path = path;
+            let mut m = Machine::new(p, config);
+            m.mem_mut().alloc((iters as u64 + 16) * 64, 64);
+            let ot = optimized_for(&m, head);
+            let patched = install(&mut m, &ot).unwrap();
+            assert!(patched.code_generation >= 2);
+            assert_eq!(m.run(u64::MAX), StopReason::Halted);
+            results.push((m.cycles(), m.retired(), m.gr(Gr(21))));
+        }
+        assert_eq!(
+            results[0], results[1],
+            "reference and fast paths diverged on patched code"
+        );
     }
 
     #[test]

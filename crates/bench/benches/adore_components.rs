@@ -56,13 +56,19 @@ fn main() {
     let (program, ueb) = profiled();
     let tc = TraceConfig::default();
 
-    suite.bench("trace_selection", || select_traces(&program, &ueb, &tc).len() as u64);
+    suite.bench("trace_selection", || {
+        select_traces(&program, &ueb, &tc).len() as u64
+    });
 
     let traces = select_traces(&program, &ueb, &tc);
     let trace = traces.iter().find(|t| t.is_loop).expect("loop trace");
     let loads = adore::find_delinquent_loads(&traces, &ueb);
     let ti = traces.iter().position(|t| std::ptr::eq(t, trace)).unwrap();
-    let mine: Vec<_> = loads.iter().filter(|l| l.trace_index == ti).cloned().collect();
+    let mine: Vec<_> = loads
+        .iter()
+        .filter(|l| l.trace_index == ti)
+        .cloned()
+        .collect();
     assert!(!mine.is_empty());
 
     suite.bench("delinquent_load_tracking", || {
@@ -74,8 +80,12 @@ fn main() {
     });
 
     suite.bench("prefetch_generation", || {
-        optimize_trace(trace, &mine, &PrefetchConfig::default()).0.is_some() as u64
+        optimize_trace(trace, &mine, &PrefetchConfig::default())
+            .0
+            .is_some() as u64
     });
 
-    suite.save().expect("write results/bench_adore_components.json");
+    suite
+        .save()
+        .expect("write results/bench_adore_components.json");
 }

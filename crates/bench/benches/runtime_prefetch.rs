@@ -20,7 +20,11 @@ fn main() {
         let bin = build(&w, &CompileOptions::o2()).unwrap_or_else(|e| panic!("{e}"));
         suite.bench(&format!("fig7/{name}_baseline"), || run_plain(&w, &bin));
         let config = experiment_adore_config();
-        suite.bench(&format!("fig7/{name}_adore"), || run_adore(&w, &bin, &config).cycles);
+        suite.bench(&format!("fig7/{name}_adore"), || {
+            run_adore(&w, &bin, &config).cycles
+        });
     }
-    suite.save().expect("write results/bench_runtime_prefetch.json");
+    suite
+        .save()
+        .expect("write results/bench_runtime_prefetch.json");
 }

@@ -23,7 +23,12 @@ fn main() {
         });
     }
     suite.bench("compile_o3", || {
-        compile(&w.kernel, &CompileOptions::o3()).unwrap().program.len() as u64
+        compile(&w.kernel, &CompileOptions::o3())
+            .unwrap()
+            .program
+            .len() as u64
     });
-    suite.save().expect("write results/bench_static_prefetch.json");
+    suite
+        .save()
+        .expect("write results/bench_static_prefetch.json");
 }

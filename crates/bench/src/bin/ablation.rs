@@ -14,26 +14,54 @@ const BENCHES: [&str; 4] = ["mcf", "art", "swim", "lucas"];
 
 const VARIANTS: [(&str, &str, fn(&mut Cell)); 7] = [
     ("full", "full system", |_| {}),
-    ("no_jitter", "no sampling-period jitter", |c| c.adore.sampling.jitter = 0.0),
-    ("no_pointer", "no pointer-chase prefetching", |c| c.adore.prefetch.enable_pointer = false),
-    ("no_indirect", "no indirect prefetching", |c| c.adore.prefetch.enable_indirect = false),
-    ("no_direct", "no direct prefetching", |c| c.adore.prefetch.enable_direct = false),
-    ("no_bw_cap", "no memory-bandwidth cap", |c| c.machine.cache.mem_service_interval = 0),
-    ("instrumentation", "+ runtime instrumentation (§6)", |c| c.adore.instrument_unanalyzable = true),
+    ("no_jitter", "no sampling-period jitter", |c| {
+        c.adore.sampling.jitter = 0.0
+    }),
+    ("no_pointer", "no pointer-chase prefetching", |c| {
+        c.adore.prefetch.enable_pointer = false
+    }),
+    ("no_indirect", "no indirect prefetching", |c| {
+        c.adore.prefetch.enable_indirect = false
+    }),
+    ("no_direct", "no direct prefetching", |c| {
+        c.adore.prefetch.enable_direct = false
+    }),
+    ("no_bw_cap", "no memory-bandwidth cap", |c| {
+        c.machine.cache.mem_service_interval = 0
+    }),
+    ("instrumentation", "+ runtime instrumentation (§6)", |c| {
+        c.adore.instrument_unanalyzable = true
+    }),
 ];
 
 fn main() {
     let cli = cli::parse();
     let mut spec = ExperimentSpec::paper_defaults("ablation", &cli);
     for (key, _, tweak) in VARIANTS {
-        spec = spec.section_with(key, &BENCHES, CompileOptions::o2(), Measure::Comparison, tweak);
+        spec = spec.section_with(
+            key,
+            &BENCHES,
+            CompileOptions::o2(),
+            Measure::Comparison,
+            tweak,
+        );
     }
     let result = spec.run();
     println!("== Ablation of design choices (speedup % under O2 + ADORE) ==\n");
-    println!("{:<34} {:>8} {:>8} {:>8} {:>8}", "configuration", "mcf", "art", "swim", "lucas");
+    println!(
+        "{:<34} {:>8} {:>8} {:>8} {:>8}",
+        "configuration", "mcf", "art", "swim", "lucas"
+    );
     for (key, label, _) in VARIANTS {
-        let v: Vec<f64> = result.rows(key).iter().map(|r| jf(r, "speedup_pct")).collect();
-        println!("{label:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%", v[0], v[1], v[2], v[3]);
+        let v: Vec<f64> = result
+            .rows(key)
+            .iter()
+            .map(|r| jf(r, "speedup_pct"))
+            .collect();
+        println!(
+            "{label:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            v[0], v[1], v[2], v[3]
+        );
     }
     result.save().expect("write results/ablation.json");
     println!(

@@ -22,7 +22,12 @@ fn print_side(label: &str, s: &Json) {
 fn main() {
     let cli = cli::parse();
     let result = ExperimentSpec::paper_defaults("breakdown", &cli)
-        .section("rows", &PAPER_ORDER, CompileOptions::o2(), Measure::Breakdown)
+        .section(
+            "rows",
+            &PAPER_ORDER,
+            CompileOptions::o2(),
+            Measure::Breakdown,
+        )
         .run();
     println!("== Cycle breakdown (workload characterization, §2.1) ==");
     for r in result.rows("rows") {

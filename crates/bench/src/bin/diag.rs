@@ -22,17 +22,28 @@ fn main() {
         .copied()
         .filter(|n| cli.picks.is_empty() || cli.picks.iter().any(|p| p == n))
         .collect();
-    let measure =
-        Measure::Diag { profile: cli.flag("--profile"), adore: cli.flag("--adore") };
+    let measure = Measure::Diag {
+        profile: cli.flag("--profile"),
+        adore: cli.flag("--adore"),
+    };
     let (no_ptr, no_dir) = (cli.flag("--no-pointer"), cli.flag("--no-direct"));
     let result = ExperimentSpec::paper_defaults("diag", &cli)
-        .section_with("workloads", &names, CompileOptions::o2(), measure, move |c| {
-            c.adore.prefetch.enable_pointer &= !no_ptr;
-            c.adore.prefetch.enable_direct &= !no_dir;
-        })
+        .section_with(
+            "workloads",
+            &names,
+            CompileOptions::o2(),
+            measure,
+            move |c| {
+                c.adore.prefetch.enable_pointer &= !no_ptr;
+                c.adore.prefetch.enable_direct &= !no_dir;
+            },
+        )
         .run();
     for r in result.rows("workloads") {
-        let name = r.get("workload").or_else(|| r.get("bench")).and_then(Json::as_str);
+        let name = r
+            .get("workload")
+            .or_else(|| r.get("bench"))
+            .and_then(Json::as_str);
         println!("=== {} ===", name.unwrap_or("?"));
         if let Some(e) = je(r) {
             println!("ERROR: {e}");
@@ -41,9 +52,14 @@ fn main() {
         println!("cycles={} windows={}", ju(r, "cycles"), ju(r, "windows"));
         print_lines(r, "lines");
         if let Some(p) = r.get("profile") {
-            println!("miss profile: {} entries, total latency {}",
-                p.get("entries").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0),
-                ju(p, "total_latency"));
+            println!(
+                "miss profile: {} entries, total latency {}",
+                p.get("entries")
+                    .and_then(Json::as_array)
+                    .map(<[Json]>::len)
+                    .unwrap_or(0),
+                ju(p, "total_latency")
+            );
             print_lines(r, "profile_lines");
         }
         print_lines(r, "adore_lines");

@@ -13,17 +13,28 @@ use compiler::CompileOptions;
 fn main() {
     let cli = cli::parse();
     let result = ExperimentSpec::paper_defaults("fig10", &cli)
-        .section("rows", &PAPER_ORDER, CompileOptions::o2(),
-            Measure::CompareCompile(Box::new(CompileOptions::o2_original())))
+        .section(
+            "rows",
+            &PAPER_ORDER,
+            CompileOptions::o2(),
+            Measure::CompareCompile(Box::new(CompileOptions::o2_original())),
+        )
         .run();
     println!("== Fig. 10: original O2 (SWP, no reservation) vs restricted O2 ==");
-    println!("{:<10} {:>16} {:>16} {:>10}  (paper: >3% only for equake, mcf, facerec, swim)",
-        "bench", "restricted O2", "original O2", "speedup%");
+    println!(
+        "{:<10} {:>16} {:>16} {:>10}  (paper: >3% only for equake, mcf, facerec, swim)",
+        "bench", "restricted O2", "original O2", "speedup%"
+    );
     for r in result.rows("rows") {
         match je(r) {
             Some(e) => println!("{:<10} ERROR: {e}", js(r, "bench")),
-            None => println!("{:<10} {:>16} {:>16} {:>9.1}%", js(r, "bench"),
-                ju(r, "restricted_cycles"), ju(r, "original_cycles"), jf(r, "speedup_pct")),
+            None => println!(
+                "{:<10} {:>16} {:>16} {:>9.1}%",
+                js(r, "bench"),
+                ju(r, "restricted_cycles"),
+                ju(r, "original_cycles"),
+                jf(r, "speedup_pct")
+            ),
         }
     }
     result.save().expect("write results/fig10.json");

@@ -12,16 +12,28 @@ use compiler::CompileOptions;
 fn main() {
     let cli = cli::parse();
     let result = ExperimentSpec::paper_defaults("fig11", &cli)
-        .section("rows", &PAPER_ORDER, CompileOptions::o2(), Measure::Overhead)
+        .section(
+            "rows",
+            &PAPER_ORDER,
+            CompileOptions::o2(),
+            Measure::Overhead,
+        )
         .run();
     println!("== Fig. 11: overhead of runtime machinery without prefetch insertion ==");
-    println!("{:<10} {:>14} {:>22} {:>10}  (paper: 1-2% overhead)",
-        "bench", "O2 cycles", "O2+sampling cycles", "overhead%");
+    println!(
+        "{:<10} {:>14} {:>22} {:>10}  (paper: 1-2% overhead)",
+        "bench", "O2 cycles", "O2+sampling cycles", "overhead%"
+    );
     for r in result.rows("rows") {
         match je(r) {
             Some(e) => println!("{:<10} ERROR: {e}", js(r, "bench")),
-            None => println!("{:<10} {:>14} {:>22} {:>9.2}%", js(r, "bench"),
-                ju(r, "o2_cycles"), ju(r, "sampling_cycles"), jf(r, "overhead_pct")),
+            None => println!(
+                "{:<10} {:>14} {:>22} {:>9.2}%",
+                js(r, "bench"),
+                ju(r, "o2_cycles"),
+                ju(r, "sampling_cycles"),
+                jf(r, "overhead_pct")
+            ),
         }
     }
     result.save().expect("write results/fig11.json");

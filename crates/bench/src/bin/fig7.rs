@@ -13,12 +13,22 @@ fn main() {
     let part = cli.pick().unwrap_or("both").to_string();
     let mut spec = ExperimentSpec::paper_defaults("fig7", &cli);
     if part != "b" {
-        spec = spec.section_with("part_a", &PAPER_ORDER, CompileOptions::o2(), Measure::Comparison,
-            |c| c.extra("paper_speedup_pct", paper_fig7a(c.workload)));
+        spec = spec.section_with(
+            "part_a",
+            &PAPER_ORDER,
+            CompileOptions::o2(),
+            Measure::Comparison,
+            |c| c.extra("paper_speedup_pct", paper_fig7a(c.workload)),
+        );
     }
     if part != "a" {
-        spec = spec.section_with("part_b", &PAPER_ORDER, CompileOptions::o3(), Measure::Comparison,
-            |c| c.extra("paper_speedup_pct", paper_fig7b(c.workload)));
+        spec = spec.section_with(
+            "part_b",
+            &PAPER_ORDER,
+            CompileOptions::o3(),
+            Measure::Comparison,
+            |c| c.extra("paper_speedup_pct", paper_fig7b(c.workload)),
+        );
     }
     let result = spec.run();
     for (tag, key, opt) in [('a', "part_a", "O2"), ('b', "part_b", "O3")] {
@@ -27,15 +37,23 @@ fn main() {
             continue;
         }
         println!("== Fig. 7({tag}): {opt} + runtime prefetching ==");
-        println!("{:<10} {:>14} {:>14} {:>10} {:>10}  {:>8} {:>8}",
-            "bench", "base cycles", "adore cycles", "speedup%", "paper%", "patched", "phases");
+        println!(
+            "{:<10} {:>14} {:>14} {:>10} {:>10}  {:>8} {:>8}",
+            "bench", "base cycles", "adore cycles", "speedup%", "paper%", "patched", "phases"
+        );
         for r in rows {
             match je(r) {
                 Some(e) => println!("{:<10} ERROR: {e}", js(r, "bench")),
-                None => println!("{:<10} {:>14} {:>14} {:>9.1}% {:>9.1}%  {:>8} {:>8}",
-                    js(r, "bench"), ju(r, "base_cycles"), ju(r, "adore_cycles"),
-                    jf(r, "speedup_pct"), jf(r, "paper_speedup_pct"),
-                    ju(r, "traces_patched"), ju(r, "phases_optimized")),
+                None => println!(
+                    "{:<10} {:>14} {:>14} {:>9.1}% {:>9.1}%  {:>8} {:>8}",
+                    js(r, "bench"),
+                    ju(r, "base_cycles"),
+                    ju(r, "adore_cycles"),
+                    jf(r, "speedup_pct"),
+                    jf(r, "paper_speedup_pct"),
+                    ju(r, "traces_patched"),
+                    ju(r, "phases_optimized")
+                ),
             }
         }
     }

@@ -16,29 +16,49 @@ fn series<'a>(r: &'a Json, key: &str) -> &'a [Json] {
 
 fn print_table(r: &Json) {
     let name = js(r, "bench");
-    let figure = if name == "art" { "Fig. 8 (179.art)" } else { "Fig. 9 (181.mcf)" };
+    let figure = if name == "art" {
+        "Fig. 8 (179.art)"
+    } else {
+        "Fig. 9 (181.mcf)"
+    };
     println!("== {figure}: CPI and DEAR_CACHE_LAT8/1000-instructions over time ==");
     for (label, key) in [("no", "baseline"), ("with", "adore")] {
         println!("-- {label} runtime prefetching --");
         println!("{:>14} {:>8} {:>12}", "cycles", "CPI", "miss/kinsn");
         for p in series(r, key) {
-            println!("{:>14} {:>8.3} {:>12.3}", ju(p, "cycles"), jf(p, "cpi"), jf(p, "dear_per_kinsn"));
+            println!(
+                "{:>14} {:>8.3} {:>12.3}",
+                ju(p, "cycles"),
+                jf(p, "cpi"),
+                jf(p, "dear_per_kinsn")
+            );
         }
     }
     let avg = |key: &str, f: &str| {
         let s = series(r, key);
         s.iter().map(|p| jf(p, f)).sum::<f64>() / s.len().max(1) as f64
     };
-    println!("summary: CPI {:.3} -> {:.3}; miss/kinsn {:.3} -> {:.3}; end-time {} -> {} cycles",
-        avg("baseline", "cpi"), avg("adore", "cpi"), avg("baseline", "dear_per_kinsn"),
-        avg("adore", "dear_per_kinsn"), ju(r, "baseline_end_cycles"), ju(r, "adore_end_cycles"));
+    println!(
+        "summary: CPI {:.3} -> {:.3}; miss/kinsn {:.3} -> {:.3}; end-time {} -> {} cycles",
+        avg("baseline", "cpi"),
+        avg("adore", "cpi"),
+        avg("baseline", "dear_per_kinsn"),
+        avg("adore", "dear_per_kinsn"),
+        ju(r, "baseline_end_cycles"),
+        ju(r, "adore_end_cycles")
+    );
 }
 
 fn print_csv(r: &Json) {
     println!("series,cycles,cpi,dear_per_kinsn");
     for (label, key) in [("baseline", "baseline"), ("adore", "adore")] {
         for p in series(r, key) {
-            println!("{label},{},{:.4},{:.4}", ju(p, "cycles"), jf(p, "cpi"), jf(p, "dear_per_kinsn"));
+            println!(
+                "{label},{},{:.4},{:.4}",
+                ju(p, "cycles"),
+                jf(p, "cpi"),
+                jf(p, "dear_per_kinsn")
+            );
         }
     }
 }

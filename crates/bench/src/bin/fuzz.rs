@@ -10,7 +10,8 @@
 //!
 //! Emits `results/fuzz.json`.
 //!
-//! Usage: `fuzz [--cases=N] [--seed=N] [--quick] [--jobs N]`
+//! Usage: `fuzz [--cases=N] [--seed=N] [--quick] [--jobs N]
+//! [--exec-path=fast|reference]`
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -24,7 +25,22 @@ use oracle::{check, generate, shrink, CaseResult, Coverage, DiffConfig, GenConfi
 /// Value of a `--name=value` flag.
 fn flag_value(flags: &[String], name: &str) -> Option<u64> {
     let prefix = format!("--{name}=");
-    flags.iter().find_map(|f| f.strip_prefix(&prefix)).and_then(|v| v.parse().ok())
+    flags
+        .iter()
+        .find_map(|f| f.strip_prefix(&prefix))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Simulator execution path selected by `--exec-path=fast|reference`
+/// (default: fast, the path normal runs use).
+fn exec_path_flag(flags: &[String]) -> sim::ExecPath {
+    match flags.iter().find_map(|f| f.strip_prefix("--exec-path=")) {
+        None => sim::ExecPath::Fast,
+        Some(v) => v.parse().unwrap_or_else(|e: String| {
+            eprintln!("fuzz: {e}");
+            std::process::exit(2);
+        }),
+    }
 }
 
 /// `tests/corpus/` under the workspace root (the directory holding
@@ -47,18 +63,30 @@ fn corpus_dir() -> PathBuf {
 }
 
 enum CaseReport {
-    Agree { outcome_label: &'static str, traces_patched: usize },
-    Undecided { why: String },
-    Mismatch { stage: &'static str, detail: String, shrunk_items: usize, file: PathBuf },
+    Agree {
+        outcome_label: &'static str,
+        traces_patched: usize,
+    },
+    Undecided {
+        why: String,
+    },
+    Mismatch {
+        stage: &'static str,
+        detail: String,
+        shrunk_items: usize,
+        file: PathBuf,
+    },
 }
 
 fn main() {
     let cli = cli::parse();
-    let cases = flag_value(&cli.flags, "cases")
-        .unwrap_or(if cli.flag("--quick") { 128 } else { 512 }) as usize;
+    let cases =
+        flag_value(&cli.flags, "cases").unwrap_or(if cli.flag("--quick") { 128 } else { 512 })
+            as usize;
     let base_seed = flag_value(&cli.flags, "seed").unwrap_or(1);
+    let exec_path = exec_path_flag(&cli.flags);
     let gen_cfg = GenConfig::default();
-    let diff_cfg = DiffConfig::default();
+    let diff_cfg = DiffConfig { exec_path, ..DiffConfig::default() };
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, u64, Coverage, CaseReport)>> =
@@ -75,9 +103,13 @@ fn main() {
                 let case_seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 let (spec, cov) = generate(case_seed, &gen_cfg);
                 let report = match check(&spec, &diff_cfg) {
-                    CaseResult::Agree { outcome, traces_patched } => {
-                        CaseReport::Agree { outcome_label: outcome.label(), traces_patched }
-                    }
+                    CaseResult::Agree {
+                        outcome,
+                        traces_patched,
+                    } => CaseReport::Agree {
+                        outcome_label: outcome.label(),
+                        traces_patched,
+                    },
                     CaseResult::Undecided(why) => CaseReport::Undecided { why },
                     CaseResult::Mismatch(m) => {
                         eprintln!(
@@ -120,7 +152,10 @@ fn main() {
     for (_, case_seed, cov, report) in &results {
         coverage.absorb(cov);
         match report {
-            CaseReport::Agree { outcome_label, traces_patched } => {
+            CaseReport::Agree {
+                outcome_label,
+                traces_patched,
+            } => {
                 *outcomes.entry(outcome_label).or_insert(0) += 1;
                 if *traces_patched > 0 {
                     cases_with_patches += 1;
@@ -131,7 +166,12 @@ fn main() {
                 undecided += 1;
                 eprintln!("[fuzz] undecided seed {case_seed:#x}: {why}");
             }
-            CaseReport::Mismatch { stage, detail, shrunk_items, file } => {
+            CaseReport::Mismatch {
+                stage,
+                detail,
+                shrunk_items,
+                file,
+            } => {
                 mismatches += 1;
                 mismatch_rows.push(
                     Json::object()
@@ -157,6 +197,7 @@ fn main() {
     let mut report = Report::new("fuzz");
     report.set("args", cli.report_args.clone());
     report.set("seed", base_seed);
+    report.set("exec_path", exec_path.to_string());
     report.set("cases", cases as u64);
     report.set("mismatches", mismatches);
     report.set("undecided", undecided);
@@ -168,7 +209,7 @@ fn main() {
     report.save().expect("write results/fuzz.json");
 
     println!(
-        "fuzz: {cases} cases, {mismatches} mismatches, {undecided} undecided, \
+        "fuzz[{exec_path}]: {cases} cases, {mismatches} mismatches, {undecided} undecided, \
          {cases_with_patches} cases patched ({traces_patched_total} traces)"
     );
     for (label, count) in &outcomes {

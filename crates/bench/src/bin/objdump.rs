@@ -46,7 +46,11 @@ fn main() {
             info.head,
             info.end,
             info.trip,
-            if info.has_static_prefetch { " +prefetch" } else { "" }
+            if info.has_static_prefetch {
+                " +prefetch"
+            } else {
+                ""
+            }
         );
     }
     print!("{program}");

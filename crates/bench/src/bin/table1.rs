@@ -18,26 +18,47 @@ use obs::Json;
 fn main() {
     let cli = cli::parse();
     let result = ExperimentSpec::paper_defaults("table1", &cli)
-        .section_with("rows", &PAPER_ORDER, CompileOptions::o3(),
-            Measure::GuidedPrefetch { coverage: 0.9 }, |c| {
+        .section_with(
+            "rows",
+            &PAPER_ORDER,
+            CompileOptions::o3(),
+            Measure::GuidedPrefetch { coverage: 0.9 },
+            |c| {
                 let (o3, pf, time, size) = paper_table1(c.workload).unwrap();
-                c.extra("paper", Json::object().with("o3_loops", o3).with("profiled_loops", pf)
-                    .with("norm_time", time).with("norm_size", size));
-            })
+                c.extra(
+                    "paper",
+                    Json::object()
+                        .with("o3_loops", o3)
+                        .with("profiled_loops", pf)
+                        .with("norm_time", time)
+                        .with("norm_size", size),
+                );
+            },
+        )
         .run();
     println!("== Table 1: profile-guided static prefetching ==");
-    println!("{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}  (paper: loops {:>4}->{:>3}, time, size)",
-        "bench", "O3 loops", "prof loops", "norm time", "norm size", "p.time", "p.size", "O3", "pf");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}  (paper: loops {:>4}->{:>3}, time, size)",
+        "bench", "O3 loops", "prof loops", "norm time", "norm size", "p.time", "p.size", "O3", "pf"
+    );
     for r in result.rows("rows") {
         if let Some(e) = je(r) {
             println!("{:<10} ERROR: {e}", js(r, "bench"));
             continue;
         }
         let p = r.get("paper").expect("paper present");
-        println!("{:<10} {:>8} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  (paper: {:>4}->{:>3})",
-            js(r, "bench"), ju(r, "o3_loops"), ju(r, "profiled_loops"), jf(r, "norm_time"),
-            jf(r, "norm_size"), jf(p, "norm_time"), jf(p, "norm_size"),
-            ju(p, "o3_loops"), ju(p, "profiled_loops"));
+        println!(
+            "{:<10} {:>8} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  (paper: {:>4}->{:>3})",
+            js(r, "bench"),
+            ju(r, "o3_loops"),
+            ju(r, "profiled_loops"),
+            jf(r, "norm_time"),
+            jf(r, "norm_size"),
+            jf(p, "norm_time"),
+            jf(p, "norm_size"),
+            ju(p, "o3_loops"),
+            ju(p, "profiled_loops")
+        );
     }
     result.save().expect("write results/table1.json");
 }

@@ -14,15 +14,29 @@ use obs::Json;
 fn main() {
     let cli = cli::parse();
     let result = ExperimentSpec::paper_defaults("table2", &cli)
-        .section_with("rows", &PAPER_ORDER, CompileOptions::o2(), Measure::Streams, |c| {
-            let (pd, pi, pp, pph) = paper_table2(c.workload).unwrap();
-            c.extra("paper", Json::object().with("direct", pd).with("indirect", pi)
-                .with("pointer", pp).with("phases", pph));
-        })
+        .section_with(
+            "rows",
+            &PAPER_ORDER,
+            CompileOptions::o2(),
+            Measure::Streams,
+            |c| {
+                let (pd, pi, pp, pph) = paper_table2(c.workload).unwrap();
+                c.extra(
+                    "paper",
+                    Json::object()
+                        .with("direct", pd)
+                        .with("indirect", pi)
+                        .with("pointer", pp)
+                        .with("phases", pph),
+                );
+            },
+        )
         .run();
     println!("== Table 2: prefetching data analysis (O2 + ADORE) ==");
-    println!("{:<10} {:>7} {:>9} {:>8} {:>7}   paper: (dir, ind, ptr, phases)",
-        "bench", "direct", "indirect", "pointer", "phases");
+    println!(
+        "{:<10} {:>7} {:>9} {:>8} {:>7}   paper: (dir, ind, ptr, phases)",
+        "bench", "direct", "indirect", "pointer", "phases"
+    );
     for r in result.rows("rows") {
         if let Some(e) = je(r) {
             println!("{:<10} ERROR: {e}", js(r, "bench"));
@@ -30,10 +44,18 @@ fn main() {
         }
         let s = r.get("streams").expect("streams present");
         let p = r.get("paper").expect("paper present");
-        println!("{:<10} {:>7} {:>9} {:>8} {:>7}   paper: ({:>3}, {:>3}, {:>3}, {:>3})",
-            js(r, "bench"), ju(s, "direct"), ju(s, "indirect"), ju(s, "pointer"),
-            ju(r, "phases_optimized"), ju(p, "direct"), ju(p, "indirect"), ju(p, "pointer"),
-            ju(p, "phases"));
+        println!(
+            "{:<10} {:>7} {:>9} {:>8} {:>7}   paper: ({:>3}, {:>3}, {:>3}, {:>3})",
+            js(r, "bench"),
+            ju(s, "direct"),
+            ju(s, "indirect"),
+            ju(s, "pointer"),
+            ju(r, "phases_optimized"),
+            ju(p, "direct"),
+            ju(p, "indirect"),
+            ju(p, "pointer"),
+            ju(p, "phases")
+        );
     }
     result.save().expect("write results/table2.json");
 }

@@ -72,11 +72,29 @@ pub fn parse_from(args: Vec<String>) -> Cli {
         }
     }
     let jobs = jobs
-        .or_else(|| std::env::var("ADORE_JOBS").ok().and_then(|n| n.parse().ok()))
+        .or_else(|| {
+            std::env::var("ADORE_JOBS")
+                .ok()
+                .and_then(|n| n.parse().ok())
+        })
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-    let scale = if flags.iter().any(|f| f == "--quick") { QUICK_SCALE } else { FULL_SCALE };
-    Cli { scale, jobs, picks, flags, report_args }
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let scale = if flags.iter().any(|f| f == "--quick") {
+        QUICK_SCALE
+    } else {
+        FULL_SCALE
+    };
+    Cli {
+        scale,
+        jobs,
+        picks,
+        flags,
+        report_args,
+    }
 }
 
 #[cfg(test)]

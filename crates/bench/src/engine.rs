@@ -241,7 +241,10 @@ impl ExperimentSpec {
                 cell
             })
             .collect();
-        self.sections.push(Section { key: key.to_string(), cells });
+        self.sections.push(Section {
+            key: key.to_string(),
+            cells,
+        });
         self
     }
 
@@ -256,8 +259,7 @@ impl ExperimentSpec {
         for (si, section) in self.sections.iter().enumerate() {
             for cell in &section.cells {
                 let mut cell = cell.clone();
-                cell.adore.sampling.seed =
-                    cell_seed(&[&self.tool, &section.key, cell.workload]);
+                cell.adore.sampling.seed = cell_seed(&[&self.tool, &section.key, cell.workload]);
                 cells.push((si, cell));
             }
         }
@@ -280,9 +282,9 @@ impl ExperimentSpec {
                     let t = Instant::now();
                     let row = match run_cell(cell, &suite, &cache) {
                         Ok(row) => row,
-                        Err(e) => {
-                            Json::object().with("bench", cell.workload).with("error", e.to_string())
-                        }
+                        Err(e) => Json::object()
+                            .with("bench", cell.workload)
+                            .with("error", e.to_string()),
                     };
                     let row = merge_extra(row, &cell.extra);
                     let label = format!("{}/{}", self.sections[*si].key, cell.workload);
@@ -304,8 +306,12 @@ impl ExperimentSpec {
         }
 
         let (lookups, computes) = cache.stats();
-        let mut report =
-            experiment_report_with(&self.tool, &self.report_args, self.scale, &self.adore.sampling);
+        let mut report = experiment_report_with(
+            &self.tool,
+            &self.report_args,
+            self.scale,
+            &self.adore.sampling,
+        );
         let mut sections_out = Vec::new();
         for (section, rows) in self.sections.iter().zip(rows) {
             report.set(&section.key, rows.as_slice());
@@ -336,7 +342,12 @@ impl ExperimentSpec {
             lookups - computes,
             lookups
         );
-        EngineResult { report, sections: sections_out, wall, failed }
+        EngineResult {
+            report,
+            sections: sections_out,
+            wall,
+            failed,
+        }
     }
 }
 
@@ -407,8 +418,10 @@ impl std::error::Error for CellError {}
 /// Compiles a workload, turning failure into a [`CellError`] instead of
 /// a panic, so one bad cell fails its row rather than the whole grid.
 pub fn try_build(w: &Workload, opts: &CompileOptions) -> Result<CompiledBinary, CellError> {
-    compile(&w.kernel, opts)
-        .map_err(|e| CellError::Compile { workload: w.name.to_string(), message: e.to_string() })
+    compile(&w.kernel, opts).map_err(|e| CellError::Compile {
+        workload: w.name.to_string(),
+        message: e.to_string(),
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -478,7 +491,12 @@ impl BaselineCache {
             };
             let mut m = w.prepare(&bin, machine.clone());
             let cycles = m.run_to_halt();
-            Ok(Baseline { cycles, counters: m.pmu().counters, stats: machine_stats_json(&m), bin })
+            Ok(Baseline {
+                cycles,
+                counters: m.pmu().counters,
+                stats: machine_stats_json(&m),
+                bin,
+            })
         });
         out.clone().map_err(|message| CellError::Compile {
             workload: w.name.to_string(),
@@ -489,7 +507,10 @@ impl BaselineCache {
     /// `(lookups, computes)` so far; hits are the difference. Both are
     /// deterministic for a fixed grid, independent of the worker count.
     pub fn stats(&self) -> (usize, usize) {
-        (self.lookups.load(Ordering::SeqCst), self.computes.load(Ordering::SeqCst))
+        (
+            self.lookups.load(Ordering::SeqCst),
+            self.computes.load(Ordering::SeqCst),
+        )
     }
 }
 
@@ -557,7 +578,11 @@ fn run_cell(cell: &Cell, suite: &[Workload], cache: &BaselineCache) -> Result<Js
     }
 }
 
-fn run_adore_in(cell: &Cell, w: &Workload, bin: &CompiledBinary) -> (adore::RunReport, sim::Machine) {
+fn run_adore_in(
+    cell: &Cell,
+    w: &Workload,
+    bin: &CompiledBinary,
+) -> (adore::RunReport, sim::Machine) {
     let mcfg = cell.adore.machine_config(cell.machine.clone());
     let mut m = w.prepare(bin, mcfg);
     let r = adore::run(&mut m, &cell.adore);
@@ -566,7 +591,10 @@ fn run_adore_in(cell: &Cell, w: &Workload, bin: &CompiledBinary) -> (adore::RunR
 
 fn plain_cell(w: &Workload, cell: &Cell, cache: &BaselineCache) -> Result<Json, CellError> {
     let base = cache.plain(w, &cell.opts, &cell.machine)?;
-    Ok(Json::object().with("bench", w.name).with("cycles", base.cycles).with("stats", base.stats))
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("cycles", base.cycles)
+        .with("stats", base.stats))
 }
 
 fn compare_compile_cell(
@@ -581,7 +609,10 @@ fn compare_compile_cell(
         .with("bench", w.name)
         .with("restricted_cycles", restricted.cycles)
         .with("original_cycles", original.cycles)
-        .with("speedup_pct", speedup_pct(restricted.cycles, original.cycles)))
+        .with(
+            "speedup_pct",
+            speedup_pct(restricted.cycles, original.cycles),
+        ))
 }
 
 fn comparison_cell(w: &Workload, cell: &Cell, cache: &BaselineCache) -> Result<Json, CellError> {
@@ -638,18 +669,27 @@ fn timeline_cell(w: &Workload, cell: &Cell) -> Result<Json, CellError> {
         without.push(point(t, win.cpi, win.dear_per_kinsn));
     });
     let (report, _) = run_adore_in(cell, w, &bin);
-    let with: Vec<Json> =
-        report.timeline.iter().map(|t| point(t.cycles, t.cpi, t.dear_per_kinsn)).collect();
+    let with: Vec<Json> = report
+        .timeline
+        .iter()
+        .map(|t| point(t.cycles, t.cpi, t.dear_per_kinsn))
+        .collect();
     Ok(Json::object()
         .with("bench", w.name)
         .with("baseline_end_cycles", without_end)
-        .with("adore_end_cycles", report.timeline.last().map(|t| t.cycles).unwrap_or(0))
+        .with(
+            "adore_end_cycles",
+            report.timeline.last().map(|t| t.cycles).unwrap_or(0),
+        )
         .with("baseline", without)
         .with("adore", with))
 }
 
 fn point(cycles: u64, cpi: f64, dpk: f64) -> Json {
-    Json::object().with("cycles", cycles).with("cpi", cpi).with("dear_per_kinsn", dpk)
+    Json::object()
+        .with("cycles", cycles)
+        .with("cpi", cpi)
+        .with("dear_per_kinsn", dpk)
 }
 
 fn guided_cell(
@@ -666,7 +706,9 @@ fn guided_cell(
     let mut m = w.prepare(&o2, cell.adore.machine_config(cell.machine.clone()));
     let mut pm = perfmon::Perfmon::new(cell.adore.perfmon.clone());
     let mut samples: Vec<sim::Sample> = Vec::new();
-    pm.run_with_windows(&mut m, |_, win, _| samples.extend(win.samples.iter().cloned()));
+    pm.run_with_windows(&mut m, |_, win, _| {
+        samples.extend(win.samples.iter().cloned())
+    });
     let profile = perfmon::MissProfile::from_samples(samples.iter());
 
     let mut guided_opts = cell.opts.clone();
@@ -768,8 +810,10 @@ fn diag_cell(w: &Workload, cell: &Cell, profile: bool, adore_run: bool) -> Resul
         let prof = perfmon::MissProfile::from_samples(all.iter());
         let mut plines = Vec::new();
         for e in prof.entries().iter().take(16) {
-            let name =
-                bin.loop_containing(isa::Addr(e.addr)).map(|l| l.name.as_str()).unwrap_or("?");
+            let name = bin
+                .loop_containing(isa::Addr(e.addr))
+                .map(|l| l.name.as_str())
+                .unwrap_or("?");
             plines.push(format!(
                 "  pc={:#x}+{} `{}` count={} total_lat={} avg={:.0}",
                 e.addr,
@@ -797,14 +841,19 @@ fn diag_cell(w: &Workload, cell: &Cell, profile: bool, adore_run: bool) -> Resul
             lf_issued
         )];
         for (pc, reason) in &report.skips {
-            let loop_name =
-                bin.loop_containing(pc.addr).map(|l| l.name.as_str()).unwrap_or("?");
+            let loop_name = bin
+                .loop_containing(pc.addr)
+                .map(|l| l.name.as_str())
+                .unwrap_or("?");
             alines.push(format!("  skip {pc} in `{loop_name}`: {reason:?}"));
         }
         for e in &report.events {
             alines.push(format!("  opt-event at {} cycles:", e.at_cycles));
             for (start, is_loop, len, loads, ins) in &e.traces {
-                let name = bin.loop_containing(*start).map(|l| l.name.as_str()).unwrap_or("?");
+                let name = bin
+                    .loop_containing(*start)
+                    .map(|l| l.name.as_str())
+                    .unwrap_or("?");
                 alines.push(format!(
                     "    trace@{start} `{name}` loop={is_loop} bundles={len} loads={loads} inserted={ins:?}"
                 ));
@@ -818,7 +867,9 @@ fn diag_cell(w: &Workload, cell: &Cell, profile: bool, adore_run: bool) -> Resul
         }
         entry.set(
             "adore",
-            Json::object().with("run", &report).with("caches", m2.caches()),
+            Json::object()
+                .with("run", &report)
+                .with("caches", m2.caches()),
         );
         entry.set("adore_lines", alines);
     }

@@ -298,8 +298,14 @@ mod tests {
         assert_eq!(j.get("tool").and_then(Json::as_str), Some("unit"));
         let rc = j.get("run_config").expect("run_config present");
         assert_eq!(rc.get("quick"), Some(&Json::Bool(true)));
-        assert!(rc.get("sampling").and_then(|s| s.get("interval_cycles")).is_some());
-        assert!(Json::parse(&j.to_string()).is_ok(), "report serializes to valid JSON");
+        assert!(rc
+            .get("sampling")
+            .and_then(|s| s.get("interval_cycles"))
+            .is_some());
+        assert!(
+            Json::parse(&j.to_string()).is_ok(),
+            "report serializes to valid JSON"
+        );
     }
 
     #[test]

@@ -8,13 +8,29 @@ use compiler::CompileOptions;
 use obs::Json;
 
 fn cli(scale: f64, jobs: usize) -> Cli {
-    Cli { scale, jobs, picks: vec![], flags: vec![], report_args: vec!["--unit".into()] }
+    Cli {
+        scale,
+        jobs,
+        picks: vec![],
+        flags: vec![],
+        report_args: vec!["--unit".into()],
+    }
 }
 
 fn spec(jobs: usize) -> ExperimentSpec {
     ExperimentSpec::paper_defaults("unit", &cli(0.05, jobs))
-        .section("comparison", &["swim", "art"], CompileOptions::o2(), Measure::Comparison)
-        .section("overhead", &["swim", "art"], CompileOptions::o2(), Measure::Overhead)
+        .section(
+            "comparison",
+            &["swim", "art"],
+            CompileOptions::o2(),
+            Measure::Comparison,
+        )
+        .section(
+            "overhead",
+            &["swim", "art"],
+            CompileOptions::o2(),
+            Measure::Overhead,
+        )
 }
 
 /// The report with its only volatile field (the envelope timestamp)
@@ -37,12 +53,19 @@ fn parallel_report_is_byte_identical_to_serial() {
     assert_eq!(row.get("bench").and_then(Json::as_str), Some("swim"));
     assert!(row.get("speedup_pct").and_then(Json::as_f64).is_some());
     assert!(row.get("streams").and_then(|s| s.get("direct")).is_some());
-    let caches = row.get("base").and_then(|b| b.get("caches")).expect("cache stats");
+    let caches = row
+        .get("base")
+        .and_then(|b| b.get("caches"))
+        .expect("cache stats");
     assert!(caches.get("l1d").and_then(|l| l.get("misses")).is_some());
 
     // The overhead section reused both comparison baselines: 4 lookups,
     // 2 computes — and that arithmetic is jobs-independent.
-    let engine = serial.report().json().get("engine").expect("engine section");
+    let engine = serial
+        .report()
+        .json()
+        .get("engine")
+        .expect("engine section");
     let cache = engine.get("baseline_cache").expect("cache stats");
     assert_eq!(cache.get("lookups").and_then(Json::as_u64), Some(4));
     assert_eq!(cache.get("computes").and_then(Json::as_u64), Some(2));
@@ -69,7 +92,9 @@ fn baseline_cache_counts_hits_and_distinguishes_machines() {
     assert_eq!(cache.stats(), (3, 2));
 
     // Different compile options likewise.
-    cache.plain(w, &CompileOptions::o2_original(), &mcfg).unwrap();
+    cache
+        .plain(w, &CompileOptions::o2_original(), &mcfg)
+        .unwrap();
     assert_eq!(cache.stats(), (4, 3));
 }
 
@@ -81,7 +106,12 @@ fn compile_failure_fails_only_its_row() {
     bad.kernel.loops[0].trip = 0;
     let result = ExperimentSpec::paper_defaults("unit_bad", &cli(0.05, 2))
         .with_workload(bad)
-        .section("rows", &["swim", "badloop", "nosuch"], CompileOptions::o2(), Measure::Comparison)
+        .section(
+            "rows",
+            &["swim", "badloop", "nosuch"],
+            CompileOptions::o2(),
+            Measure::Comparison,
+        )
         .run();
     assert_eq!(result.failed, 2);
     let rows = result.rows("rows");
@@ -90,5 +120,7 @@ fn compile_failure_fails_only_its_row() {
     assert!(rows[0].get("speedup_pct").is_some());
     let msg = je(&rows[1]).expect("compile-failure row");
     assert!(msg.contains("zero trip count"), "{msg}");
-    assert!(je(&rows[2]).expect("unknown-workload row").contains("unknown workload"));
+    assert!(je(&rows[2])
+        .expect("unknown-workload row")
+        .contains("unknown workload"));
 }

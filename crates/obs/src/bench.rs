@@ -75,13 +75,17 @@ impl BenchResult {
         Some(self.value as f64 / e as f64)
     }
 
-    /// Wall nanoseconds per element (median iteration).
+    /// Wall nanoseconds per element, computed from the fastest timed
+    /// iteration. External interference on a shared runner only ever
+    /// adds time, so the minimum is the noise-robust estimate of the
+    /// true per-element cost (the distribution's median and mean are
+    /// still reported raw in `median_ns` / `mean_ns`).
     pub fn ns_per_element(&self) -> Option<f64> {
         let e = self.elements?;
         if e == 0 {
             return None;
         }
-        Some(self.median_ns as f64 / e as f64)
+        Some(self.min_ns as f64 / e as f64)
     }
 }
 

@@ -20,7 +20,9 @@
 use adore::AdoreConfig;
 use isa::{Fr, Gr, Pr};
 use perfmon::PerfmonConfig;
-use sim::{CacheConfig, Fault, Machine, MachineConfig, Memory, SamplingConfig, StopReason};
+use sim::{
+    CacheConfig, ExecPath, Fault, Machine, MachineConfig, Memory, SamplingConfig, StopReason,
+};
 
 use crate::interp::{Interp, Outcome};
 use crate::spec::ProgSpec;
@@ -34,11 +36,20 @@ pub struct DiffConfig {
     pub cycle_limit: u64,
     /// Maximum candidate evaluations the shrinker may spend.
     pub shrink_evals: usize,
+    /// Simulator execution path for both machine legs. The interpreter
+    /// leg is path-independent, so fuzzing once per path checks each
+    /// simulator loop against the same architectural truth.
+    pub exec_path: ExecPath,
 }
 
 impl Default for DiffConfig {
     fn default() -> DiffConfig {
-        DiffConfig { fuel: 2_000_000, cycle_limit: 60_000_000, shrink_evals: 400 }
+        DiffConfig {
+            fuel: 2_000_000,
+            cycle_limit: 60_000_000,
+            shrink_evals: 400,
+            exec_path: ExecPath::Fast,
+        }
     }
 }
 
@@ -162,11 +173,12 @@ fn fuzz_cache() -> CacheConfig {
     }
 }
 
-fn base_machine_config(spec: &ProgSpec) -> MachineConfig {
+fn base_machine_config(spec: &ProgSpec, cfg: &DiffConfig) -> MachineConfig {
     MachineConfig {
         cache: fuzz_cache(),
         mem_capacity: spec.arena_bytes as usize,
         sampling: None,
+        exec_path: cfg.exec_path,
         ..MachineConfig::default()
     }
 }
@@ -298,7 +310,7 @@ pub fn check(spec: &ProgSpec, cfg: &DiffConfig) -> CaseResult {
     let reference = interp_state(&interp, ref_outcome);
 
     // Plain machine: full timing model, no sampling, no ADORE.
-    let mut plain = Machine::new(program.clone(), base_machine_config(spec));
+    let mut plain = Machine::new(program.clone(), base_machine_config(spec, cfg));
     spec.init_memory(plain.mem_mut());
     let plain_outcome = match plain.run(cfg.cycle_limit) {
         StopReason::Halted => CaseOutcome::Halted,
@@ -317,7 +329,8 @@ pub fn check(spec: &ProgSpec, cfg: &DiffConfig) -> CaseResult {
 
     // ADORE machine: sampling on, aggressive optimizer.
     let adore_config = fuzz_adore_config(spec.seed);
-    let mut opt = Machine::new(program, adore_config.machine_config(base_machine_config(spec)));
+    let mut opt =
+        Machine::new(program, adore_config.machine_config(base_machine_config(spec, cfg)));
     spec.init_memory(opt.mem_mut());
     let report = adore::run_with_limit(&mut opt, &adore_config, cfg.cycle_limit);
     let opt_outcome = if let Some(f) = opt.fault() {
@@ -425,6 +438,25 @@ mod tests {
             }
         }
         assert!(patched > 0, "no case got a trace patched — the oracle is not exercising ADORE");
+    }
+
+    #[test]
+    fn generated_cases_agree_on_the_reference_path_too() {
+        // The interpreter leg is path-independent, so running the same
+        // seeds with ExecPath::Reference checks the reference simulator
+        // loop against the identical architectural truth.
+        let gen_cfg = GenConfig::default();
+        let cfg = DiffConfig { exec_path: ExecPath::Reference, ..DiffConfig::default() };
+        for seed in 0..4 {
+            let (spec, _) = generate(seed, &gen_cfg);
+            match check(&spec, &cfg) {
+                CaseResult::Agree { .. } => {}
+                CaseResult::Undecided(why) => panic!("seed {seed} undecided: {why}"),
+                CaseResult::Mismatch(m) => {
+                    panic!("seed {seed} diverged at {}: {}", m.stage, m.detail)
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@ use obs::{Json, ToJson};
 pub struct Cache {
     name: &'static str,
     line_bytes: u64,
+    /// `log2(line_bytes)`: line numbers come from a shift, not a
+    /// hardware divide, on every lookup.
+    line_shift: u32,
     sets: usize,
     ways: usize,
     /// `tags[set * ways + way]`; `u64::MAX` marks an empty way.
@@ -34,12 +37,19 @@ impl Cache {
     /// Panics unless `size_bytes` is divisible by `line_bytes * ways`
     /// and the set count is a power of two.
     pub fn new(name: &'static str, size_bytes: u64, line_bytes: u64, ways: usize) -> Cache {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = (size_bytes / (line_bytes * ways as u64)) as usize;
-        assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "set count must be a power of two"
+        );
         Cache {
             name,
             line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
             sets,
             ways,
             tags: vec![u64::MAX; sets * ways],
@@ -71,7 +81,7 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.line_bytes;
+        let line = addr >> self.line_shift;
         ((line as usize) & (self.sets - 1), line)
     }
 
@@ -88,6 +98,63 @@ impl Cache {
             }
         }
         self.misses += 1;
+        false
+    }
+
+    /// [`Cache::access`] and, on a miss, [`Cache::fill`] in a single
+    /// set scan. Equivalent to the two-call sequence: no other access
+    /// can interleave between them, so the victim chosen during the
+    /// scan is the victim `fill` would choose, and collapsing the two
+    /// tick increments into one preserves relative LRU order (the
+    /// filled line still gets its set's newest stamp).
+    #[inline]
+    pub fn access_fill(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.tick += 1;
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            if self.tags[base + way] == tag {
+                self.stamps[base + way] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.miss_fill(base, tag);
+        false
+    }
+
+    /// Out-of-line miss half of [`Cache::access_fill`]: keeps the
+    /// inlined hit path small in the interpreter's hot loop.
+    #[inline(never)]
+    fn miss_fill(&mut self, base: usize, tag: u64) {
+        self.misses += 1;
+        // Empty ways carry stamp 0 and real stamps start at 1, so the
+        // min-stamp scan picks the first empty way exactly as `fill`'s
+        // explicit empty-way preference does.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for way in 0..self.ways {
+            if self.stamps[base + way] < oldest {
+                oldest = self.stamps[base + way];
+                victim = way;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.tick;
+    }
+
+    /// Refreshes the line's LRU stamp if present (a single-scan
+    /// equivalent of `probe` + `fill`-on-present); no statistics move.
+    pub fn touch(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            if self.tags[base + way] == tag {
+                self.tick += 1;
+                self.stamps[base + way] = self.tick;
+                return true;
+            }
+        }
         false
     }
 
@@ -253,6 +320,17 @@ pub struct Hierarchy {
     pending_fills: Vec<(u64, u64)>, // (line address of L2, completion cycle)
     /// Earliest cycle the memory bus can start the next line fill.
     mem_next_free: u64,
+    /// `!(l2_line - 1)`: masks an address down to its L2 line base
+    /// without a hardware divide (line sizes are powers of two).
+    l2_line_mask: u64,
+    /// `log2(l1i_line)` for the ifetch memo's line number.
+    l1i_line_shift: u32,
+    /// Line of the most recent `ifetch` hit. L1I state changes only
+    /// through `ifetch`, so consecutive fetches of the same line can
+    /// skip the lookup exactly: no other L1I stamp can move in
+    /// between, the memoized line already holds its set's newest
+    /// stamp, and a hit touches no lower level.
+    last_ifetch_line: u64,
     lfetch_issued: u64,
     lfetch_dropped: u64,
 }
@@ -278,6 +356,10 @@ impl Hierarchy {
             inflight: Vec::new(),
             pending_fills: Vec::new(),
             mem_next_free: 0,
+            l2_line_mask: !(config.l2_line - 1),
+            l1i_line_shift: config.l1i_line.trailing_zeros(),
+            // No code line can reach u64::MAX, so MAX means "no memo".
+            last_ifetch_line: u64::MAX,
             config,
             lfetch_issued: 0,
             lfetch_dropped: 0,
@@ -296,12 +378,21 @@ impl Hierarchy {
 
     /// Per-cache (hits, misses) as (l1d, l1i, l2, l3).
     pub fn cache_stats(&self) -> [(u64, u64); 4] {
-        [self.l1d.stats(), self.l1i.stats(), self.l2.stats(), self.l3.stats()]
+        [
+            self.l1d.stats(),
+            self.l1i.stats(),
+            self.l2.stats(),
+            self.l3.stats(),
+        ]
     }
 
     fn prune(&mut self, now: u64) {
-        self.inflight.retain(|&c| c > now);
-        self.pending_fills.retain(|&(_, c)| c > now);
+        if !self.inflight.is_empty() {
+            self.inflight.retain(|&c| c > now);
+        }
+        if !self.pending_fills.is_empty() {
+            self.pending_fills.retain(|&(_, c)| c > now);
+        }
     }
 
     fn mshr_wait(&self, now: u64) -> u64 {
@@ -316,43 +407,84 @@ impl Hierarchy {
     ///
     /// `fp` marks a floating-point access, which bypasses L1D as on
     /// Itanium 2 (so its best case is the L2 latency).
+    #[inline]
     pub fn load(&mut self, addr: u64, now: u64, fp: bool) -> AccessResult {
+        // Hot case: nothing in flight, nothing pending, plain integer
+        // L1D hit. `prune` and the pending-fill lookup are no-ops on
+        // empty lists, so skipping them is exact.
+        if !fp && self.inflight.is_empty() && self.pending_fills.is_empty() {
+            if self.l1d.access_fill(addr) {
+                return AccessResult {
+                    level: HitLevel::L1,
+                    latency: self.config.l1_latency,
+                };
+            }
+            // L1D already looked up (and the line filled); continue
+            // from L2 exactly as the full path would.
+            return self.load_beyond_l1(addr, now);
+        }
+        self.load_full(addr, now, fp)
+    }
+
+    /// Out-of-line general case of [`Hierarchy::load`]: in-flight or
+    /// pending state to maintain, or an FP access.
+    #[inline(never)]
+    fn load_full(&mut self, addr: u64, now: u64, fp: bool) -> AccessResult {
         self.prune(now);
-        let l2_line = addr / self.config.l2_line * self.config.l2_line;
 
         // Overlap with an in-flight prefetch of the same line: pay only
         // the remaining fill latency (partial prefetch coverage). The
         // prune above removed completed fills, so any match is still in
         // flight even if the tag arrays were updated eagerly.
-        let pending = self
-            .pending_fills
-            .iter()
-            .filter(|&&(l, _)| l == l2_line)
-            .map(|&(_, c)| c)
-            .min();
-        if let Some(complete) = pending {
-            let remaining = complete.saturating_sub(now).max(self.config.l1_latency);
-            self.fill_all(addr, fp);
-            let level = if remaining <= self.config.l2_latency {
-                HitLevel::L2
-            } else if remaining <= self.config.l3_latency {
-                HitLevel::L3
-            } else {
-                HitLevel::Memory
-            };
-            return AccessResult { level, latency: remaining };
-        }
-        if !fp && self.l1d.access(addr) {
-            return AccessResult { level: HitLevel::L1, latency: self.config.l1_latency };
-        }
-        if self.l2.access(addr) {
-            if !fp {
-                self.l1d.fill(addr);
+        if !self.pending_fills.is_empty() {
+            let l2_line = addr & self.l2_line_mask;
+            let pending = self
+                .pending_fills
+                .iter()
+                .filter(|&&(l, _)| l == l2_line)
+                .map(|&(_, c)| c)
+                .min();
+            if let Some(complete) = pending {
+                let remaining = complete.saturating_sub(now).max(self.config.l1_latency);
+                self.fill_all(addr, fp);
+                let level = if remaining <= self.config.l2_latency {
+                    HitLevel::L2
+                } else if remaining <= self.config.l3_latency {
+                    HitLevel::L3
+                } else {
+                    HitLevel::Memory
+                };
+                return AccessResult {
+                    level,
+                    latency: remaining,
+                };
             }
-            return AccessResult { level: HitLevel::L2, latency: self.config.l2_latency };
+        }
+        // Each level is looked up with `access_fill`, which fills the
+        // line on a miss in the same scan; by the time the servicing
+        // level is known, every level above it is already filled, so no
+        // trailing `fill_all` is needed (FP accesses still skip L1D).
+        if !fp && self.l1d.access_fill(addr) {
+            return AccessResult {
+                level: HitLevel::L1,
+                latency: self.config.l1_latency,
+            };
+        }
+        self.load_beyond_l1(addr, now)
+    }
+
+    /// L2-and-below portion of a demand load; the L1D lookup (for
+    /// integer accesses) has already happened and missed.
+    #[inline(never)]
+    fn load_beyond_l1(&mut self, addr: u64, now: u64) -> AccessResult {
+        if self.l2.access_fill(addr) {
+            return AccessResult {
+                level: HitLevel::L2,
+                latency: self.config.l2_latency,
+            };
         }
         let queue = self.mshr_wait(now);
-        let (level, latency) = if self.l3.access(addr) {
+        let (level, latency) = if self.l3.access_fill(addr) {
             (HitLevel::L3, self.config.l3_latency + queue)
         } else {
             // Main memory: respect the bus bandwidth limit.
@@ -361,7 +493,6 @@ impl Hierarchy {
             (HitLevel::Memory, start - now + self.config.mem_latency)
         };
         self.inflight.push(now + latency);
-        self.fill_all(addr, fp);
         AccessResult { level, latency }
     }
 
@@ -376,15 +507,9 @@ impl Hierarchy {
     /// A store at `addr`: updates whatever levels hold the line
     /// (write-through, no-allocate on miss, no stall — store buffers).
     pub fn store(&mut self, addr: u64) {
-        if self.l1d.probe(addr) {
-            self.l1d.fill(addr);
-        }
-        if self.l2.probe(addr) {
-            self.l2.fill(addr);
-        }
-        if self.l3.probe(addr) {
-            self.l3.fill(addr);
-        }
+        self.l1d.touch(addr);
+        self.l2.touch(addr);
+        self.l3.touch(addr);
     }
 
     /// An `lfetch` hint at `addr` on cycle `now`: starts a non-blocking
@@ -393,7 +518,7 @@ impl Hierarchy {
     pub fn lfetch(&mut self, addr: u64, now: u64) {
         self.prune(now);
         self.lfetch_issued += 1;
-        let l2_line = addr / self.config.l2_line * self.config.l2_line;
+        let l2_line = addr & self.l2_line_mask;
         if self.pending_fills.iter().any(|&(l, _)| l == l2_line) {
             return; // already being fetched
         }
@@ -423,21 +548,33 @@ impl Hierarchy {
     /// A timed instruction fetch of the bundle at `addr`.
     ///
     /// Returns the stall in cycles (0 on an L1I hit).
+    #[inline]
     pub fn ifetch(&mut self, addr: u64, _now: u64) -> u64 {
-        if self.l1i.access(addr) {
+        let line = addr >> self.l1i_line_shift;
+        if line == self.last_ifetch_line {
+            // Repeat of the last fetched line: guaranteed L1I hit; only
+            // the hit counter needs to move (see field docs).
+            self.l1i.hits += 1;
             return 0;
         }
-        self.l1i.fill(addr);
-        if self.l2.access(addr) {
+        self.ifetch_new_line(addr, line)
+    }
+
+    /// Out-of-line half of [`Hierarchy::ifetch`] for a line other than
+    /// the memoized one; keeps the per-bundle inlined path to a shift
+    /// and a compare.
+    #[inline(never)]
+    fn ifetch_new_line(&mut self, addr: u64, line: u64) -> u64 {
+        self.last_ifetch_line = line;
+        if self.l1i.access_fill(addr) {
+            return 0;
+        }
+        if self.l2.access_fill(addr) {
             self.config.l2_latency
+        } else if self.l3.access_fill(addr) {
+            self.config.l3_latency
         } else {
-            self.l2.fill(addr);
-            if self.l3.access(addr) {
-                self.config.l3_latency
-            } else {
-                self.l3.fill(addr);
-                self.config.mem_latency
-            }
+            self.config.mem_latency
         }
     }
 
@@ -463,7 +600,9 @@ impl ToJson for Hierarchy {
             .with("l3", level(&self.l3))
             .with(
                 "lfetch",
-                Json::object().with("issued", issued).with("dropped", dropped),
+                Json::object()
+                    .with("issued", issued)
+                    .with("dropped", dropped),
             )
     }
 }
@@ -540,13 +679,16 @@ mod tests {
             let r = h.load(0x5000_0000 + i * 4096, 0, false);
             last = r.latency;
         }
-        assert!(last > h.config().mem_latency, "queued miss should exceed raw latency");
+        assert!(
+            last > h.config().mem_latency,
+            "queued miss should exceed raw latency"
+        );
     }
 
     #[test]
     fn lru_eviction_works() {
         let mut c = Cache::new("t", 256, 64, 2); // 2 sets, 2 ways
-        // Three lines mapping to set 0 (line addresses 0, 128, 256).
+                                                 // Three lines mapping to set 0 (line addresses 0, 128, 256).
         assert!(!c.access(0));
         c.fill(0);
         assert!(!c.access(128));

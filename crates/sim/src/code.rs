@@ -1,0 +1,344 @@
+//! The predecoded code store backing the execution fast path.
+//!
+//! [`Machine::step_bundle`](crate::Machine) (the reference path)
+//! re-resolves and clones a [`Bundle`] from the program image on every
+//! executed bundle, and re-derives each slot's scoreboard sources with
+//! heap-allocating [`Op::gr_reads`](isa::Op::gr_reads) calls. The
+//! [`CodeStore`] removes all of that from the hot loop: every mapped
+//! bundle address is resolved **once** into a dense arena of
+//! [`DecodedBundle`]s — one flat vector for the static code segment,
+//! one for the trace pool — so execution indexes by slot number and
+//! reads precomputed, fixed-size register-read lists.
+//!
+//! Patching keeps the store coherent via **generation-tagged
+//! invalidation**: every mutation ([`CodeStore::replace`],
+//! [`CodeStore::install_pool`]) bumps the store generation and
+//! re-decodes exactly the touched entries, tagging them with the new
+//! generation. The hot loop therefore needs no validity check at all —
+//! a decoded entry is stale only in the window *inside* a patch
+//! operation, never between steps — while tests can assert that a
+//! patch really did fix up its entry by comparing tags.
+
+use isa::{Addr, Bundle, Insn, Op, Program, TRACE_POOL_BASE};
+
+/// Slot flag: the instruction is a no-op (of any slot kind) and can be
+/// retired without predicate, scoreboard, or execute work.
+pub const FLAG_NOP: u8 = 1 << 0;
+/// Slot flag: the instruction reads floating-point registers and needs
+/// the FP scoreboard walk.
+pub const FLAG_FR_READS: u8 = 1 << 1;
+
+/// One predecoded instruction slot: the instruction plus its scoreboard
+/// read sets, resolved to plain register indices.
+///
+/// Read lists are padded with always-ready registers (`r0` for general
+/// registers, `f0` for floating point: neither is ever written, so
+/// their ready cycle stays 0 forever). Padding lets the fast path walk
+/// a fixed-size array with no length branch, and a padded entry is a
+/// guaranteed no-op in the stall check.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedSlot {
+    /// The instruction itself.
+    pub insn: Insn,
+    /// General registers read (scoreboard sources), `r0`-padded.
+    /// No operation reads more than two general registers.
+    pub gr_reads: [u8; 2],
+    /// Floating-point registers read, `f0`-padded (`fma` reads three).
+    pub fr_reads: [u8; 3],
+    /// `FLAG_*` bits.
+    pub flags: u8,
+}
+
+impl DecodedSlot {
+    fn decode(insn: Insn) -> DecodedSlot {
+        let mut gr_reads = [0u8; 2];
+        let reads = insn.op.gr_reads();
+        debug_assert!(reads.len() <= 2, "no op reads more than two GRs");
+        for (i, r) in reads.iter().take(2).enumerate() {
+            gr_reads[i] = r.index() as u8;
+        }
+        let fr_reads = match insn.op {
+            Op::Fma { a, b, c, .. } => [a.index() as u8, b.index() as u8, c.index() as u8],
+            Op::Fadd { a, b, .. } | Op::Fmul { a, b, .. } => [a.index() as u8, b.index() as u8, 0],
+            Op::Stf { s, .. } | Op::Getf { s, .. } => [s.index() as u8, 0, 0],
+            _ => [0u8; 3],
+        };
+        let mut flags = 0u8;
+        if insn.is_nop() {
+            flags |= FLAG_NOP;
+        }
+        if fr_reads != [0u8; 3] {
+            flags |= FLAG_FR_READS;
+        }
+        DecodedSlot {
+            insn,
+            gr_reads,
+            fr_reads,
+            flags,
+        }
+    }
+}
+
+/// One predecoded bundle: three decoded slots plus bundle-level
+/// metadata the fast path would otherwise re-derive per step.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedBundle {
+    /// The three decoded slots.
+    pub slots: [DecodedSlot; 3],
+    /// Bit `s` set when slot `s` holds a conditional branch
+    /// (`br.cond`); drives the predicated-off fall-through recording
+    /// without rescanning the bundle.
+    pub cond_branch_mask: u8,
+    /// Bit `s` set when slot `s` is a no-op ([`FLAG_NOP`] hoisted to
+    /// bundle level): lets the fast path retire padding slots without
+    /// even copying them out of the arena.
+    pub nop_mask: u8,
+    /// Store generation at which this entry was (re)decoded.
+    pub generation: u64,
+}
+
+impl DecodedBundle {
+    fn decode(bundle: &Bundle, generation: u64) -> DecodedBundle {
+        let slots = [
+            DecodedSlot::decode(bundle.slots[0]),
+            DecodedSlot::decode(bundle.slots[1]),
+            DecodedSlot::decode(bundle.slots[2]),
+        ];
+        let mut cond_branch_mask = 0u8;
+        let mut nop_mask = 0u8;
+        for (s, insn) in bundle.slots.iter().enumerate() {
+            if matches!(insn.op, Op::BrCond { .. }) {
+                cond_branch_mask |= 1 << s;
+            }
+            if slots[s].flags & FLAG_NOP != 0 {
+                nop_mask |= 1 << s;
+            }
+        }
+        DecodedBundle {
+            slots,
+            cond_branch_mask,
+            nop_mask,
+            generation,
+        }
+    }
+}
+
+/// Location of a decoded bundle inside the store: segment plus index.
+/// Resolved once per executed bundle, then used for direct indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeLoc {
+    /// True when the bundle lives in the trace-pool segment.
+    pub pool: bool,
+    /// Index within the segment.
+    pub index: u32,
+}
+
+/// A dense arena of predecoded bundles mirroring the static program
+/// image and the trace pool. See the module docs for the coherence
+/// protocol.
+#[derive(Debug)]
+pub struct CodeStore {
+    code_base: u64,
+    static_bundles: Vec<DecodedBundle>,
+    pool: Vec<DecodedBundle>,
+    generation: u64,
+}
+
+impl CodeStore {
+    /// Predecodes every bundle of `program` (generation 0, empty pool).
+    pub fn new(program: &Program) -> CodeStore {
+        let static_bundles = program
+            .bundles()
+            .iter()
+            .map(|b| DecodedBundle::decode(b, 0))
+            .collect();
+        CodeStore {
+            code_base: program.code_base(),
+            static_bundles,
+            pool: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Current store generation; bumped by every mutation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Resolves a code address to a store location, mirroring
+    /// [`Machine::bundle_at`](crate::Machine::bundle_at) exactly:
+    /// addresses resolve to their containing bundle; unmapped addresses
+    /// return `None`.
+    #[inline]
+    pub fn locate(&self, addr: Addr) -> Option<CodeLoc> {
+        let a = addr.bundle_align().0;
+        if a >= TRACE_POOL_BASE {
+            let idx = ((a - TRACE_POOL_BASE) / Addr::BUNDLE_BYTES) as usize;
+            (idx < self.pool.len()).then_some(CodeLoc {
+                pool: true,
+                index: idx as u32,
+            })
+        } else {
+            if a < self.code_base {
+                return None;
+            }
+            let idx = ((a - self.code_base) / Addr::BUNDLE_BYTES) as usize;
+            (idx < self.static_bundles.len()).then_some(CodeLoc {
+                pool: false,
+                index: idx as u32,
+            })
+        }
+    }
+
+    /// The decoded bundle at `loc`.
+    #[inline]
+    pub fn decoded(&self, loc: CodeLoc) -> &DecodedBundle {
+        if loc.pool {
+            &self.pool[loc.index as usize]
+        } else {
+            &self.static_bundles[loc.index as usize]
+        }
+    }
+
+    /// The decoded slot `slot` of the bundle at `loc`, by value.
+    #[inline]
+    pub fn slot(&self, loc: CodeLoc, slot: u8) -> DecodedSlot {
+        self.decoded(loc).slots[slot as usize]
+    }
+
+    /// Predecodes and appends freshly installed trace-pool bundles.
+    pub fn install_pool(&mut self, bundles: &[Bundle]) {
+        self.generation += 1;
+        let generation = self.generation;
+        self.pool
+            .extend(bundles.iter().map(|b| DecodedBundle::decode(b, generation)));
+    }
+
+    /// Re-decodes the entry at `addr` after a patch replaced its
+    /// bundle, tagging it with a fresh generation. Returns `false`
+    /// (and changes nothing) when `addr` does not map to an entry —
+    /// the caller's address check failed first in that case.
+    pub fn replace(&mut self, addr: Addr, bundle: &Bundle) -> bool {
+        let Some(loc) = self.locate(addr) else {
+            return false;
+        };
+        self.generation += 1;
+        let decoded = DecodedBundle::decode(bundle, self.generation);
+        if loc.pool {
+            self.pool[loc.index as usize] = decoded;
+        } else {
+            self.static_bundles[loc.index as usize] = decoded;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{AccessSize, Fr, Gr, Pr, SlotKind, CODE_BASE};
+
+    fn prog(bundles: Vec<Bundle>) -> Program {
+        Program::new(CODE_BASE, bundles)
+    }
+
+    fn nop_bundle() -> Bundle {
+        Bundle::pack(&[Insn::nop(SlotKind::M)]).unwrap()
+    }
+
+    #[test]
+    fn decode_extracts_read_sets_and_flags() {
+        let ld = Insn::new(Op::Ld {
+            d: Gr(20),
+            base: Gr(14),
+            post_inc: 8,
+            size: AccessSize::U8,
+            spec: false,
+        });
+        let st = Insn::new(Op::St {
+            s: Gr(20),
+            base: Gr(15),
+            post_inc: 0,
+            size: AccessSize::U8,
+        });
+        let fma = Insn::new(Op::Fma {
+            d: Fr(9),
+            a: Fr(8),
+            b: Fr(7),
+            c: Fr(9),
+        });
+        let b = Bundle::pack(&[ld, st, fma]).unwrap();
+        let d = DecodedBundle::decode(&b, 3);
+        assert_eq!(d.slots[0].gr_reads, [14, 0]);
+        assert_eq!(d.slots[1].gr_reads, [20, 15]);
+        assert_eq!(d.slots[2].fr_reads, [8, 7, 9]);
+        assert_eq!(d.slots[0].flags & FLAG_NOP, 0);
+        assert_ne!(d.slots[2].flags & FLAG_FR_READS, 0);
+        assert_eq!(d.cond_branch_mask, 0);
+        assert_eq!(d.generation, 3);
+    }
+
+    #[test]
+    fn nops_and_cond_branches_are_flagged() {
+        let br = Insn::predicated(
+            Pr(1),
+            Op::BrCond {
+                target: Addr(CODE_BASE),
+            },
+        );
+        let b = Bundle::pack(&[br]).unwrap();
+        let d = DecodedBundle::decode(&b, 0);
+        let br_slot = b.slots.iter().position(|i| i.op.is_branch()).unwrap();
+        assert_eq!(d.cond_branch_mask, 1 << br_slot);
+        for (s, slot) in d.slots.iter().enumerate() {
+            if s != br_slot {
+                assert_ne!(slot.flags & FLAG_NOP, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_mirrors_bundle_addressing() {
+        let store = CodeStore::new(&prog(vec![nop_bundle(), nop_bundle()]));
+        assert_eq!(
+            store.locate(Addr(CODE_BASE)),
+            Some(CodeLoc {
+                pool: false,
+                index: 0
+            })
+        );
+        // Mid-bundle addresses resolve to the containing bundle.
+        assert_eq!(
+            store.locate(Addr(CODE_BASE + 17)),
+            Some(CodeLoc {
+                pool: false,
+                index: 1
+            })
+        );
+        assert_eq!(store.locate(Addr(CODE_BASE + 32)), None);
+        assert_eq!(store.locate(Addr(CODE_BASE - 16)), None);
+        assert_eq!(store.locate(Addr(TRACE_POOL_BASE)), None, "empty pool");
+    }
+
+    #[test]
+    fn mutations_bump_and_tag_generations() {
+        let mut store = CodeStore::new(&prog(vec![nop_bundle()]));
+        assert_eq!(store.generation(), 0);
+
+        store.install_pool(&[nop_bundle(), nop_bundle()]);
+        assert_eq!(store.generation(), 1);
+        let loc = store.locate(Addr(TRACE_POOL_BASE + 16)).unwrap();
+        assert!(loc.pool);
+        assert_eq!(store.decoded(loc).generation, 1);
+
+        let halt = Bundle::branch_only(Insn::new(Op::Halt));
+        assert!(store.replace(Addr(CODE_BASE), &halt));
+        assert_eq!(store.generation(), 2);
+        let loc = store.locate(Addr(CODE_BASE)).unwrap();
+        assert_eq!(store.decoded(loc).generation, 2);
+        assert!(matches!(store.slot(loc, 2).insn.op, Op::Halt));
+
+        assert!(!store.replace(Addr(CODE_BASE + 0x1000), &halt));
+        assert_eq!(store.generation(), 2, "failed replace must not bump");
+    }
+}

@@ -1,0 +1,176 @@
+//! The predecoded execution fast path.
+//!
+//! [`Machine::run`] dispatches here when
+//! [`ExecPath::Fast`](crate::ExecPath::Fast) is configured (the
+//! default). The fast path is **cycle-exact** with the reference
+//! implementation in `machine.rs` — same architectural state, same PMU
+//! counters, same sample stream, bundle for bundle — but removes the
+//! per-step costs that dominate the reference loop:
+//!
+//! - **no `Bundle` clone per step**: the bundle address resolves to a
+//!   [`CodeLoc`](crate::code::CodeLoc) (two compares and an index
+//!   computation) and slots are copied out of the dense
+//!   [`CodeStore`](crate::CodeStore) arena on demand;
+//! - **no per-slot heap allocation**: scoreboard read sets are
+//!   predecoded into fixed-size arrays padded with always-ready
+//!   registers, so the stall walk is a fixed-trip loop over plain
+//!   indices instead of a fresh `Vec<Gr>` per instruction;
+//! - **nop fast-skip**: a predecoded flag retires nops without
+//!   predicate, scoreboard, or execute work (predication of a nop has
+//!   no architectural or timing effect, so the skip is exact);
+//! - **sampling checks hoisted**: when sampling is off, the run loop
+//!   contains no sample-buffer or sample-due checks at all.
+//!
+//! Instruction semantics are not duplicated: both paths call the same
+//! `Machine::exec_slot_op` / `retire_bundle` helpers, so the fast path
+//! cannot drift on what an instruction *does* — only on how the bundle
+//! is fetched and scheduled, which is exactly what the golden
+//! cycle-exactness tests and the per-path differential fuzz smoke pin
+//! down.
+
+use isa::{Addr, Insn, Pc};
+
+use crate::code::FLAG_FR_READS;
+use crate::machine::{Fault, Machine, StopReason};
+
+impl Machine {
+    /// Fast-path run loop; see the module docs for the contract.
+    pub(crate) fn run_fast(&mut self, cycle_limit: u64) -> StopReason {
+        // `samples` is `Some` iff sampling is configured; hoisting the
+        // capacity keeps the sampled loop free of config re-reads and
+        // lets the unsampled loop drop the buffer check entirely.
+        match self.config.sampling.as_ref().map(|s| s.buffer_capacity) {
+            None => {
+                while !self.halted {
+                    if let Some(f) = self.fault {
+                        return StopReason::Faulted(f);
+                    }
+                    if self.cycle >= cycle_limit {
+                        return StopReason::CycleLimit;
+                    }
+                    self.step_bundle_fast::<false>();
+                }
+                StopReason::Halted
+            }
+            Some(capacity) => {
+                while !self.halted {
+                    if let Some(f) = self.fault {
+                        return StopReason::Faulted(f);
+                    }
+                    if self.cycle >= cycle_limit {
+                        return StopReason::CycleLimit;
+                    }
+                    self.step_bundle_fast::<true>();
+                    if self
+                        .samples
+                        .as_ref()
+                        .is_some_and(|s| s.buffer.len() >= capacity)
+                    {
+                        return StopReason::SampleBufferOverflow;
+                    }
+                }
+                StopReason::Halted
+            }
+        }
+    }
+
+    /// Executes one bundle from the predecoded store. `SAMPLING` is a
+    /// compile-time split so the common (unsampled) instantiation is
+    /// branchless with respect to sampling.
+    fn step_bundle_fast<const SAMPLING: bool>(&mut self) {
+        let bundle_addr = self.ip;
+        let Some(loc) = self.store.locate(bundle_addr) else {
+            self.fault = Some(Fault::UnmappedFetch(bundle_addr));
+            return;
+        };
+
+        // Instruction fetch.
+        let istall = self.caches.ifetch(bundle_addr.0, self.cycle);
+        if istall > 0 {
+            self.pmu.counters.l1i_misses += 1;
+            self.pmu.counters.stall_icache += istall;
+            self.cycle += istall;
+            self.half_bundle = false;
+        }
+
+        let mut taken: Option<Addr> = None;
+        let fall_through = bundle_addr.offset_bundles(1);
+        // One arena lookup and one copy of the executable payload per
+        // step (slots + masks, not the generation tag): slot accesses
+        // below are plain stack reads with no pool/static dispatch or
+        // bounds checks.
+        let (slots, cond_branch_mask, nop_mask) = {
+            let db = self.store.decoded(loc);
+            (db.slots, db.cond_branch_mask, db.nop_mask)
+        };
+
+        for slot in 0..3u8 {
+            self.pmu.counters.retired += 1;
+
+            if nop_mask & (1 << slot) != 0 {
+                continue;
+            }
+            let ds = &slots[slot as usize];
+
+            // Qualifying predicate.
+            if let Some(qp) = ds.insn.qp {
+                if !self.pr[qp.index()] {
+                    continue;
+                }
+            }
+
+            // Scoreboard: identical stall order to the reference path
+            // (GR reads in `gr_reads()` order, then FR reads in op
+            // order); padded entries index always-ready registers and
+            // are guaranteed no-ops.
+            for r in ds.gr_reads {
+                let ready = self.gr_ready[r as usize];
+                if ready > self.cycle {
+                    self.stall_until(ready, self.gr_source[r as usize]);
+                }
+            }
+            if ds.flags & FLAG_FR_READS != 0 {
+                for f in ds.fr_reads {
+                    let ready = self.fr_ready[f as usize];
+                    if ready > self.cycle {
+                        self.stall_until(ready, self.fr_source[f as usize]);
+                    }
+                }
+            }
+
+            self.exec_slot_op(
+                ds.insn,
+                Pc::new(bundle_addr, slot),
+                fall_through,
+                &mut taken,
+            );
+            if self.fault.is_some() || taken.is_some() || self.halted {
+                break;
+            }
+        }
+
+        // A fault freezes the machine at the faulting instruction:
+        // earlier slots keep their effects, the ip does not advance,
+        // and no sample is taken.
+        if self.fault.is_some() {
+            self.pmu.counters.cycles = self.cycle;
+            return;
+        }
+
+        // Record fall-through outcomes of predicated-off conditional
+        // branches; the predecoded mask skips the scan for the common
+        // branch-free bundle.
+        if taken.is_none() && cond_branch_mask != 0 {
+            let insns: [Insn; 3] = [slots[0].insn, slots[1].insn, slots[2].insn];
+            self.record_off_cond_branches(&insns, bundle_addr, fall_through);
+        }
+
+        if SAMPLING {
+            self.retire_bundle(bundle_addr, fall_through, taken);
+        } else {
+            // No sampling configured: `take_sample` would be a
+            // guaranteed no-op, so skip straight to the shared advance.
+            self.advance_after_bundle(fall_through, taken);
+        }
+    }
+}

@@ -35,14 +35,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod code;
+pub mod exec;
 pub mod machine;
 pub mod mem;
 pub mod pmu;
 pub mod tlb;
 
 pub use cache::{AccessResult, Cache, CacheConfig, Hierarchy, HitLevel, DEAR_LATENCY_THRESHOLD};
+pub use code::{CodeLoc, CodeStore, DecodedBundle, DecodedSlot};
 pub use machine::{
-    Fault, Machine, MachineConfig, PatchError, SamplingConfig, StopReason, DEFAULT_SAMPLING_SEED,
+    ExecPath, Fault, Machine, MachineConfig, PatchError, SamplingConfig, StopReason,
+    DEFAULT_SAMPLING_SEED,
 };
 pub use mem::{Memory, DATA_BASE};
 pub use pmu::{BranchTraceBuffer, BtbEntry, Counters, DearKind, DearRecord, Pmu, Sample};

@@ -14,9 +14,10 @@
 //! - **taken-branch bubble**, making inserted bundles genuinely costly;
 //! - a **trace pool** address range from which patched traces execute.
 
-use isa::{Addr, Bundle, Op, Pc, Program, SlotKind, TRACE_POOL_BASE};
+use isa::{Addr, Bundle, Insn, Op, Pc, Program, SlotKind, TRACE_POOL_BASE};
 
 use crate::cache::{CacheConfig, Hierarchy, HitLevel};
+use crate::code::CodeStore;
 use crate::mem::Memory;
 use crate::pmu::{Pmu, Sample};
 use crate::tlb::{Tlb, TlbConfig};
@@ -62,6 +63,49 @@ impl Default for SamplingConfig {
     }
 }
 
+/// Which execution engine [`Machine::run`] uses.
+///
+/// Both paths are cycle-exact with respect to each other: identical
+/// architectural state, identical PMU counters, identical sample
+/// streams. The reference path is the straightforward implementation
+/// kept for differential testing; the fast path executes from the
+/// predecoded [`CodeStore`] and skips per-step allocations and
+/// sampling checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// Straight-line implementation: resolve and clone the `Bundle` at
+    /// `ip` every step, derive scoreboard read sets on the fly.
+    Reference,
+    /// Predecoded implementation (the default): index into the
+    /// [`CodeStore`] arena, walk fixed-size precomputed read sets,
+    /// skip nops and sampling checks in the common path.
+    #[default]
+    Fast,
+}
+
+impl std::str::FromStr for ExecPath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExecPath, String> {
+        match s {
+            "reference" => Ok(ExecPath::Reference),
+            "fast" => Ok(ExecPath::Fast),
+            other => Err(format!(
+                "unknown exec path {other:?} (expected reference|fast)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecPath::Reference => write!(f, "reference"),
+            ExecPath::Fast => write!(f, "fast"),
+        }
+    }
+}
+
 /// Machine configuration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -83,6 +127,8 @@ pub struct MachineConfig {
     /// Trace-pool capacity in bundles (the shared-memory block
     /// `dyn_open` allocates once, paper §2.2).
     pub trace_pool_bundles: usize,
+    /// Execution engine; [`ExecPath::Fast`] unless overridden.
+    pub exec_path: ExecPath,
 }
 
 impl Default for MachineConfig {
@@ -96,6 +142,7 @@ impl Default for MachineConfig {
             sampling: None,
             tlb: TlbConfig::default(),
             trace_pool_bundles: 16 * 1024,
+            exec_path: ExecPath::default(),
         }
     }
 }
@@ -183,7 +230,7 @@ impl std::error::Error for PatchError {}
 
 /// What a pending register value is waiting on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-enum StallSource {
+pub(crate) enum StallSource {
     #[default]
     None,
     Memory,
@@ -191,40 +238,45 @@ enum StallSource {
 }
 
 #[derive(Debug)]
-struct SampleState {
+pub(crate) struct SampleState {
     next_at: u64,
     index: u64,
-    buffer: Vec<Sample>,
+    pub(crate) buffer: Vec<Sample>,
     /// LCG state for deterministic period randomization.
     rng: u64,
 }
 
 /// The simulated machine.
+///
+/// Fields are crate-visible so the predecoded fast path in
+/// [`crate::exec`] can drive the same state; everything outside the
+/// crate goes through the accessor methods.
 #[derive(Debug)]
 pub struct Machine {
-    config: MachineConfig,
-    program: Program,
-    pool: Vec<Bundle>,
-    mem: Memory,
-    caches: Hierarchy,
-    tlb: Tlb,
-    pmu: Pmu,
-    gr: [i64; 128],
-    fr: [f64; 128],
-    pr: [bool; 64],
-    gr_ready: [u64; 128],
-    fr_ready: [u64; 128],
+    pub(crate) config: MachineConfig,
+    pub(crate) program: Program,
+    pub(crate) pool: Vec<Bundle>,
+    pub(crate) store: CodeStore,
+    pub(crate) mem: Memory,
+    pub(crate) caches: Hierarchy,
+    pub(crate) tlb: Tlb,
+    pub(crate) pmu: Pmu,
+    pub(crate) gr: [i64; 128],
+    pub(crate) fr: [f64; 128],
+    pub(crate) pr: [bool; 64],
+    pub(crate) gr_ready: [u64; 128],
+    pub(crate) fr_ready: [u64; 128],
     /// What produced each register's pending value (stall attribution
     /// for the PMU's cycle-breakdown counters).
-    gr_source: [StallSource; 128],
-    fr_source: [StallSource; 128],
-    ip: Addr,
-    ret_stack: Vec<Addr>,
-    cycle: u64,
-    half_bundle: bool,
-    halted: bool,
-    fault: Option<Fault>,
-    samples: Option<SampleState>,
+    pub(crate) gr_source: [StallSource; 128],
+    pub(crate) fr_source: [StallSource; 128],
+    pub(crate) ip: Addr,
+    pub(crate) ret_stack: Vec<Addr>,
+    pub(crate) cycle: u64,
+    pub(crate) half_bundle: bool,
+    pub(crate) halted: bool,
+    pub(crate) fault: Option<Fault>,
+    pub(crate) samples: Option<SampleState>,
 }
 
 // The parallel experiment engine runs one full simulation per worker
@@ -271,6 +323,7 @@ impl Machine {
             fault: None,
             samples,
             pool: Vec::new(),
+            store: CodeStore::new(&program),
             program,
             config,
         }
@@ -377,6 +430,19 @@ impl Machine {
         self.pool.len()
     }
 
+    /// Generation counter of the predecoded code store. Every code
+    /// mutation ([`Machine::install_trace`], [`Machine::replace_bundle`])
+    /// bumps it and re-decodes the touched entries; patchers use it to
+    /// assert their fixups actually invalidated stale decodes.
+    pub fn code_generation(&self) -> u64 {
+        self.store.generation()
+    }
+
+    /// The configured execution engine.
+    pub fn exec_path(&self) -> ExecPath {
+        self.config.exec_path
+    }
+
     // ---- patching (used by ADORE's trace patcher) -------------------
 
     /// Appends a trace to the trace pool, returning its start address.
@@ -390,6 +456,7 @@ impl Machine {
             return Err(PatchError::PoolFull);
         }
         let addr = Addr(TRACE_POOL_BASE + self.pool.len() as u64 * Addr::BUNDLE_BYTES);
+        self.store.install_pool(&bundles);
         self.pool.extend(bundles);
         Ok(addr)
     }
@@ -409,13 +476,19 @@ impl Machine {
         if addr.0 >= TRACE_POOL_BASE {
             let idx = ((addr.0 - TRACE_POOL_BASE) / Addr::BUNDLE_BYTES) as usize;
             let slot = self.pool.get_mut(idx).ok_or(PatchError::BadAddress(addr))?;
-            return Ok(std::mem::replace(slot, bundle));
+            let old = std::mem::replace(slot, bundle.clone());
+            let fixed = self.store.replace(addr, &bundle);
+            debug_assert!(fixed, "code store out of sync with trace pool");
+            return Ok(old);
         }
         let slot = self
             .program
             .bundle_at_mut(addr)
             .ok_or(PatchError::BadAddress(addr))?;
-        Ok(std::mem::replace(slot, bundle))
+        let old = std::mem::replace(slot, bundle.clone());
+        let fixed = self.store.replace(addr, &bundle);
+        debug_assert!(fixed, "code store out of sync with program image");
+        Ok(old)
     }
 
     /// Charges `n` cycles of overhead to the main thread (sampling
@@ -438,8 +511,18 @@ impl Machine {
     // ---- execution ---------------------------------------------------
 
     /// Runs until halt, fault, sample-buffer overflow, or `cycle_limit`
-    /// (absolute cycle count) is reached.
+    /// (absolute cycle count) is reached, on the configured
+    /// [`ExecPath`]. Both paths produce identical results; resuming
+    /// after any stop (on either path) continues exactly where the
+    /// previous call left off.
     pub fn run(&mut self, cycle_limit: u64) -> StopReason {
+        match self.config.exec_path {
+            ExecPath::Reference => self.run_reference(cycle_limit),
+            ExecPath::Fast => self.run_fast(cycle_limit),
+        }
+    }
+
+    fn run_reference(&mut self, cycle_limit: u64) -> StopReason {
         while !self.halted {
             if let Some(f) = self.fault {
                 return StopReason::Faulted(f);
@@ -470,7 +553,7 @@ impl Machine {
         }
     }
 
-    fn stall_until(&mut self, ready: u64, source: StallSource) {
+    pub(crate) fn stall_until(&mut self, ready: u64, source: StallSource) {
         if ready > self.cycle {
             let stall = ready - self.cycle;
             match source {
@@ -491,7 +574,11 @@ impl Machine {
         if r.index() != 0 {
             self.gr[r.index()] = v;
             self.gr_ready[r.index()] = ready;
-            self.gr_source[r.index()] = if ready > self.cycle { source } else { StallSource::None };
+            self.gr_source[r.index()] = if ready > self.cycle {
+                source
+            } else {
+                StallSource::None
+            };
         }
     }
 
@@ -503,7 +590,11 @@ impl Machine {
         if r.index() > 1 {
             self.fr[r.index()] = v;
             self.fr_ready[r.index()] = ready;
-            self.fr_source[r.index()] = if ready > self.cycle { source } else { StallSource::None };
+            self.fr_source[r.index()] = if ready > self.cycle {
+                source
+            } else {
+                StallSource::None
+            };
         }
     }
 
@@ -513,7 +604,7 @@ impl Machine {
         }
     }
 
-    fn take_sample(&mut self, pc: Pc) {
+    pub(crate) fn take_sample(&mut self, pc: Pc) {
         let (Some(ss), Some(cfg)) = (&mut self.samples, &self.config.sampling) else {
             return;
         };
@@ -532,7 +623,10 @@ impl Machine {
             dear: self.pmu.dear,
         });
         ss.index += 1;
-        ss.rng = ss.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ss.rng = ss
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let u = (ss.rng >> 33) as f64 / (1u64 << 31) as f64; // [0, 1)
         let factor = 1.0 - cfg.jitter + 2.0 * cfg.jitter * u;
         let interval = (cfg.interval_cycles as f64 * factor).max(1.0) as u64;
@@ -602,187 +696,9 @@ impl Machine {
                 _ => {}
             }
 
-            let now = self.cycle;
-            match insn.op {
-                Op::Nop(_) | Op::Alloc => {}
-                Op::Add { d, a, b } => {
-                    let v = self.gr[a.index()].wrapping_add(self.gr[b.index()]);
-                    self.write_gr(d, v, now);
-                }
-                Op::AddI { d, a, imm } => {
-                    let v = self.gr[a.index()].wrapping_add(imm);
-                    self.write_gr(d, v, now);
-                }
-                Op::Sub { d, a, b } => {
-                    let v = self.gr[a.index()].wrapping_sub(self.gr[b.index()]);
-                    self.write_gr(d, v, now);
-                }
-                Op::Shladd { d, a, count, b } => {
-                    let v = (self.gr[a.index()] << count).wrapping_add(self.gr[b.index()]);
-                    self.write_gr(d, v, now);
-                }
-                Op::And { d, a, b } => {
-                    self.write_gr(d, self.gr[a.index()] & self.gr[b.index()], now);
-                }
-                Op::Or { d, a, b } => {
-                    self.write_gr(d, self.gr[a.index()] | self.gr[b.index()], now);
-                }
-                Op::Xor { d, a, b } => {
-                    self.write_gr(d, self.gr[a.index()] ^ self.gr[b.index()], now);
-                }
-                Op::MovL { d, imm } => self.write_gr(d, imm, now),
-                Op::Mov { d, s } => {
-                    let v = self.gr[s.index()];
-                    self.write_gr(d, v, now);
-                }
-                Op::Cmp { op, pt, pf, a, b } => {
-                    let r = op.eval(self.gr[a.index()], self.gr[b.index()]);
-                    self.write_pr(pt, r);
-                    self.write_pr(pf, !r);
-                }
-                Op::CmpI { op, pt, pf, a, imm } => {
-                    let r = op.eval(self.gr[a.index()], imm);
-                    self.write_pr(pt, r);
-                    self.write_pr(pf, !r);
-                }
-                Op::Ld { d, base, post_inc, size, spec } => {
-                    let addr = self.gr[base.index()] as u64;
-                    let value = if spec {
-                        self.mem.read_spec(addr, size.bytes())
-                    } else if self.mem.contains(addr, size.bytes()) {
-                        self.mem.read(addr, size.bytes())
-                    } else {
-                        self.fault = Some(Fault::UnmappedLoad { addr, len: size.bytes() });
-                        break;
-                    };
-                    let tlb_lat = self.tlb.access(addr);
-                    if tlb_lat > 0 {
-                        self.pmu.record_tlb_miss(pc, addr, tlb_lat);
-                    }
-                    let res = self.caches.load(addr, now + tlb_lat, false);
-                    self.pmu
-                        .record_load(pc, addr, res.latency, res.level == HitLevel::L1);
-                    self.write_gr_src(d, value as i64, now + tlb_lat + res.latency, StallSource::Memory);
-                    if post_inc != 0 {
-                        let nb = self.gr[base.index()].wrapping_add(post_inc);
-                        self.write_gr(base, nb, now);
-                    }
-                }
-                Op::St { s, base, post_inc, size } => {
-                    let addr = self.gr[base.index()] as u64;
-                    if !self.mem.contains(addr, size.bytes()) {
-                        self.fault = Some(Fault::UnmappedStore { addr, len: size.bytes() });
-                        break;
-                    }
-                    self.mem.write(addr, size.bytes(), self.gr[s.index()] as u64);
-                    let _ = self.tlb.access(addr); // stores fill but don't stall
-                    self.caches.store(addr);
-                    if post_inc != 0 {
-                        let nb = self.gr[base.index()].wrapping_add(post_inc);
-                        self.write_gr(base, nb, now);
-                    }
-                }
-                Op::Ldf { d, base, post_inc } => {
-                    let addr = self.gr[base.index()] as u64;
-                    if !self.mem.contains(addr, 8) {
-                        self.fault = Some(Fault::UnmappedLoad { addr, len: 8 });
-                        break;
-                    }
-                    let value = self.mem.read_f64(addr);
-                    let tlb_lat = self.tlb.access(addr);
-                    if tlb_lat > 0 {
-                        self.pmu.record_tlb_miss(pc, addr, tlb_lat);
-                    }
-                    let res = self.caches.load(addr, now + tlb_lat, true);
-                    self.pmu.record_load(pc, addr, res.latency, false);
-                    self.write_fr_src(d, value, now + tlb_lat + res.latency, StallSource::Memory);
-                    if post_inc != 0 {
-                        let nb = self.gr[base.index()].wrapping_add(post_inc);
-                        self.write_gr(base, nb, now);
-                    }
-                }
-                Op::Stf { s, base, post_inc } => {
-                    let addr = self.gr[base.index()] as u64;
-                    if !self.mem.contains(addr, 8) {
-                        self.fault = Some(Fault::UnmappedStore { addr, len: 8 });
-                        break;
-                    }
-                    self.mem.write_f64(addr, self.fr[s.index()]);
-                    self.caches.store(addr);
-                    if post_inc != 0 {
-                        let nb = self.gr[base.index()].wrapping_add(post_inc);
-                        self.write_gr(base, nb, now);
-                    }
-                }
-                Op::Lfetch { base, post_inc } => {
-                    let addr = self.gr[base.index()] as u64;
-                    // lfetch engages the hardware page walker on a DTLB
-                    // miss (warming the TLB ahead of the demand stream)
-                    // and is dropped only when the translation would
-                    // fault — e.g. the wild addresses an extrapolated
-                    // pointer-chase prefetch can produce.
-                    if self.mem.contains(addr, 1) {
-                        let _ = self.tlb.access(addr);
-                        self.caches.lfetch(addr, now);
-                    }
-                    if post_inc != 0 {
-                        let nb = self.gr[base.index()].wrapping_add(post_inc);
-                        self.write_gr(base, nb, now);
-                    }
-                }
-                Op::Fma { d, a, b, c } => {
-                    let v = self.fr[a.index()].mul_add(self.fr[b.index()], self.fr[c.index()]);
-                    self.write_fr(d, v, now + self.config.fp_latency);
-                }
-                Op::Fadd { d, a, b } => {
-                    let v = self.fr[a.index()] + self.fr[b.index()];
-                    self.write_fr(d, v, now + self.config.fp_latency);
-                }
-                Op::Fmul { d, a, b } => {
-                    let v = self.fr[a.index()] * self.fr[b.index()];
-                    self.write_fr(d, v, now + self.config.fp_latency);
-                }
-                Op::Getf { d, s } => {
-                    let v = self.fr[s.index()] as i64;
-                    self.write_gr(d, v, now + self.config.xfer_latency);
-                }
-                Op::Setf { d, s } => {
-                    let v = self.gr[s.index()] as f64;
-                    self.write_fr(d, v, now + self.config.xfer_latency);
-                }
-                Op::Br { target } => {
-                    self.pmu.record_branch(pc, target, true);
-                    taken = Some(target);
-                }
-                Op::BrCond { target } => {
-                    // Reached only when the qualifying predicate held.
-                    self.pmu.record_branch(pc, target, true);
-                    taken = Some(target);
-                }
-                Op::BrCall { target } => {
-                    self.pmu.record_branch(pc, target, true);
-                    self.ret_stack.push(fall_through);
-                    taken = Some(target);
-                }
-                Op::BrRet => {
-                    let Some(target) = self.ret_stack.pop() else {
-                        self.fault = Some(Fault::ReturnUnderflow);
-                        break;
-                    };
-                    self.pmu.record_branch(pc, target, true);
-                    taken = Some(target);
-                }
-                Op::Halt => {
-                    self.halted = true;
-                }
-            }
-            if taken.is_some() || self.halted {
+            self.exec_slot_op(insn, pc, fall_through, &mut taken);
+            if self.fault.is_some() || taken.is_some() || self.halted {
                 break;
-            }
-            // Not-taken conditional branches still record an outcome so
-            // the BTB carries path information.
-            if let Op::BrCond { target } = insn.op {
-                let _ = target;
             }
         }
 
@@ -797,23 +713,50 @@ impl Machine {
         // Record fall-through outcomes of predicated-off conditional
         // branches in the bundle (outcome = not taken).
         if taken.is_none() {
-            for slot in 0..3u8 {
-                let insn = bundle.slots[slot as usize];
-                if let Op::BrCond { .. } = insn.op {
-                    let off = insn
-                        .qp
-                        .map(|q| !self.pr[q.index()])
-                        .unwrap_or(false);
-                    if off {
-                        self.pmu
-                            .record_branch(Pc::new(bundle_addr, slot), fall_through, false);
-                    }
+            self.record_off_cond_branches(&bundle.slots, bundle_addr, fall_through);
+        }
+
+        self.retire_bundle(bundle_addr, fall_through, taken);
+    }
+
+    /// Records the not-taken outcome of every predicated-off
+    /// conditional branch in the bundle, so the BTB carries path
+    /// information even for branches that did not issue.
+    pub(crate) fn record_off_cond_branches(
+        &mut self,
+        slots: &[Insn; 3],
+        bundle_addr: Addr,
+        fall_through: Addr,
+    ) {
+        for slot in 0..3u8 {
+            let insn = slots[slot as usize];
+            if let Op::BrCond { .. } = insn.op {
+                let off = insn.qp.map(|q| !self.pr[q.index()]).unwrap_or(false);
+                if off {
+                    self.pmu
+                        .record_branch(Pc::new(bundle_addr, slot), fall_through, false);
                 }
             }
         }
+    }
 
-        self.pmu.counters.cycles = self.cycle;
+    /// Advances `ip`, applies the taken-branch bubble or the
+    /// 2-bundles-per-cycle pairing rule, publishes the cycle counter,
+    /// and takes a pending sample. Shared tail of both execution paths.
+    pub(crate) fn retire_bundle(
+        &mut self,
+        bundle_addr: Addr,
+        fall_through: Addr,
+        taken: Option<Addr>,
+    ) {
+        self.advance_after_bundle(fall_through, taken);
+        self.take_sample(Pc::new(bundle_addr, 0));
+    }
 
+    /// The sampling-free part of [`Machine::retire_bundle`]; the fast
+    /// path calls it directly when sampling is off so the common path
+    /// carries no sample checks at all.
+    pub(crate) fn advance_after_bundle(&mut self, fall_through: Addr, taken: Option<Addr>) {
         match taken {
             Some(t) => {
                 self.ip = t.bundle_align();
@@ -832,15 +775,229 @@ impl Machine {
             }
         }
         self.pmu.counters.cycles = self.cycle;
+    }
 
-        self.take_sample(Pc::new(bundle_addr, 0));
+    /// Executes one issued (predicate-true, scoreboard-clear)
+    /// instruction. Shared by the reference and fast paths: every
+    /// architectural and timing effect of an instruction lives here,
+    /// so the paths cannot diverge on op semantics. On a fault the
+    /// machine freezes (`self.fault` set, no destination writes) and
+    /// the caller must stop the bundle.
+    #[inline]
+    pub(crate) fn exec_slot_op(
+        &mut self,
+        insn: Insn,
+        pc: Pc,
+        fall_through: Addr,
+        taken: &mut Option<Addr>,
+    ) {
+        let now = self.cycle;
+        match insn.op {
+            Op::Nop(_) | Op::Alloc => {}
+            Op::Add { d, a, b } => {
+                let v = self.gr[a.index()].wrapping_add(self.gr[b.index()]);
+                self.write_gr(d, v, now);
+            }
+            Op::AddI { d, a, imm } => {
+                let v = self.gr[a.index()].wrapping_add(imm);
+                self.write_gr(d, v, now);
+            }
+            Op::Sub { d, a, b } => {
+                let v = self.gr[a.index()].wrapping_sub(self.gr[b.index()]);
+                self.write_gr(d, v, now);
+            }
+            Op::Shladd { d, a, count, b } => {
+                let v = (self.gr[a.index()] << count).wrapping_add(self.gr[b.index()]);
+                self.write_gr(d, v, now);
+            }
+            Op::And { d, a, b } => {
+                self.write_gr(d, self.gr[a.index()] & self.gr[b.index()], now);
+            }
+            Op::Or { d, a, b } => {
+                self.write_gr(d, self.gr[a.index()] | self.gr[b.index()], now);
+            }
+            Op::Xor { d, a, b } => {
+                self.write_gr(d, self.gr[a.index()] ^ self.gr[b.index()], now);
+            }
+            Op::MovL { d, imm } => self.write_gr(d, imm, now),
+            Op::Mov { d, s } => {
+                let v = self.gr[s.index()];
+                self.write_gr(d, v, now);
+            }
+            Op::Cmp { op, pt, pf, a, b } => {
+                let r = op.eval(self.gr[a.index()], self.gr[b.index()]);
+                self.write_pr(pt, r);
+                self.write_pr(pf, !r);
+            }
+            Op::CmpI { op, pt, pf, a, imm } => {
+                let r = op.eval(self.gr[a.index()], imm);
+                self.write_pr(pt, r);
+                self.write_pr(pf, !r);
+            }
+            Op::Ld {
+                d,
+                base,
+                post_inc,
+                size,
+                spec,
+            } => {
+                let addr = self.gr[base.index()] as u64;
+                let value = if spec {
+                    self.mem.read_spec(addr, size.bytes())
+                } else if self.mem.contains(addr, size.bytes()) {
+                    self.mem.read(addr, size.bytes())
+                } else {
+                    self.fault = Some(Fault::UnmappedLoad {
+                        addr,
+                        len: size.bytes(),
+                    });
+                    return;
+                };
+                let tlb_lat = self.tlb.access(addr);
+                if tlb_lat > 0 {
+                    self.pmu.record_tlb_miss(pc, addr, tlb_lat);
+                }
+                let res = self.caches.load(addr, now + tlb_lat, false);
+                self.pmu
+                    .record_load(pc, addr, res.latency, res.level == HitLevel::L1);
+                self.write_gr_src(
+                    d,
+                    value as i64,
+                    now + tlb_lat + res.latency,
+                    StallSource::Memory,
+                );
+                if post_inc != 0 {
+                    let nb = self.gr[base.index()].wrapping_add(post_inc);
+                    self.write_gr(base, nb, now);
+                }
+            }
+            Op::St {
+                s,
+                base,
+                post_inc,
+                size,
+            } => {
+                let addr = self.gr[base.index()] as u64;
+                if !self.mem.contains(addr, size.bytes()) {
+                    self.fault = Some(Fault::UnmappedStore {
+                        addr,
+                        len: size.bytes(),
+                    });
+                    return;
+                }
+                self.mem
+                    .write(addr, size.bytes(), self.gr[s.index()] as u64);
+                let _ = self.tlb.access(addr); // stores fill but don't stall
+                self.caches.store(addr);
+                if post_inc != 0 {
+                    let nb = self.gr[base.index()].wrapping_add(post_inc);
+                    self.write_gr(base, nb, now);
+                }
+            }
+            Op::Ldf { d, base, post_inc } => {
+                let addr = self.gr[base.index()] as u64;
+                if !self.mem.contains(addr, 8) {
+                    self.fault = Some(Fault::UnmappedLoad { addr, len: 8 });
+                    return;
+                }
+                let value = self.mem.read_f64(addr);
+                let tlb_lat = self.tlb.access(addr);
+                if tlb_lat > 0 {
+                    self.pmu.record_tlb_miss(pc, addr, tlb_lat);
+                }
+                let res = self.caches.load(addr, now + tlb_lat, true);
+                self.pmu.record_load(pc, addr, res.latency, false);
+                self.write_fr_src(d, value, now + tlb_lat + res.latency, StallSource::Memory);
+                if post_inc != 0 {
+                    let nb = self.gr[base.index()].wrapping_add(post_inc);
+                    self.write_gr(base, nb, now);
+                }
+            }
+            Op::Stf { s, base, post_inc } => {
+                let addr = self.gr[base.index()] as u64;
+                if !self.mem.contains(addr, 8) {
+                    self.fault = Some(Fault::UnmappedStore { addr, len: 8 });
+                    return;
+                }
+                self.mem.write_f64(addr, self.fr[s.index()]);
+                self.caches.store(addr);
+                if post_inc != 0 {
+                    let nb = self.gr[base.index()].wrapping_add(post_inc);
+                    self.write_gr(base, nb, now);
+                }
+            }
+            Op::Lfetch { base, post_inc } => {
+                let addr = self.gr[base.index()] as u64;
+                // lfetch engages the hardware page walker on a DTLB
+                // miss (warming the TLB ahead of the demand stream)
+                // and is dropped only when the translation would
+                // fault — e.g. the wild addresses an extrapolated
+                // pointer-chase prefetch can produce.
+                if self.mem.contains(addr, 1) {
+                    let _ = self.tlb.access(addr);
+                    self.caches.lfetch(addr, now);
+                }
+                if post_inc != 0 {
+                    let nb = self.gr[base.index()].wrapping_add(post_inc);
+                    self.write_gr(base, nb, now);
+                }
+            }
+            Op::Fma { d, a, b, c } => {
+                let v = self.fr[a.index()].mul_add(self.fr[b.index()], self.fr[c.index()]);
+                self.write_fr(d, v, now + self.config.fp_latency);
+            }
+            Op::Fadd { d, a, b } => {
+                let v = self.fr[a.index()] + self.fr[b.index()];
+                self.write_fr(d, v, now + self.config.fp_latency);
+            }
+            Op::Fmul { d, a, b } => {
+                let v = self.fr[a.index()] * self.fr[b.index()];
+                self.write_fr(d, v, now + self.config.fp_latency);
+            }
+            Op::Getf { d, s } => {
+                let v = self.fr[s.index()] as i64;
+                self.write_gr(d, v, now + self.config.xfer_latency);
+            }
+            Op::Setf { d, s } => {
+                let v = self.gr[s.index()] as f64;
+                self.write_fr(d, v, now + self.config.xfer_latency);
+            }
+            Op::Br { target } => {
+                self.pmu.record_branch(pc, target, true);
+                *taken = Some(target);
+            }
+            Op::BrCond { target } => {
+                // Reached only when the qualifying predicate held.
+                self.pmu.record_branch(pc, target, true);
+                *taken = Some(target);
+            }
+            Op::BrCall { target } => {
+                self.pmu.record_branch(pc, target, true);
+                self.ret_stack.push(fall_through);
+                *taken = Some(target);
+            }
+            Op::BrRet => {
+                let Some(target) = self.ret_stack.pop() else {
+                    self.fault = Some(Fault::ReturnUnderflow);
+                    return;
+                };
+                self.pmu.record_branch(pc, target, true);
+                *taken = Some(target);
+            }
+            Op::Halt => {
+                self.halted = true;
+            }
+        }
     }
 }
 
 /// Convenience: count free memory slots in a trace (used in tests and by
 /// the prefetch scheduler's cost estimate).
 pub fn free_m_slots(bundles: &[Bundle]) -> usize {
-    bundles.iter().filter_map(|b| b.free_slot(SlotKind::M)).count()
+    bundles
+        .iter()
+        .filter_map(|b| b.free_slot(SlotKind::M))
+        .count()
 }
 
 #[cfg(test)]
@@ -887,11 +1044,17 @@ mod tests {
         .unwrap();
         m.replace_bundle(Addr(CODE_BASE + 16), nop_bundle).unwrap();
         let wild = Addr(CODE_BASE + 32);
-        assert_eq!(m.run(u64::MAX), StopReason::Faulted(Fault::UnmappedFetch(wild)));
+        assert_eq!(
+            m.run(u64::MAX),
+            StopReason::Faulted(Fault::UnmappedFetch(wild))
+        );
         assert!(!m.is_halted());
         assert_eq!(m.fault(), Some(Fault::UnmappedFetch(wild)));
         // The machine stays faulted; re-running returns the same reason.
-        assert_eq!(m.run(u64::MAX), StopReason::Faulted(Fault::UnmappedFetch(wild)));
+        assert_eq!(
+            m.run(u64::MAX),
+            StopReason::Faulted(Fault::UnmappedFetch(wild))
+        );
         // Architectural state before the fault is preserved.
         assert_eq!(m.gr(Gr(10)), 7);
     }
@@ -904,7 +1067,13 @@ mod tests {
             a.halt();
         });
         let r = m.run(u64::MAX);
-        assert_eq!(r, StopReason::Faulted(Fault::UnmappedLoad { addr: 0x123, len: 8 }));
+        assert_eq!(
+            r,
+            StopReason::Faulted(Fault::UnmappedLoad {
+                addr: 0x123,
+                len: 8
+            })
+        );
         // No destination write, no post-increment.
         assert_eq!(m.gr(Gr(11)), 0);
         assert_eq!(m.gr(Gr(10)), 0x123);
@@ -918,7 +1087,10 @@ mod tests {
             a.halt();
         });
         let r = m.run(u64::MAX);
-        assert_eq!(r, StopReason::Faulted(Fault::UnmappedStore { addr: 64, len: 4 }));
+        assert_eq!(
+            r,
+            StopReason::Faulted(Fault::UnmappedStore { addr: 64, len: 4 })
+        );
     }
 
     #[test]
@@ -1123,14 +1295,31 @@ mod tests {
             a.movl(Gr(10), 0x1000_0000);
             a.movl(Gr(11), 7);
             a.cmpi(CmpOp::Eq, Pr(4), Pr(5), Gr(11), 8); // p4 = false, p5 = true
-            a.emit(isa::Insn::predicated(Pr(4), Op::St {
-                s: Gr(11),
-                base: Gr(10),
-                post_inc: 8,
-                size: AccessSize::U8,
-            }));
-            a.emit(isa::Insn::predicated(Pr(4), Op::AddI { d: Gr(12), a: Gr(12), imm: 99 }));
-            a.emit(isa::Insn::predicated(Pr(5), Op::AddI { d: Gr(13), a: Gr(13), imm: 1 }));
+            a.emit(isa::Insn::predicated(
+                Pr(4),
+                Op::St {
+                    s: Gr(11),
+                    base: Gr(10),
+                    post_inc: 8,
+                    size: AccessSize::U8,
+                },
+            ));
+            a.emit(isa::Insn::predicated(
+                Pr(4),
+                Op::AddI {
+                    d: Gr(12),
+                    a: Gr(12),
+                    imm: 99,
+                },
+            ));
+            a.emit(isa::Insn::predicated(
+                Pr(5),
+                Op::AddI {
+                    d: Gr(13),
+                    a: Gr(13),
+                    imm: 1,
+                },
+            ));
             a.halt();
         });
         m.mem_mut().alloc(64, 8);
@@ -1146,8 +1335,14 @@ mod tests {
     fn getf_setf_round_trip_with_latency() {
         let mut m = machine_for(|a| {
             a.movl(Gr(10), 42);
-            a.emit(Op::Setf { d: isa::Fr(8), s: Gr(10) });
-            a.emit(Op::Getf { d: Gr(11), s: isa::Fr(8) });
+            a.emit(Op::Setf {
+                d: isa::Fr(8),
+                s: Gr(10),
+            });
+            a.emit(Op::Getf {
+                d: Gr(11),
+                s: isa::Fr(8),
+            });
             a.add(Gr(12), Gr(11), Gr(11));
             a.halt();
         });
@@ -1193,7 +1388,10 @@ mod tests {
         m.mem_mut().alloc(2_016 * 256, 64);
         m.run(u64::MAX);
         let c = m.pmu().counters;
-        assert!(c.stall_mem > c.cycles / 2, "memory stalls should dominate: {c:?}");
+        assert!(
+            c.stall_mem > c.cycles / 2,
+            "memory stalls should dominate: {c:?}"
+        );
         assert_eq!(c.stall_fp, 0);
 
         // FP-latency-bound chain.
@@ -1209,7 +1407,10 @@ mod tests {
         });
         m.run(u64::MAX);
         let c = m.pmu().counters;
-        assert!(c.stall_fp > c.cycles / 3, "fp stalls should dominate: {c:?}");
+        assert!(
+            c.stall_fp > c.cycles / 3,
+            "fp stalls should dominate: {c:?}"
+        );
         assert_eq!(c.stall_mem, 0);
     }
 
@@ -1246,8 +1447,14 @@ mod tests {
         let mut distinct = std::collections::HashSet::new();
         for w in stamps.windows(2) {
             let gap = w[1] - w[0];
-            assert!(gap >= (interval as f64 * 0.74) as u64, "gap {gap} below band");
-            assert!(gap <= (interval as f64 * 1.26) as u64 + 16, "gap {gap} above band");
+            assert!(
+                gap >= (interval as f64 * 0.74) as u64,
+                "gap {gap} below band"
+            );
+            assert!(
+                gap <= (interval as f64 * 1.26) as u64 + 16,
+                "gap {gap} above band"
+            );
             distinct.insert(gap / 100);
         }
         assert!(distinct.len() > 5, "jitter must actually vary the period");
@@ -1325,7 +1532,10 @@ mod tests {
         // Find the loop-head bundle (second bundle: after movl).
         let head = Addr(CODE_BASE + 16);
         let saved = m
-            .replace_bundle(head, Bundle::branch_only(isa::Insn::new(Op::Br { target: trace_addr })))
+            .replace_bundle(
+                head,
+                Bundle::branch_only(isa::Insn::new(Op::Br { target: trace_addr })),
+            )
             .unwrap();
         assert!(!saved.has_branch() || saved.has_branch()); // saved original
 
@@ -1363,7 +1573,10 @@ mod tests {
             a.halt();
         });
         let err = m
-            .replace_bundle(Addr(0x123_4560), Bundle::branch_only(isa::Insn::new(Op::BrRet)))
+            .replace_bundle(
+                Addr(0x123_4560),
+                Bundle::branch_only(isa::Insn::new(Op::BrRet)),
+            )
             .unwrap_err();
         assert!(matches!(err, PatchError::BadAddress(_)));
     }

@@ -39,7 +39,11 @@ impl Memory {
 
     /// Creates an arena of `capacity` bytes at `base`.
     pub fn with_base(base: u64, capacity: usize) -> Memory {
-        Memory { base, data: vec![0; capacity], brk: base }
+        Memory {
+            base,
+            data: vec![0; capacity],
+            brk: base,
+        }
     }
 
     /// Base address of the arena.
@@ -97,7 +101,10 @@ impl Memory {
     /// Panics on unmapped addresses; use [`Memory::read_spec`] for
     /// non-faulting semantics.
     pub fn read(&self, addr: u64, len: u64) -> u64 {
-        assert!(self.contains(addr, len), "unmapped read of {len} bytes at {addr:#x}");
+        assert!(
+            self.contains(addr, len),
+            "unmapped read of {len} bytes at {addr:#x}"
+        );
         self.read_unchecked(addr, len)
     }
 
@@ -123,7 +130,10 @@ impl Memory {
     ///
     /// Panics on unmapped addresses.
     pub fn write(&mut self, addr: u64, len: u64, value: u64) {
-        assert!(self.contains(addr, len), "unmapped write of {len} bytes at {addr:#x}");
+        assert!(
+            self.contains(addr, len),
+            "unmapped write of {len} bytes at {addr:#x}"
+        );
         let off = self.offset(addr);
         self.data[off..off + len as usize].copy_from_slice(&value.to_le_bytes()[..len as usize]);
     }

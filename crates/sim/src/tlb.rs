@@ -21,7 +21,11 @@ pub struct TlbConfig {
 
 impl Default for TlbConfig {
     fn default() -> TlbConfig {
-        TlbConfig { entries: 128, page_bytes: 16 * 1024, miss_latency: 25 }
+        TlbConfig {
+            entries: 128,
+            page_bytes: 16 * 1024,
+            miss_latency: 25,
+        }
     }
 }
 
@@ -31,6 +35,14 @@ pub struct Tlb {
     config: TlbConfig,
     /// (page number, LRU stamp); linear scan — entry counts are small.
     entries: Vec<(u64, u64)>,
+    /// Page of the most recent `access`, short-circuiting the scan for
+    /// consecutive same-page translations. Exact: between two
+    /// consecutive accesses to the same page no other entry's stamp can
+    /// change, so skipping the refresh preserves relative LRU order
+    /// (the memoized page already holds the newest stamp).
+    last_page: u64,
+    /// `log2(page_bytes)`: page numbers via shift, not hardware divide.
+    page_shift: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -44,10 +56,17 @@ impl Tlb {
     /// Panics unless the page size is a power of two and there is at
     /// least one entry.
     pub fn new(config: TlbConfig) -> Tlb {
-        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(config.entries > 0, "TLB needs at least one entry");
         Tlb {
             entries: Vec::with_capacity(config.entries),
+            // No page number can reach u64::MAX (pages are addresses
+            // divided by the page size), so MAX means "no memo".
+            last_page: u64::MAX,
+            page_shift: config.page_bytes.trailing_zeros(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -66,13 +85,27 @@ impl Tlb {
     }
 
     fn page(&self, addr: u64) -> u64 {
-        addr / self.config.page_bytes
+        addr >> self.page_shift
     }
 
     /// Translates a demand access: returns the added latency (0 on a
     /// hit, the walker latency on a miss) and fills the entry.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> u64 {
         let page = self.page(addr);
+        if page == self.last_page {
+            self.hits += 1;
+            return 0;
+        }
+        self.access_new_page(page)
+    }
+
+    /// Out-of-line half of [`Tlb::access`] for a page other than the
+    /// memoized one; keeps the per-load inlined path to a shift and a
+    /// compare.
+    #[inline(never)]
+    fn access_new_page(&mut self, page: u64) -> u64 {
+        self.last_page = page;
         self.tick += 1;
         if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
             e.1 = self.tick;
@@ -117,7 +150,11 @@ mod tests {
 
     #[test]
     fn lru_eviction() {
-        let mut t = Tlb::new(TlbConfig { entries: 2, page_bytes: 4096, miss_latency: 10 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            miss_latency: 10,
+        });
         t.access(0x0000); // page 0
         t.access(0x1000); // page 1
         t.access(0x0008); // refresh page 0
@@ -135,7 +172,11 @@ mod tests {
 
     #[test]
     fn reach_is_entries_times_page() {
-        let mut t = Tlb::new(TlbConfig { entries: 4, page_bytes: 4096, miss_latency: 10 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+            miss_latency: 10,
+        });
         for i in 0..4u64 {
             t.access(i * 4096);
         }
@@ -148,6 +189,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_page_size_panics() {
-        let _ = Tlb::new(TlbConfig { entries: 4, page_bytes: 3000, miss_latency: 10 });
+        let _ = Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 3000,
+            miss_latency: 10,
+        });
     }
 }

@@ -5,10 +5,14 @@
 //! Files land here when the `fuzz` binary finds a semantic mismatch:
 //! it shrinks the case and writes it in the `adore-oracle-reproducer`
 //! text format. Once the underlying bug is fixed, the reproducer stays
-//! behind and must agree forever after. An empty (or absent) corpus
-//! passes vacuously.
+//! behind and must agree forever after. Hand-written cases pinning
+//! known optimization shapes (indirect access, pointer chase) also
+//! live here. Every file is replayed once per simulator [`ExecPath`],
+//! so the corpus guards both execution engines. An empty (or absent)
+//! corpus passes vacuously.
 
 use oracle::{check, parse_repro, CaseResult, DiffConfig};
+use sim::ExecPath;
 
 #[test]
 fn corpus_replays_without_mismatch() {
@@ -16,7 +20,6 @@ fn corpus_replays_without_mismatch() {
     let Ok(entries) = std::fs::read_dir(&dir) else {
         return; // no corpus yet — vacuously green
     };
-    let cfg = DiffConfig::default();
     let mut replayed = 0u32;
     for entry in entries {
         let path = entry.expect("read corpus dir").path();
@@ -27,21 +30,31 @@ fn corpus_replays_without_mismatch() {
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let spec =
             parse_repro(&text).unwrap_or_else(|e| panic!("{}: parse: {e}", path.display()));
-        match check(&spec, &cfg) {
-            CaseResult::Agree { .. } => {}
-            CaseResult::Undecided(why) => {
-                panic!("{}: no verdict (corpus entries must terminate): {why}", path.display())
-            }
-            CaseResult::Mismatch(m) => {
-                panic!(
-                    "{}: REGRESSION — {} run diverged: {}",
-                    path.display(),
-                    m.stage,
-                    m.detail
-                )
+        for exec_path in [ExecPath::Fast, ExecPath::Reference] {
+            let cfg = DiffConfig { exec_path, ..DiffConfig::default() };
+            match check(&spec, &cfg) {
+                CaseResult::Agree { outcome, traces_patched } => {
+                    eprintln!(
+                        "{} [{exec_path}]: agree ({}, {traces_patched} traces patched)",
+                        path.display(),
+                        outcome.label()
+                    );
+                }
+                CaseResult::Undecided(why) => panic!(
+                    "{} [{exec_path}]: no verdict (corpus entries must terminate): {why}",
+                    path.display()
+                ),
+                CaseResult::Mismatch(m) => {
+                    panic!(
+                        "{} [{exec_path}]: REGRESSION — {} run diverged: {}",
+                        path.display(),
+                        m.stage,
+                        m.detail
+                    )
+                }
             }
         }
         replayed += 1;
     }
-    eprintln!("replayed {replayed} corpus reproducer(s)");
+    eprintln!("replayed {replayed} corpus reproducer(s) on both exec paths");
 }

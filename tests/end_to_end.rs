@@ -1,10 +1,71 @@
 //! End-to-end integration: the full ADORE pipeline on real workloads,
 //! including semantic preservation under trace patching.
+//!
+//! Every scale-sensitive test runs in two tiers sharing one body:
+//!
+//! - the default tests use [`QUICK`], sized so a debug-mode
+//!   `cargo test` stays fast;
+//! - the `*_full` twins use [`FULL`] (the original paper-scale
+//!   parameters) and are `#[ignore]`d; `tools/ci.sh` runs them in
+//!   release with `ADORE_FULL_E2E=1 cargo test ... -- --ignored`.
+//!   Without that variable the full twins skip themselves, so a casual
+//!   `--include-ignored` in a debug build does not hang for minutes.
 
 use adore::{run, AdoreConfig};
 use compiler::{compile, CompileOptions};
 use isa::{AccessSize, Asm, CmpOp, Gr, Pr, CODE_BASE};
 use sim::{Machine, MachineConfig, SamplingConfig};
+
+/// Workload sizes and the thresholds calibrated for them.
+struct Profile {
+    /// `workloads::suite` scale for the all-workloads smoke test.
+    suite_scale_small: f64,
+    /// Suite scale for the mcf-gains / lucas-does-not comparison.
+    suite_scale_gain: f64,
+    /// Suite scale for the O3-compose and sampling-overhead tests.
+    suite_scale_compose: f64,
+    /// Outer/inner trip counts of the hand-built summing loop.
+    patch_outer: i64,
+    patch_inner: i64,
+    /// Minimum acceptable mcf speedup (shrinks with the working set).
+    mcf_min_gain: f64,
+    /// Maximum acceptable sampling overhead (grows at small scale:
+    /// fixed per-window work amortizes over fewer cycles).
+    overhead_max: f64,
+}
+
+/// Debug-friendly tier for every `cargo test`.
+const QUICK: Profile = Profile {
+    suite_scale_small: 0.05,
+    suite_scale_gain: 0.2,
+    suite_scale_compose: 0.2,
+    patch_outer: 20,
+    patch_inner: 20_000,
+    mcf_min_gain: 1.10,
+    overhead_max: 0.03,
+};
+
+/// Paper-scale tier, release-only via tools/ci.sh.
+const FULL: Profile = Profile {
+    suite_scale_small: 0.1,
+    suite_scale_gain: 0.35,
+    suite_scale_compose: 0.3,
+    patch_outer: 30,
+    patch_inner: 30_000,
+    mcf_min_gain: 1.15,
+    overhead_max: 0.025,
+};
+
+/// Gate for the `#[ignore]`d full tier: run only when tools/ci.sh (or
+/// a deliberate caller) sets `ADORE_FULL_E2E=1`.
+fn full_tier_enabled() -> bool {
+    if std::env::var_os("ADORE_FULL_E2E").is_some_and(|v| v == "1") {
+        true
+    } else {
+        eprintln!("skipping full-scale e2e tier (set ADORE_FULL_E2E=1 to run)");
+        false
+    }
+}
 
 fn fast_adore() -> AdoreConfig {
     let mut c = AdoreConfig::enabled();
@@ -46,18 +107,19 @@ fn fill_arena(m: &mut Machine, words: u64) {
     }
 }
 
-#[test]
-fn patching_preserves_program_semantics() {
-    let inner = 30_000i64;
-    let mut plain = Machine::new(summing_program(30, inner), MachineConfig::default());
+fn check_patching_preserves_program_semantics(p: &Profile) {
+    let (outer, inner) = (p.patch_outer, p.patch_inner);
+    let mut plain = Machine::new(summing_program(outer, inner), MachineConfig::default());
     fill_arena(&mut plain, inner as u64 + 16);
     plain.run(u64::MAX);
     let expected = plain.gr(Gr(21));
     assert_ne!(expected, 0);
 
     let config = fast_adore();
-    let mut machine =
-        Machine::new(summing_program(30, inner), config.machine_config(MachineConfig::default()));
+    let mut machine = Machine::new(
+        summing_program(outer, inner),
+        config.machine_config(MachineConfig::default()),
+    );
     fill_arena(&mut machine, inner as u64 + 16);
     let report = run(&mut machine, &config);
     assert!(report.traces_patched >= 1, "the loop must be patched: {report:?}");
@@ -75,9 +137,21 @@ fn patching_preserves_program_semantics() {
 }
 
 #[test]
-fn suite_workloads_run_under_adore_at_small_scale() {
+fn patching_preserves_program_semantics() {
+    check_patching_preserves_program_semantics(&QUICK);
+}
+
+#[test]
+#[ignore = "full-scale e2e tier; tools/ci.sh runs it in release with ADORE_FULL_E2E=1"]
+fn patching_preserves_program_semantics_full() {
+    if full_tier_enabled() {
+        check_patching_preserves_program_semantics(&FULL);
+    }
+}
+
+fn check_suite_workloads_run_under_adore(p: &Profile) {
     let config = fast_adore();
-    for w in workloads::suite(0.1) {
+    for w in workloads::suite(p.suite_scale_small) {
         let bin = compile(&w.kernel, &CompileOptions::o2())
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let mcfg = config.machine_config(MachineConfig::default());
@@ -89,9 +163,21 @@ fn suite_workloads_run_under_adore_at_small_scale() {
 }
 
 #[test]
-fn mcf_like_chase_gains_and_lucas_like_conversion_does_not() {
+fn suite_workloads_run_under_adore_at_small_scale() {
+    check_suite_workloads_run_under_adore(&QUICK);
+}
+
+#[test]
+#[ignore = "full-scale e2e tier; tools/ci.sh runs it in release with ADORE_FULL_E2E=1"]
+fn suite_workloads_run_under_adore_at_small_scale_full() {
+    if full_tier_enabled() {
+        check_suite_workloads_run_under_adore(&FULL);
+    }
+}
+
+fn check_mcf_gains_and_lucas_does_not(p: &Profile) {
     let config = fast_adore();
-    let suite = workloads::suite(0.35);
+    let suite = workloads::suite(p.suite_scale_gain);
 
     let gain = |name: &str| -> (f64, adore::RunReport) {
         let w = suite.iter().find(|w| w.name == name).unwrap();
@@ -104,7 +190,10 @@ fn mcf_like_chase_gains_and_lucas_like_conversion_does_not() {
     };
 
     let (mcf_gain, mcf_report) = gain("mcf");
-    assert!(mcf_gain > 1.15, "mcf should speed up substantially, got {mcf_gain}");
+    assert!(
+        mcf_gain > p.mcf_min_gain,
+        "mcf should speed up substantially, got {mcf_gain}"
+    );
     assert!(mcf_report.stats.pointer >= 1, "via pointer-chase prefetching: {mcf_report:?}");
 
     let (lucas_gain, lucas_report) = gain("lucas");
@@ -123,8 +212,20 @@ fn mcf_like_chase_gains_and_lucas_like_conversion_does_not() {
 }
 
 #[test]
-fn o3_static_prefetch_and_runtime_prefetch_compose() {
-    let suite = workloads::suite(0.3);
+fn mcf_like_chase_gains_and_lucas_like_conversion_does_not() {
+    check_mcf_gains_and_lucas_does_not(&QUICK);
+}
+
+#[test]
+#[ignore = "full-scale e2e tier; tools/ci.sh runs it in release with ADORE_FULL_E2E=1"]
+fn mcf_like_chase_gains_and_lucas_like_conversion_does_not_full() {
+    if full_tier_enabled() {
+        check_mcf_gains_and_lucas_does_not(&FULL);
+    }
+}
+
+fn check_o3_and_runtime_prefetch_compose(p: &Profile) {
+    let suite = workloads::suite(p.suite_scale_compose);
     let w = suite.iter().find(|w| w.name == "swim").unwrap();
     let o2 = compile(&w.kernel, &CompileOptions::o2()).unwrap();
     let o3 = compile(&w.kernel, &CompileOptions::o3()).unwrap();
@@ -150,8 +251,20 @@ fn o3_static_prefetch_and_runtime_prefetch_compose() {
 }
 
 #[test]
-fn sampling_overhead_is_within_paper_bounds() {
-    let suite = workloads::suite(0.3);
+fn o3_static_prefetch_and_runtime_prefetch_compose() {
+    check_o3_and_runtime_prefetch_compose(&QUICK);
+}
+
+#[test]
+#[ignore = "full-scale e2e tier; tools/ci.sh runs it in release with ADORE_FULL_E2E=1"]
+fn o3_static_prefetch_and_runtime_prefetch_compose_full() {
+    if full_tier_enabled() {
+        check_o3_and_runtime_prefetch_compose(&FULL);
+    }
+}
+
+fn check_sampling_overhead_within_bounds(p: &Profile) {
+    let suite = workloads::suite(p.suite_scale_compose);
     let w = suite.iter().find(|w| w.name == "vortex").unwrap();
     let bin = compile(&w.kernel, &CompileOptions::o2()).unwrap();
     let mut base = w.prepare(&bin, MachineConfig::default());
@@ -170,16 +283,33 @@ fn sampling_overhead_is_within_paper_bounds() {
     let mut m = w.prepare(&bin, config.machine_config(MachineConfig::default()));
     let report = run(&mut m, &config);
     let overhead = report.cycles as f64 / base.cycles() as f64 - 1.0;
-    assert!(overhead < 0.025, "overhead should be 1-2%: {:.3}%", overhead * 100.0);
+    assert!(
+        overhead < p.overhead_max,
+        "overhead should be 1-2%: {:.3}%",
+        overhead * 100.0
+    );
     assert_eq!(report.traces_patched, 0);
 }
 
 #[test]
-fn unpatching_restores_original_code() {
+fn sampling_overhead_is_within_paper_bounds() {
+    check_sampling_overhead_within_bounds(&QUICK);
+}
+
+#[test]
+#[ignore = "full-scale e2e tier; tools/ci.sh runs it in release with ADORE_FULL_E2E=1"]
+fn sampling_overhead_is_within_paper_bounds_full() {
+    if full_tier_enabled() {
+        check_sampling_overhead_within_bounds(&FULL);
+    }
+}
+
+fn check_unpatching_restores_original_code(p: &Profile) {
     let config = fast_adore();
-    let program = summing_program(20, 20_000);
-    let mut machine = Machine::new(program.clone(), config.machine_config(MachineConfig::default()));
-    fill_arena(&mut machine, 20_016);
+    let program = summing_program(p.patch_outer, p.patch_inner);
+    let mut machine =
+        Machine::new(program.clone(), config.machine_config(MachineConfig::default()));
+    fill_arena(&mut machine, p.patch_inner as u64 + 16);
 
     // Run under ADORE manually so we can capture the patch records.
     let mut pm = perfmon::Perfmon::new(config.perfmon.clone());
@@ -216,5 +346,18 @@ fn unpatching_restores_original_code() {
     // The original bundles are back in place.
     for p in &patches {
         assert_eq!(machine.bundle_at(p.original_head), Some(&p.saved));
+    }
+}
+
+#[test]
+fn unpatching_restores_original_code() {
+    check_unpatching_restores_original_code(&QUICK);
+}
+
+#[test]
+#[ignore = "full-scale e2e tier; tools/ci.sh runs it in release with ADORE_FULL_E2E=1"]
+fn unpatching_restores_original_code_full() {
+    if full_tier_enabled() {
+        check_unpatching_restores_original_code(&FULL);
     }
 }

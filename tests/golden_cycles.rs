@@ -1,0 +1,170 @@
+//! Golden cycle-exactness harness for the simulator execution paths.
+//!
+//! Every suite workload is run to completion on both [`ExecPath::Fast`]
+//! and [`ExecPath::Reference`] and the full observable timing surface —
+//! final cycle, retired count, every PMU counter, per-cache hit/miss
+//! counts and DTLB statistics — is compared (a) between the two paths
+//! and (b) against a checked-in golden file. Any fast-path optimization
+//! that changes *anything* observable therefore fails loudly with the
+//! first diverging workload and counter.
+//!
+//! Two tiers:
+//! - `golden_cycle_exactness_tiny` runs at a small scale on every
+//!   `cargo test` (debug-friendly);
+//! - `golden_cycle_exactness_quick` covers the full quick benchmark
+//!   scale (the one `results/bench_simulator.json` reports on) and is
+//!   `#[ignore]`d by default; `tools/ci.sh` runs it in release.
+//!
+//! To regenerate after an *intentional* timing-model change:
+//!
+//! ```text
+//! ADORE_BLESS=1 cargo test --release --test golden_cycles -- --include-ignored
+//! ```
+
+use compiler::{compile, CompileOptions};
+use sim::{ExecPath, Machine, MachineConfig, StopReason};
+
+/// Default tier scale: small enough that a debug-mode run of all 17
+/// workloads on both paths stays in single-digit seconds.
+const TINY_SCALE: f64 = 0.02;
+/// Full tier scale; matches `bench_harness::QUICK_SCALE`, i.e. the
+/// suite the simulator benchmark reports throughput for.
+const QUICK_SCALE: f64 = 0.25;
+
+/// Every observable the golden file pins, one line per workload.
+fn snapshot(m: &Machine) -> String {
+    let c = &m.pmu().counters;
+    let [l1d, l1i, l2, l3] = m.caches().cache_stats();
+    let (tlb_hits, tlb_misses) = m.tlb().stats();
+    format!(
+        "cycles={} retired={} loads={} branches={} l1d_misses={} \
+         dear_misses={} dear_latency={} l1i_misses={} dtlb_misses={} \
+         stall_mem={} stall_fp={} stall_branch={} stall_icache={} \
+         l1d={}/{} l1i={}/{} l2={}/{} l3={}/{} tlb={}/{}",
+        c.cycles,
+        c.retired,
+        c.loads,
+        c.branches,
+        c.l1d_misses,
+        c.dear_misses,
+        c.dear_latency,
+        c.l1i_misses,
+        c.dtlb_misses,
+        c.stall_mem,
+        c.stall_fp,
+        c.stall_branch,
+        c.stall_icache,
+        l1d.0,
+        l1d.1,
+        l1i.0,
+        l1i.1,
+        l2.0,
+        l2.1,
+        l3.0,
+        l3.1,
+        tlb_hits,
+        tlb_misses,
+    )
+}
+
+fn run_one(w: &workloads::Workload, bin: &compiler::CompiledBinary, path: ExecPath) -> String {
+    let mut config = MachineConfig::default();
+    config.exec_path = path;
+    let mut m = w.prepare(bin, config);
+    assert_eq!(
+        m.run(u64::MAX),
+        StopReason::Halted,
+        "{} must halt on {path}",
+        w.name
+    );
+    snapshot(&m)
+}
+
+/// Runs the whole suite at `scale` on both paths, asserting path
+/// agreement, and returns `name -> snapshot` lines in suite order.
+fn observed_lines(scale: f64) -> Vec<(String, String)> {
+    let opts = CompileOptions::default();
+    workloads::suite(scale)
+        .iter()
+        .map(|w| {
+            let bin = compile(&w.kernel, &opts).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let fast = run_one(w, &bin, ExecPath::Fast);
+            let reference = run_one(w, &bin, ExecPath::Reference);
+            assert_eq!(
+                fast, reference,
+                "{}: fast and reference paths diverged",
+                w.name
+            );
+            (w.name.to_string(), fast)
+        })
+        .collect()
+}
+
+fn golden_path(tier: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(format!("golden_cycles_{tier}.txt"))
+}
+
+fn check_against_golden(tier: &str, scale: f64) {
+    let observed = observed_lines(scale);
+    let path = golden_path(tier);
+
+    if std::env::var_os("ADORE_BLESS").is_some() {
+        let mut out = String::from(
+            "# Golden cycle-exactness snapshots (see tests/golden_cycles.rs).\n\
+             # Regenerate with: ADORE_BLESS=1 cargo test --release \
+             --test golden_cycles -- --include-ignored\n",
+        );
+        for (name, snap) in &observed {
+            out.push_str(&format!("{name} {snap}\n"));
+        }
+        std::fs::write(&path, out).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        eprintln!("blessed {} ({} workloads)", path.display(), observed.len());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(golden file missing? bless it: ADORE_BLESS=1 \
+             cargo test --release --test golden_cycles -- --include-ignored)",
+            path.display()
+        )
+    });
+    let golden: Vec<(String, String)> = text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (name, snap) = l.split_once(' ').expect("golden line: `<name> <snapshot>`");
+            (name.to_string(), snap.to_string())
+        })
+        .collect();
+
+    let golden_names: Vec<&str> = golden.iter().map(|(n, _)| n.as_str()).collect();
+    let observed_names: Vec<&str> = observed.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        golden_names, observed_names,
+        "workload suite changed; re-bless the {tier} golden file"
+    );
+    for ((name, want), (_, got)) in golden.iter().zip(&observed) {
+        assert_eq!(
+            want, got,
+            "{name}: cycle-exactness regression against {} \
+             (if the timing model changed intentionally, re-bless)",
+            golden_path(tier).display()
+        );
+    }
+}
+
+#[test]
+fn golden_cycle_exactness_tiny() {
+    check_against_golden("tiny", TINY_SCALE);
+}
+
+/// The full quick-scale tier. Slow in debug builds, so it is ignored
+/// by default; `tools/ci.sh` runs it in release.
+#[test]
+#[ignore = "quick-scale golden pass; tools/ci.sh runs it in release"]
+fn golden_cycle_exactness_quick() {
+    check_against_golden("quick", QUICK_SCALE);
+}

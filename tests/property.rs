@@ -215,6 +215,76 @@ fn machine_computes_strided_sums() {
     }
 }
 
+/// Running a machine in arbitrary seeded `cycle_limit` chunks reaches
+/// exactly the same architectural and timing state as one
+/// uninterrupted run — on both execution paths. This is the
+/// resumability contract ADORE's sampling windows rely on: stopping at
+/// a cycle limit and resuming must be invisible to the program.
+#[test]
+fn chunked_runs_equal_uninterrupted_runs() {
+    use sim::{ExecPath, StopReason};
+    for case in 0..CASES {
+        let mut rng = case_rng(0xC1C1_E7E5, case);
+        let trip = rng.range_i64(1, 300);
+        let stride = rng.range_i64(1, 4) * 64;
+        let path = if rng.bool() {
+            ExecPath::Fast
+        } else {
+            ExecPath::Reference
+        };
+        let build = || {
+            let mut a = Asm::new();
+            a.movl(Gr(14), 0x1000_0000);
+            a.movl(Gr(9), trip);
+            a.label("loop");
+            a.ld(AccessSize::U8, Gr(20), Gr(14), stride);
+            a.add(Gr(21), Gr(20), Gr(21));
+            a.addi(Gr(9), Gr(9), -1);
+            a.cmpi(CmpOp::Gt, Pr(1), Pr(2), Gr(9), 0);
+            a.br_cond(Pr(1), "loop");
+            a.halt();
+            let mut config = MachineConfig::default();
+            config.exec_path = path;
+            let mut m = Machine::new(a.finish(CODE_BASE).unwrap(), config);
+            m.mem_mut().alloc((trip * stride) as u64 + 4096, 64);
+            for i in 0..trip {
+                m.mem_mut().write(0x1000_0000 + (i * stride) as u64, 8, i as u64 + 7);
+            }
+            m
+        };
+
+        let mut whole = build();
+        assert_eq!(whole.run(u64::MAX), StopReason::Halted, "case {case}");
+
+        let mut chunked = build();
+        let mut limit = 0u64;
+        loop {
+            // `run`'s cycle limit is an absolute cycle count, so each
+            // chunk advances the horizon by an arbitrary seeded step.
+            limit += rng.range_u64(1, 2_000);
+            match chunked.run(limit) {
+                StopReason::CycleLimit => continue,
+                StopReason::Halted => break,
+                other => panic!("case {case}: unexpected stop {other:?}"),
+            }
+        }
+
+        assert_eq!(whole.cycles(), chunked.cycles(), "case {case} ({path})");
+        assert_eq!(whole.retired(), chunked.retired(), "case {case} ({path})");
+        assert_eq!(whole.gr(Gr(21)), chunked.gr(Gr(21)), "case {case} ({path})");
+        assert_eq!(
+            whole.pmu().counters,
+            chunked.pmu().counters,
+            "case {case} ({path})"
+        );
+        assert_eq!(
+            whole.caches().cache_stats(),
+            chunked.caches().cache_stats(),
+            "case {case} ({path})"
+        );
+    }
+}
+
 /// Pattern classification recovers the exact stride of any direct
 /// post-increment walk.
 #[test]

@@ -6,36 +6,51 @@
 #
 # Steps:
 #   1. release build of every crate, warnings denied
-#   2. full test suite (unit + integration + doc tests)
-#   3. smoke experiments through the parallel engine: fig7 --quick at
+#   2. full test suite (unit + integration + doc tests), wall-clock
+#      logged
+#   3. release run of the ignored slow tiers: the quick-scale golden
+#      cycle-exactness pass and the full-scale (ADORE_FULL_E2E=1)
+#      end-to-end tier
+#   4. smoke experiments through the parallel engine: fig7 --quick at
 #      --jobs 1 and --jobs 2 must produce byte-identical reports
 #      (modulo the envelope timestamp); wall-clocks of both are logged
-#   4. differential fuzz smoke: 512 fixed-seed cases through the
-#      three-way oracle (reference interpreter vs plain machine vs
-#      ADORE machine); any semantic mismatch fails the gate
-#   5. schema validation of the emitted JSON, including the engine's
-#      merged sections and the fuzz report
+#   5. differential fuzz smoke: 512 fixed-seed cases through the
+#      three-way oracle, once per simulator execution path
+#      (--exec-path=fast, then reference); any semantic mismatch or
+#      undecided case fails the gate
+#   6. simulator benchmark + throughput gate: the predecoded fast path
+#      must stay at least 2x the reference path on the quick suite
+#   7. schema validation of the emitted JSON, including the engine's
+#      merged sections
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="-D warnings"
 export CARGO_NET_OFFLINE="true"
 
+ms_since() { echo $(( ($(date +%s%N) - $1) / 1000000 )); }
+
 echo "== build (release, -D warnings) =="
 cargo build --release --workspace --benches
 
-echo "== test =="
+echo "== test (default quick tiers) =="
+t0=$(date +%s%N)
 cargo test -q --workspace
+echo "wall-clock: workspace test suite $(ms_since "$t0")ms"
+
+echo "== test (release, ignored tiers: quick-scale golden + full-scale e2e) =="
+t0=$(date +%s%N)
+ADORE_FULL_E2E=1 cargo test --release -q --test golden_cycles --test end_to_end -- --ignored
+echo "wall-clock: release ignored tiers $(ms_since "$t0")ms"
 
 echo "== smoke: fig7 --quick --jobs 1 vs --jobs 2 =="
 t0=$(date +%s%N)
 cargo run --release -q -p adore-bench --bin fig7 -- --quick --jobs 1
-t1=$(date +%s%N)
+serial_ms=$(ms_since "$t0")
 cp results/fig7.json results/fig7.jobs1.json
+t0=$(date +%s%N)
 cargo run --release -q -p adore-bench --bin fig7 -- --quick --jobs 2
-t2=$(date +%s%N)
-serial_ms=$(( (t1 - t0) / 1000000 ))
-parallel_ms=$(( (t2 - t1) / 1000000 ))
+parallel_ms=$(ms_since "$t0")
 echo "wall-clock: jobs=1 ${serial_ms}ms, jobs=2 ${parallel_ms}ms" \
      "(speedup $(python3 -c "print(f'{$serial_ms/max($parallel_ms,1):.2f}x')") on $(nproc) cores)"
 
@@ -51,15 +66,18 @@ print(f"  ok: {len(sa)} canonical bytes identical across --jobs")
 EOF
 rm -f results/fig7.jobs1.json
 
-echo "== smoke: differential fuzz oracle, 512 deterministic cases =="
-cargo run --release -q -p adore-bench --bin fuzz -- --cases=512 --seed=1
+for path in fast reference; do
+    echo "== smoke: differential fuzz oracle, 512 cases, exec-path=$path =="
+    cargo run --release -q -p adore-bench --bin fuzz -- \
+        --cases=512 --seed=1 "--exec-path=$path"
 
-echo "== validate fuzz report =="
-python3 - <<'EOF'
-import json
+    echo "== validate fuzz report ($path) =="
+    python3 - "$path" <<'EOF'
+import json, sys
 doc = json.load(open("results/fuzz.json"))
 assert doc["schema_version"] == 1, "schema_version must be 1"
 assert doc["tool"] == "fuzz", "tool must be fuzz"
+assert doc["exec_path"] == sys.argv[1], "report must record the exec path under test"
 assert doc["cases"] >= 512, "CI smoke must run at least 512 cases"
 assert doc["mismatches"] == 0, "semantic mismatch: ADORE changed program behavior"
 assert doc["undecided"] == 0, "every smoke case must reach a verdict"
@@ -69,13 +87,29 @@ cov = doc["coverage"]
 for key in ("ld1", "ld2", "ld4", "ld8", "st1", "st2", "st4", "st8", "ldf", "stf",
             "spec_ld", "lfetch", "predicated", "flushes", "hot_loops", "calls"):
     assert cov.get(key, 0) > 0, f"coverage hole: {key} never generated"
-print(f"  ok: {doc['cases']} cases, 0 mismatches,"
+print(f"  ok: {doc['cases']} cases on the {doc['exec_path']} path, 0 mismatches,"
       f" {doc['cases_with_patches']} cases patched"
       f" ({doc['traces_patched_total']} traces)")
 EOF
+done
 
 echo "== smoke: bench simulator --quick =="
 cargo bench -q -p adore-bench --bench simulator -- --quick
+
+echo "== gate: predecoded fast path throughput vs reference =="
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/bench_simulator.json"))
+rows = {b["name"]: b for b in doc["benchmarks"]}
+fast = rows["machine/suite_insns_fast"]["ns_per_element"]
+ref = rows["machine/suite_insns_reference"]["ns_per_element"]
+ratio = ref / fast
+assert ratio >= 2.0, (
+    f"fast-path throughput regressed: {ratio:.2f}x reference (gate: >= 2x); "
+    f"{fast:.2f} vs {ref:.2f} ns per simulated instruction")
+print(f"  ok: fast path {ratio:.2f}x reference"
+      f" ({fast:.2f} vs {ref:.2f} ns per simulated instruction)")
+EOF
 
 echo "== validate JSON reports =="
 for f in results/fig7.json results/bench_simulator.json; do
