@@ -100,6 +100,17 @@ pub fn find_delinquent_loads(traces: &[Trace], ueb: &UserEventBuffer) -> Vec<Del
     out
 }
 
+/// Returns the delinquent loads that map into the trace at
+/// `trace_index`, in the order `find_delinquent_loads` produced them
+/// (decreasing total latency within the trace).
+pub fn loads_for_trace(loads: &[DelinquentLoad], trace_index: usize) -> Vec<DelinquentLoad> {
+    loads
+        .iter()
+        .filter(|l| l.trace_index == trace_index)
+        .cloned()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

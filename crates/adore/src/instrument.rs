@@ -16,6 +16,7 @@
 use isa::{AccessSize, Addr, Bundle, Gr, Insn, Op, Pr};
 use sim::Memory;
 
+use crate::patch::PatchedTrace;
 use crate::prefetch::{pack_sequence, schedule_group, InsertionStats, OptimizedTrace};
 use crate::trace::Trace;
 
@@ -56,6 +57,27 @@ pub struct Instrumentation {
     pub capacity: u64,
     /// The register whose value is recorded (the load's address).
     pub base_reg: Gr,
+}
+
+/// An installed instrumentation patch awaiting its observation windows
+/// (the optimizer keeps one of these per instrumented trace until the
+/// recorded stream is harvested by the promotion pass).
+#[derive(Debug, Clone)]
+pub struct PendingInstr {
+    /// The live trace-pool patch carrying the recording stores.
+    pub patch: PatchedTrace,
+    /// The original (un-instrumented) trace, kept for promotion.
+    pub trace: Trace,
+    /// Position of the recorded load inside the trace (bundle, slot).
+    pub load_pos: (usize, u8),
+    /// Prefetch distance in iterations to use on promotion.
+    pub dist_iters: u64,
+    /// Recording-buffer base address.
+    pub buffer: u64,
+    /// Recording-buffer capacity in 8-byte entries.
+    pub capacity: u64,
+    /// Window index (timeline position) at installation time.
+    pub installed_window: u64,
 }
 
 /// Builds an instrumented copy of `trace` recording the address of the

@@ -19,6 +19,11 @@
 //!   scheduling using the reserved registers `r27`–`r30` (§3.3–3.5,
 //!   Fig. 6);
 //! - [`patch`] — trace-pool publication and unpatching (§2.5);
+//! - [`reject`] — the unified [`Rejection`] taxonomy every stage
+//!   reports declined work through (§4.3's failure analysis);
+//! - [`pipeline`] — the optimizer decomposed into instrumented
+//!   [`pipeline::Pass`]es over a shared [`pipeline::OptContext`], with
+//!   a per-pass overhead ledger and structured event stream;
 //! - [`runtime`] — the dynamic-optimization loop tying it together.
 //!
 //! # Example
@@ -67,15 +72,19 @@ pub mod instrument;
 pub mod patch;
 pub mod pattern;
 pub mod phase;
+pub mod pipeline;
 pub mod prefetch;
+pub mod reject;
 pub mod runtime;
 pub mod trace;
 
-pub use delinq::{find_delinquent_loads, DelinquentLoad, MAX_LOADS_PER_TRACE};
+pub use delinq::{find_delinquent_loads, loads_for_trace, DelinquentLoad, MAX_LOADS_PER_TRACE};
 pub use instrument::{dominant_stride, instrument_trace, promote, InstrumentConfig, Instrumentation};
 pub use patch::{install, unpatch, PatchedTrace};
-pub use pattern::{classify, Pattern, PatternError};
+pub use pattern::{classify, Pattern};
 pub use phase::{PhaseConfig, PhaseDecision, PhaseDetector, PhaseSignature};
-pub use prefetch::{optimize_trace, InsertionStats, OptimizedTrace, PrefetchConfig, SkipReason};
+pub use pipeline::{PassKind, PassLedger, Pipeline, PipelineConfig, PipelineLedger};
+pub use prefetch::{optimize_trace, InsertionStats, OptimizedTrace, PrefetchConfig};
+pub use reject::Rejection;
 pub use runtime::{run, run_with_limit, AdoreConfig, RunReport, TimePoint};
-pub use trace::{select_traces, PathProfile, Trace, TraceConfig};
+pub use trace::{select_traces, select_traces_with_drops, PathProfile, Trace, TraceConfig};

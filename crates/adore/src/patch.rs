@@ -34,6 +34,16 @@ pub struct PatchedTrace {
     pub code_generation: u64,
 }
 
+impl obs::ToJson for PatchedTrace {
+    fn to_json(&self) -> obs::Json {
+        obs::Json::object()
+            .with("pool_addr", self.pool_addr.0)
+            .with("original_head", self.original_head.0)
+            .with("len", self.len as u64)
+            .with("stats", self.stats)
+    }
+}
+
 /// Installs an optimized trace and redirects the original code to it.
 ///
 /// # Errors

@@ -23,6 +23,7 @@ use std::collections::HashSet;
 
 use isa::{AccessSize, Gr, Op};
 
+use crate::reject::Rejection;
 use crate::trace::Trace;
 
 /// A classified data-reference pattern.
@@ -64,31 +65,6 @@ pub enum Pattern {
         update_pos: (usize, u8),
     },
 }
-
-/// Why classification failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PatternError {
-    /// The position does not hold a load.
-    NotALoad,
-    /// The address slice contains operations the slicer cannot follow
-    /// (fp↔int conversion, unknown producers).
-    UnanalyzableSlice,
-    /// The base register never changes (stride 0) — prefetching is
-    /// pointless.
-    LoopInvariantAddress,
-}
-
-impl std::fmt::Display for PatternError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PatternError::NotALoad => write!(f, "position does not hold a load"),
-            PatternError::UnanalyzableSlice => write!(f, "address slice is unanalyzable"),
-            PatternError::LoopInvariantAddress => write!(f, "address is loop-invariant"),
-        }
-    }
-}
-
-impl std::error::Error for PatternError {}
 
 /// Linearized view of the trace body with (bundle, slot) positions.
 struct Body<'a> {
@@ -197,25 +173,27 @@ fn find_recurrent_pointer(body: &Body<'_>) -> Option<(Gr, (usize, u8))> {
 ///
 /// # Errors
 ///
-/// See [`PatternError`].
-pub fn classify(trace: &Trace, pos: (usize, u8)) -> Result<Pattern, PatternError> {
+/// Returns the pattern-analysis subset of [`Rejection`]:
+/// [`Rejection::NotALoad`], [`Rejection::UnanalyzableSlice`] or
+/// [`Rejection::LoopInvariantAddress`].
+pub fn classify(trace: &Trace, pos: (usize, u8)) -> Result<Pattern, Rejection> {
     let body = Body { trace };
-    let insn = trace.insn_at(pos).ok_or(PatternError::NotALoad)?;
+    let insn = trace.insn_at(pos).ok_or(Rejection::NotALoad)?;
     let (base, fp) = match insn.op {
         Op::Ld { base, .. } => (base, false),
         Op::Ldf { base, .. } => (base, true),
-        _ => return Err(PatternError::NotALoad),
+        _ => return Err(Rejection::NotALoad),
     };
 
     // 0. Loop-invariant address: nothing to prefetch.
     if body.writes_to(base).is_empty() {
-        return Err(PatternError::LoopInvariantAddress);
+        return Err(Rejection::LoopInvariantAddress);
     }
 
     // 1. Direct: the base is a pure induction.
     if let Some(stride) = induction_stride(&body, base) {
         if stride == 0 {
-            return Err(PatternError::LoopInvariantAddress);
+            return Err(Rejection::LoopInvariantAddress);
         }
         return Ok(Pattern::Direct { stride, fp, base });
     }
@@ -234,12 +212,12 @@ pub fn classify(trace: &Trace, pos: (usize, u8)) -> Result<Pattern, PatternError
             let (index_pos, index_op) = aff.load;
             let (index_base, index_size) = match *index_op {
                 Op::Ld { base, size, .. } => (base, size),
-                _ => return Err(PatternError::UnanalyzableSlice),
+                _ => return Err(Rejection::UnanalyzableSlice),
             };
             let index_stride =
-                induction_stride(&body, index_base).ok_or(PatternError::UnanalyzableSlice)?;
+                induction_stride(&body, index_base).ok_or(Rejection::UnanalyzableSlice)?;
             if index_stride == 0 {
-                return Err(PatternError::LoopInvariantAddress);
+                return Err(Rejection::LoopInvariantAddress);
             }
             Ok(Pattern::Indirect {
                 index_load: index_pos,
@@ -251,7 +229,7 @@ pub fn classify(trace: &Trace, pos: (usize, u8)) -> Result<Pattern, PatternError
                 offset: aff.offset,
             })
         }
-        None => Err(PatternError::UnanalyzableSlice),
+        None => Err(Rejection::UnanalyzableSlice),
     }
 }
 
@@ -524,7 +502,7 @@ mod tests {
             a.ld(AccessSize::U8, Gr(23), Gr(22), 0);
             a.addi(Gr(20), Gr(20), 1);
         });
-        assert_eq!(classify(&t, nth_load(&t, 0)), Err(PatternError::UnanalyzableSlice));
+        assert_eq!(classify(&t, nth_load(&t, 0)), Err(Rejection::UnanalyzableSlice));
     }
 
     #[test]
@@ -533,7 +511,7 @@ mod tests {
             a.ld(AccessSize::U8, Gr(20), Gr(14), 0);
             a.add(Gr(21), Gr(20), Gr(21));
         });
-        assert_eq!(classify(&t, nth_load(&t, 0)), Err(PatternError::LoopInvariantAddress));
+        assert_eq!(classify(&t, nth_load(&t, 0)), Err(Rejection::LoopInvariantAddress));
     }
 
     #[test]
@@ -541,6 +519,6 @@ mod tests {
         let t = trace_from(|a| {
             a.addi(Gr(1), Gr(1), 1);
         });
-        assert_eq!(classify(&t, (0, 1)), Err(PatternError::NotALoad));
+        assert_eq!(classify(&t, (0, 1)), Err(Rejection::NotALoad));
     }
 }

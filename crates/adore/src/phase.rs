@@ -13,6 +13,8 @@
 
 use perfmon::{ProfileWindow, UserEventBuffer};
 
+use crate::reject::Rejection;
+
 /// Phase-detector configuration.
 #[derive(Debug, Clone)]
 pub struct PhaseConfig {
@@ -65,6 +67,24 @@ pub enum PhaseDecision {
     InTracePool(PhaseSignature),
     /// Stable, but the miss rate is too low to bother prefetching.
     LowMissRate,
+}
+
+impl PhaseDecision {
+    /// Maps the decision to an actionable phase signature, or the
+    /// [`Rejection`] the phase gate should record.
+    ///
+    /// An in-trace-pool phase is actionable only while its miss rate
+    /// (DPI) stays at or above `min_dpi` — the incremental
+    /// re-optimization candidate of §2.3.
+    pub fn actionable(self, min_dpi: f64) -> Result<PhaseSignature, Rejection> {
+        match self {
+            PhaseDecision::Stable(sig) => Ok(sig),
+            PhaseDecision::InTracePool(sig) if sig.dpi >= min_dpi => Ok(sig),
+            PhaseDecision::InTracePool(_) => Err(Rejection::PhaseBelowDpi),
+            PhaseDecision::Unstable => Err(Rejection::PhaseUnstable),
+            PhaseDecision::LowMissRate => Err(Rejection::PhaseLowMissRate),
+        }
+    }
 }
 
 /// Summary statistics of a detected stable phase.

@@ -1,0 +1,1023 @@
+//! The optimizer as an instrumented pass pipeline.
+//!
+//! The paper's dynamic-optimization thread (Fig. 3/4) is a fixed
+//! sequence of stages: harvest matured instrumentation, detect a stable
+//! phase, monitor patched phases for regressions, gate re-optimization,
+//! select traces, map delinquent loads, classify their address
+//! patterns, schedule prefetch streams, and publish patches. The
+//! pre-pipeline runtime fused all of that into one loop; this module
+//! factors each stage into a [`Pass`] over a shared [`OptContext`],
+//! assembled into a [`Pipeline`] from [`PipelineConfig`].
+//!
+//! The default pass order reproduces the fused loop **bit-identically**
+//! (golden cycle tests do not move): the machine is paused during
+//! window callbacks, so splitting the work across passes changes
+//! neither what is charged to the main thread nor when. What the
+//! decomposition adds is *attribution*: a [`PipelineLedger`] records
+//! per-pass invocations, charged virtual cycles (the paper's 1–2 %
+//! overhead claim, Fig. 11, now itemized per stage), wall time,
+//! accepted work units and rejection counts keyed by the unified
+//! [`Rejection`] taxonomy — plus an [`EventStream`] of every deploy,
+//! instrument, promote and unpatch action.
+//!
+//! Passes communicate only through [`OptContext`]; disabling a pass
+//! leaves its downstream consumers looking at empty prerequisite state
+//! (`scratch.sig`, `scratch.traces`, …), which they treat as "nothing
+//! to do" rather than an error. Disabling `phase_gate` therefore
+//! disables optimization wholesale — every later pass requires a
+//! stable-phase signature.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use isa::Pc;
+use obs::{EventStream, Json, ToJson};
+use perfmon::{ProfileWindow, UserEventBuffer};
+use sim::Machine;
+
+use crate::delinq::{find_delinquent_loads, loads_for_trace, DelinquentLoad};
+use crate::instrument::{dominant_stride, instrument_trace, promote, PendingInstr};
+use crate::patch::{install, unpatch, PatchedTrace};
+use crate::pattern::Pattern;
+use crate::phase::{PhaseDetector, PhaseSignature};
+use crate::prefetch::{classify_loads, schedule_streams, InsertionStats, OptimizedTrace};
+use crate::reject::Rejection;
+use crate::runtime::{AdoreConfig, OptEvent, RunReport, TimePoint};
+use crate::trace::{select_traces_with_drops, Trace};
+
+/// Identity of a pipeline pass. The variant order is the canonical
+/// (default) execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PassKind {
+    /// Harvest matured instrumentation buffers and promote dominant
+    /// strides to prefetch streams (§6 future work).
+    InstrPromote,
+    /// Evaluate the phase detector and gate the window on a stable,
+    /// actionable phase (§2.3).
+    PhaseGate,
+    /// Unpatch phases whose CPI regressed after patching (§2.3's
+    /// "detect and fix nonprofitable ones").
+    UnpatchMonitor,
+    /// Gate re-optimization: attempt limits, cooldown windows, and the
+    /// Fig. 11 insertion switch.
+    ReoptGate,
+    /// Select hot traces from the BTB samples (§2.4).
+    TraceSelect,
+    /// Map DEAR miss records onto the selected traces (§3.1).
+    DelinqFilter,
+    /// Classify each delinquent load's address pattern (§3.2).
+    PatternAnalyze,
+    /// Schedule prefetch streams into the trace body (§3.3–3.5).
+    PrefetchSchedule,
+    /// Publish optimized traces to the trace pool, fall back to
+    /// instrumentation for unanalyzable loads, and update the phase
+    /// bookkeeping (§2.5).
+    PatchDeploy,
+}
+
+impl PassKind {
+    /// Every pass, in canonical execution order.
+    pub const ALL: [PassKind; 9] = [
+        PassKind::InstrPromote,
+        PassKind::PhaseGate,
+        PassKind::UnpatchMonitor,
+        PassKind::ReoptGate,
+        PassKind::TraceSelect,
+        PassKind::DelinqFilter,
+        PassKind::PatternAnalyze,
+        PassKind::PrefetchSchedule,
+        PassKind::PatchDeploy,
+    ];
+
+    /// Stable snake_case name used in configs, CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassKind::InstrPromote => "instr_promote",
+            PassKind::PhaseGate => "phase_gate",
+            PassKind::UnpatchMonitor => "unpatch_monitor",
+            PassKind::ReoptGate => "reopt_gate",
+            PassKind::TraceSelect => "trace_select",
+            PassKind::DelinqFilter => "delinq_filter",
+            PassKind::PatternAnalyze => "pattern_analyze",
+            PassKind::PrefetchSchedule => "prefetch_schedule",
+            PassKind::PatchDeploy => "patch_deploy",
+        }
+    }
+}
+
+impl std::fmt::Display for PassKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PassKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PassKind, String> {
+        PassKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = PassKind::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown pass `{s}` (known: {})", names.join(", "))
+            })
+    }
+}
+
+/// Which passes run, and in what order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Passes to execute, in order. The default is [`PassKind::ALL`],
+    /// which reproduces the pre-pipeline fused optimizer bit-exactly.
+    pub order: Vec<PassKind>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig { order: PassKind::ALL.to_vec() }
+    }
+}
+
+impl PipelineConfig {
+    /// The default order with one pass removed (ablation cells).
+    pub fn disable(mut self, kind: PassKind) -> PipelineConfig {
+        self.order.retain(|k| *k != kind);
+        self
+    }
+
+    /// A pipeline running a single pass (fuzz targeting).
+    pub fn only(kind: PassKind) -> PipelineConfig {
+        PipelineConfig { order: vec![kind] }
+    }
+}
+
+/// Whether the remaining passes of the current window still run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Proceed to the next pass.
+    Continue,
+    /// Skip the rest of the window (the fused loop's early `return`s).
+    Stop,
+}
+
+/// One pipeline stage operating on the shared [`OptContext`].
+pub trait Pass {
+    /// Which pass this is (ledger key and config identity).
+    fn kind(&self) -> PassKind;
+
+    /// Runs the pass for one profile window. The machine is paused for
+    /// the duration of the window callback; any cycles the pass charges
+    /// via [`Machine::charge_cycles`] are attributed to it in the
+    /// ledger.
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        m: &mut Machine,
+        w: &ProfileWindow,
+        ueb: &UserEventBuffer,
+    ) -> Flow;
+}
+
+/// Per-window scratch state flowing between passes; reset at the start
+/// of every window.
+#[derive(Debug, Default)]
+pub struct WindowScratch {
+    /// Window index (1-based timeline position) of the current window.
+    pub now: u64,
+    /// The actionable stable-phase signature, once the phase gate ran.
+    pub sig: Option<PhaseSignature>,
+    /// Index into `optimized` of the matching known phase, if any.
+    pub entry_idx: Option<usize>,
+    /// Traces selected this window.
+    pub traces: Vec<Trace>,
+    /// Delinquent loads mapped into the selected traces.
+    pub loads: Vec<DelinquentLoad>,
+    /// Per-trace work items, parallel to `traces`.
+    pub work: Vec<TraceWork>,
+}
+
+/// Per-trace intermediate results accumulated across the analysis and
+/// scheduling passes.
+#[derive(Debug, Default)]
+pub struct TraceWork {
+    /// Delinquent loads belonging to this trace.
+    pub mine: Vec<DelinquentLoad>,
+    /// Classified loads: (pc, mean miss latency, pattern).
+    pub classified: Vec<(Pc, f64, Pattern)>,
+    /// Classification rejections for this trace.
+    pub class_skips: Vec<(Pc, Rejection)>,
+    /// The scheduled optimized trace, when any stream fit.
+    pub candidate: Option<OptimizedTrace>,
+    /// Scheduling rejections for this trace.
+    pub sched_skips: Vec<(Pc, Rejection)>,
+}
+
+/// Aggregate counters feeding the final [`RunReport`].
+#[derive(Debug, Default)]
+pub struct OptCounters {
+    /// Stable phases that received at least one patched trace.
+    pub phases_optimized: usize,
+    /// Prefetch streams inserted, by pattern.
+    pub stats: InsertionStats,
+    /// Traces written to the trace pool.
+    pub traces_patched: usize,
+    /// Traces unpatched as non-profitable.
+    pub traces_unpatched: usize,
+    /// Loads instrumented for runtime stride discovery.
+    pub instrumented: usize,
+    /// Instrumented loads promoted to real prefetch streams.
+    pub promoted: usize,
+}
+
+/// Everything the optimizer accumulates over a run: long-lived phase
+/// bookkeeping, the report-bound counters/telemetry, and the per-window
+/// scratch the passes hand each other.
+pub struct OptContext<'a> {
+    /// The full ADORE configuration (passes read their own sections).
+    pub config: &'a AdoreConfig,
+    /// The coarse-grain phase detector (stateful: window doubling).
+    pub detector: PhaseDetector,
+    /// Per-window CPI / miss-rate series (Fig. 8/9).
+    pub timeline: Vec<TimePoint>,
+    /// Known phases: (signature, attempts, exhausted, last attempt
+    /// window).
+    pub optimized: Vec<(PhaseSignature, u32, bool, u64)>,
+    /// Live patches grouped by phase index, with the phase CPI observed
+    /// before patching.
+    pub live_patches: Vec<(usize, f64, Vec<PatchedTrace>)>,
+    /// Installed instrumentation awaiting its observation windows.
+    pub pending_instr: Vec<PendingInstr>,
+    /// Recording buffers `(base, capacity)` of harvested instrumentation,
+    /// zeroed at run teardown (§6 transparency): the machine may still be
+    /// mid-iteration inside an unpatched copy at harvest time, so buffers
+    /// can only be reclaimed once execution has stopped.
+    pub retired_buffers: Vec<(u64, u64)>,
+    /// Per-load rejections reported in [`RunReport::skips`] (§4.3).
+    pub skips: Vec<(Pc, Rejection)>,
+    /// Per-optimization-event details (diagnostics).
+    pub events: Vec<OptEvent>,
+    /// Structured deploy/instrument/promote/unpatch event stream.
+    pub event_log: EventStream,
+    /// Per-pass overhead and accept/reject ledger.
+    pub ledger: PipelineLedger,
+    /// Aggregate report counters.
+    pub counters: OptCounters,
+    /// Per-window scratch state.
+    pub scratch: WindowScratch,
+}
+
+impl<'a> OptContext<'a> {
+    /// Creates a fresh context for one run.
+    pub fn new(config: &'a AdoreConfig) -> OptContext<'a> {
+        OptContext {
+            config,
+            detector: PhaseDetector::new(config.phase.clone()),
+            timeline: Vec::new(),
+            optimized: Vec::new(),
+            live_patches: Vec::new(),
+            pending_instr: Vec::new(),
+            retired_buffers: Vec::new(),
+            skips: Vec::new(),
+            events: Vec::new(),
+            event_log: EventStream::new(),
+            ledger: PipelineLedger::new(&config.pipeline.order),
+            counters: OptCounters::default(),
+            scratch: WindowScratch::default(),
+        }
+    }
+
+    /// Moves the accumulated results into a report (cycles, retired and
+    /// window counts are the runtime's responsibility).
+    pub fn finish(self, report: &mut RunReport) {
+        report.timeline = self.timeline;
+        report.phases_optimized = self.counters.phases_optimized;
+        report.stats = self.counters.stats;
+        report.traces_patched = self.counters.traces_patched;
+        report.traces_unpatched = self.counters.traces_unpatched;
+        report.instrumented = self.counters.instrumented;
+        report.promoted = self.counters.promoted;
+        report.skips = self.skips;
+        report.events = self.events;
+        report.event_log = self.event_log;
+        report.ledger = self.ledger;
+    }
+}
+
+/// Per-pass telemetry: cost attribution plus accept/reject counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PassLedger {
+    /// Windows in which the pass ran.
+    pub invocations: u64,
+    /// Virtual cycles the pass charged to the main thread (patch
+    /// publications, sampling handlers it triggered, …).
+    pub charged_cycles: u64,
+    /// Wall-clock nanoseconds spent inside the pass. Host-dependent, so
+    /// deliberately **excluded** from the JSON serialization to keep
+    /// reports deterministic.
+    pub wall_ns: u64,
+    /// Work units the pass accepted (meaning is per-pass: phases,
+    /// traces, loads, streams, patches).
+    pub accepted: u64,
+    /// Rejection counts keyed by [`Rejection::label`].
+    pub rejections: BTreeMap<&'static str, u64>,
+}
+
+/// The run-wide overhead ledger: one [`PassLedger`] per configured
+/// pass, in pipeline order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineLedger {
+    /// Ledger entries, in pipeline order.
+    pub passes: Vec<(PassKind, PassLedger)>,
+}
+
+impl Default for PipelineLedger {
+    fn default() -> PipelineLedger {
+        PipelineLedger::new(&PassKind::ALL)
+    }
+}
+
+impl PipelineLedger {
+    /// A zeroed ledger for the given pass order.
+    pub fn new(order: &[PassKind]) -> PipelineLedger {
+        PipelineLedger {
+            passes: order.iter().map(|&k| (k, PassLedger::default())).collect(),
+        }
+    }
+
+    /// The ledger entry for a pass, created on first use.
+    pub fn entry_mut(&mut self, kind: PassKind) -> &mut PassLedger {
+        if let Some(i) = self.passes.iter().position(|(k, _)| *k == kind) {
+            return &mut self.passes[i].1;
+        }
+        self.passes.push((kind, PassLedger::default()));
+        &mut self.passes.last_mut().expect("just pushed").1
+    }
+
+    /// Records one rejection against a pass.
+    pub fn reject(&mut self, kind: PassKind, r: Rejection) {
+        self.reject_n(kind, r, 1);
+    }
+
+    /// Records `n` rejections of the same kind against a pass.
+    pub fn reject_n(&mut self, kind: PassKind, r: Rejection, n: u64) {
+        if n > 0 {
+            *self.entry_mut(kind).rejections.entry(r.label()).or_default() += n;
+        }
+    }
+
+    /// Records `n` accepted work units for a pass.
+    pub fn accept(&mut self, kind: PassKind, n: u64) {
+        self.entry_mut(kind).accepted += n;
+    }
+
+    /// Iterates the ledger entries in pipeline order.
+    pub fn entries(&self) -> impl Iterator<Item = (PassKind, &PassLedger)> {
+        self.passes.iter().map(|(k, l)| (*k, l))
+    }
+
+    /// Total virtual cycles charged across all passes — the optimizer's
+    /// share of the Fig. 11 overhead (sampling-handler cost is tracked
+    /// separately by the PMU).
+    pub fn total_charged(&self) -> u64 {
+        self.passes.iter().map(|(_, l)| l.charged_cycles).sum()
+    }
+}
+
+impl ToJson for PipelineLedger {
+    fn to_json(&self) -> Json {
+        let mut passes = Json::Array(Vec::new());
+        for (kind, led) in &self.passes {
+            let mut rej = Json::object();
+            for (label, count) in &led.rejections {
+                rej.set(label, *count);
+            }
+            passes.push(
+                Json::object()
+                    .with("name", kind.name())
+                    .with("invocations", led.invocations)
+                    .with("charged_cycles", led.charged_cycles)
+                    .with("accepted", led.accepted)
+                    .with("rejections", rej),
+            );
+        }
+        Json::object().with("passes", passes)
+    }
+}
+
+/// An assembled pass pipeline.
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// Builds the pipeline described by the config.
+    pub fn from_config(cfg: &PipelineConfig) -> Pipeline {
+        let passes = cfg
+            .order
+            .iter()
+            .map(|&kind| -> Box<dyn Pass> {
+                match kind {
+                    PassKind::InstrPromote => Box::new(InstrPromote),
+                    PassKind::PhaseGate => Box::new(PhaseGate),
+                    PassKind::UnpatchMonitor => Box::new(UnpatchMonitor),
+                    PassKind::ReoptGate => Box::new(ReoptGate),
+                    PassKind::TraceSelect => Box::new(TraceSelect),
+                    PassKind::DelinqFilter => Box::new(DelinqFilter),
+                    PassKind::PatternAnalyze => Box::new(PatternAnalyze),
+                    PassKind::PrefetchSchedule => Box::new(PrefetchSchedule),
+                    PassKind::PatchDeploy => Box::new(PatchDeploy),
+                }
+            })
+            .collect();
+        Pipeline { passes }
+    }
+
+    /// Processes one profile window: records the timeline point, resets
+    /// the scratch, and runs every configured pass (charging each one's
+    /// cycle and wall cost to the ledger) until one stops the window.
+    pub fn run_window(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        m: &mut Machine,
+        w: &ProfileWindow,
+        ueb: &UserEventBuffer,
+    ) {
+        ctx.timeline.push(TimePoint {
+            cycles: w.samples.last().map(|s| s.cycles).unwrap_or(0),
+            cpi: w.cpi,
+            dear_per_kinsn: w.dear_per_kinsn,
+        });
+        ctx.scratch = WindowScratch { now: ctx.timeline.len() as u64, ..Default::default() };
+        for pass in &mut self.passes {
+            let kind = pass.kind();
+            let cycles_before = m.cycles();
+            let started = Instant::now();
+            let flow = pass.run(ctx, m, w, ueb);
+            let led = ctx.ledger.entry_mut(kind);
+            led.invocations += 1;
+            led.charged_cycles += m.cycles() - cycles_before;
+            led.wall_ns += started.elapsed().as_nanos() as u64;
+            if flow == Flow::Stop {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The nine passes. Each transliterates one stage of the pre-pipeline
+// fused loop; the order and every machine-visible action (allocations,
+// installs, charges) must match it exactly for bit-identity.
+// ---------------------------------------------------------------------
+
+/// Harvests matured instrumentation and promotes dominant strides.
+struct InstrPromote;
+
+impl Pass for InstrPromote {
+    fn kind(&self) -> PassKind {
+        PassKind::InstrPromote
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        m: &mut Machine,
+        _w: &ProfileWindow,
+        _ueb: &UserEventBuffer,
+    ) -> Flow {
+        let now = ctx.scratch.now;
+        let instr = &ctx.config.instrument;
+        let mut i = 0;
+        while i < ctx.pending_instr.len() {
+            if now < ctx.pending_instr[i].installed_window + instr.observe_windows {
+                i += 1;
+                continue;
+            }
+            let pi = ctx.pending_instr.swap_remove(i);
+            let stride = dominant_stride(
+                m.mem(),
+                pi.buffer,
+                pi.capacity,
+                instr.min_samples,
+                instr.min_stride_share,
+            );
+            let _ = unpatch(m, &pi.patch);
+            // The machine may still be mid-iteration inside the unpatched
+            // copy and keep recording until the phase exits, so the buffer
+            // cannot be reclaimed here; it is zeroed at run teardown.
+            ctx.retired_buffers.push((pi.buffer, pi.capacity));
+            let Some(stride) = stride else {
+                ctx.ledger.reject(PassKind::InstrPromote, Rejection::NoDominantStride);
+                continue;
+            };
+            let promoted = promote(&pi.trace, pi.load_pos, stride, pi.dist_iters)
+                .and_then(|ot| install(m, &ot).ok().map(|p| (ot, p)));
+            match promoted {
+                Some((ot, p)) => {
+                    m.charge_cycles(ctx.config.patch_cost_cycles);
+                    ctx.counters.stats += ot.stats;
+                    ctx.counters.traces_patched += 1;
+                    ctx.counters.promoted += 1;
+                    ctx.ledger.accept(PassKind::InstrPromote, 1);
+                    ctx.event_log.emit(
+                        "promote",
+                        Json::object()
+                            .with("at_cycles", m.cycles())
+                            .with("stride", stride)
+                            .with("patch", &p),
+                    );
+                }
+                None => ctx.ledger.reject(PassKind::InstrPromote, Rejection::PatchFailed),
+            }
+        }
+        Flow::Continue
+    }
+}
+
+/// Evaluates the phase detector and gates the window on a stable phase.
+struct PhaseGate;
+
+impl Pass for PhaseGate {
+    fn kind(&self) -> PassKind {
+        PassKind::PhaseGate
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        _m: &mut Machine,
+        _w: &ProfileWindow,
+        ueb: &UserEventBuffer,
+    ) -> Flow {
+        let decision = ctx.detector.evaluate(ueb);
+        match decision.actionable(ctx.config.phase.min_dpi) {
+            Ok(sig) => {
+                let detector = &ctx.detector;
+                ctx.scratch.entry_idx = ctx
+                    .optimized
+                    .iter()
+                    .position(|(s, _, _, _)| detector.same_phase(s, &sig));
+                ctx.scratch.sig = Some(sig);
+                ctx.ledger.accept(PassKind::PhaseGate, 1);
+                Flow::Continue
+            }
+            Err(r) => {
+                ctx.ledger.reject(PassKind::PhaseGate, r);
+                Flow::Stop
+            }
+        }
+    }
+}
+
+/// Unpatches phases whose CPI regressed after patching (§2.3).
+struct UnpatchMonitor;
+
+impl Pass for UnpatchMonitor {
+    fn kind(&self) -> PassKind {
+        PassKind::UnpatchMonitor
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        m: &mut Machine,
+        _w: &ProfileWindow,
+        _ueb: &UserEventBuffer,
+    ) -> Flow {
+        if !ctx.config.unpatch_nonprofitable {
+            return Flow::Continue;
+        }
+        let Some(sig) = ctx.scratch.sig else { return Flow::Continue };
+        // The regressed phase is recognized either by its code-side
+        // signature or — when execution moved entirely into the trace
+        // pool — by the pool range its samples fall into.
+        let group = ctx
+            .scratch
+            .entry_idx
+            .and_then(|i| ctx.live_patches.iter().position(|(idx, _, _)| *idx == i))
+            .or_else(|| {
+                if sig.pc_center < isa::TRACE_POOL_BASE as f64 {
+                    return None;
+                }
+                ctx.live_patches.iter().position(|(_, _, patches)| {
+                    patches.iter().any(|p| {
+                        let start = p.pool_addr.0 as f64;
+                        let end = start + (p.len as f64) * 16.0;
+                        sig.pc_center >= start && sig.pc_center < end
+                    })
+                })
+            });
+        if let Some(pi) = group {
+            let (idx, cpi_before, _) = ctx.live_patches[pi];
+            if sig.cpi > cpi_before * 1.02 {
+                let (_, _, patches) = ctx.live_patches.swap_remove(pi);
+                for patch in &patches {
+                    if unpatch(m, patch).is_ok() {
+                        ctx.counters.traces_unpatched += 1;
+                    }
+                }
+                m.charge_cycles(ctx.config.patch_cost_cycles);
+                ctx.optimized[idx].2 = true; // do not try again
+                ctx.ledger.accept(PassKind::UnpatchMonitor, 1);
+                ctx.ledger.reject_n(
+                    PassKind::UnpatchMonitor,
+                    Rejection::CpiRegressed,
+                    patches.len() as u64,
+                );
+                ctx.event_log.emit(
+                    "unpatch",
+                    Json::object()
+                        .with("at_cycles", m.cycles())
+                        .with("patches", patches.len() as u64)
+                        .with("cpi_before", cpi_before)
+                        .with("cpi_now", sig.cpi),
+                );
+                return Flow::Stop;
+            }
+        }
+        Flow::Continue
+    }
+}
+
+/// Gates re-optimization on attempt limits, cooldown windows and the
+/// Fig. 11 insertion switch.
+struct ReoptGate;
+
+impl Pass for ReoptGate {
+    fn kind(&self) -> PassKind {
+        PassKind::ReoptGate
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        _m: &mut Machine,
+        _w: &ProfileWindow,
+        _ueb: &UserEventBuffer,
+    ) -> Flow {
+        let Some(sig) = ctx.scratch.sig else { return Flow::Continue };
+        let now = ctx.scratch.now;
+        // A few windows of cooldown between attempts let the profile
+        // refresh with post-patch samples first.
+        let cooldown = ctx.config.phase.windows_required as u64 + 1;
+        if let Some(i) = ctx.scratch.entry_idx {
+            let (_, attempts, exhausted, last) = ctx.optimized[i];
+            if exhausted || attempts >= 4 {
+                ctx.ledger.reject(PassKind::ReoptGate, Rejection::PhaseExhausted);
+                return Flow::Stop; // nothing more to gain from this phase
+            }
+            if now < last + cooldown {
+                ctx.ledger.reject(PassKind::ReoptGate, Rejection::PhaseCooldown);
+                return Flow::Stop; // (yet)
+            }
+        }
+        if !ctx.config.insert_prefetches {
+            if ctx.scratch.entry_idx.is_none() {
+                ctx.optimized.push((sig, 1, true, now));
+            }
+            ctx.ledger.reject(PassKind::ReoptGate, Rejection::InsertionDisabled);
+            return Flow::Stop; // Fig. 11: machinery without insertion
+        }
+        ctx.ledger.accept(PassKind::ReoptGate, 1);
+        Flow::Continue
+    }
+}
+
+/// Selects hot traces from the BTB samples (§2.4).
+struct TraceSelect;
+
+impl Pass for TraceSelect {
+    fn kind(&self) -> PassKind {
+        PassKind::TraceSelect
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        m: &mut Machine,
+        _w: &ProfileWindow,
+        ueb: &UserEventBuffer,
+    ) -> Flow {
+        if ctx.scratch.sig.is_none() {
+            return Flow::Continue;
+        }
+        // Selection reads through the machine so already-patched traces
+        // in the pool can be re-selected for incremental
+        // re-optimization.
+        let (traces, drops) = select_traces_with_drops(&*m, ueb, &ctx.config.trace);
+        for (_, r) in &drops {
+            ctx.ledger.reject(PassKind::TraceSelect, *r);
+        }
+        ctx.ledger.accept(PassKind::TraceSelect, traces.len() as u64);
+        ctx.scratch.work = traces.iter().map(|_| TraceWork::default()).collect();
+        ctx.scratch.traces = traces;
+        Flow::Continue
+    }
+}
+
+/// Maps DEAR miss records onto the selected traces (§3.1).
+struct DelinqFilter;
+
+impl Pass for DelinqFilter {
+    fn kind(&self) -> PassKind {
+        PassKind::DelinqFilter
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        _m: &mut Machine,
+        _w: &ProfileWindow,
+        ueb: &UserEventBuffer,
+    ) -> Flow {
+        if ctx.scratch.traces.is_empty() {
+            return Flow::Continue;
+        }
+        let loads = find_delinquent_loads(&ctx.scratch.traces, ueb);
+        for (ti, work) in ctx.scratch.work.iter_mut().enumerate() {
+            work.mine = loads_for_trace(&loads, ti);
+        }
+        ctx.ledger.accept(PassKind::DelinqFilter, loads.len() as u64);
+        ctx.scratch.loads = loads;
+        Flow::Continue
+    }
+}
+
+/// Classifies each delinquent load's address pattern (§3.2).
+struct PatternAnalyze;
+
+impl Pass for PatternAnalyze {
+    fn kind(&self) -> PassKind {
+        PassKind::PatternAnalyze
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        _m: &mut Machine,
+        _w: &ProfileWindow,
+        _ueb: &UserEventBuffer,
+    ) -> Flow {
+        for (ti, trace) in ctx.scratch.traces.iter().enumerate() {
+            let work = &mut ctx.scratch.work[ti];
+            if !trace.is_loop || work.mine.is_empty() {
+                continue;
+            }
+            let (classified, class_skips) = classify_loads(trace, &work.mine);
+            for (_, r) in &class_skips {
+                ctx.ledger.reject(PassKind::PatternAnalyze, *r);
+            }
+            ctx.ledger.accept(PassKind::PatternAnalyze, classified.len() as u64);
+            work.classified = classified;
+            work.class_skips = class_skips;
+        }
+        Flow::Continue
+    }
+}
+
+/// Schedules prefetch streams into the trace bodies (§3.3–3.5).
+struct PrefetchSchedule;
+
+impl Pass for PrefetchSchedule {
+    fn kind(&self) -> PassKind {
+        PassKind::PrefetchSchedule
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        _m: &mut Machine,
+        _w: &ProfileWindow,
+        _ueb: &UserEventBuffer,
+    ) -> Flow {
+        for (ti, trace) in ctx.scratch.traces.iter().enumerate() {
+            let work = &mut ctx.scratch.work[ti];
+            if !trace.is_loop || work.mine.is_empty() {
+                continue;
+            }
+            let out = schedule_streams(trace, &work.classified, &ctx.config.prefetch);
+            for (_, r) in &out.skips {
+                ctx.ledger.reject(PassKind::PrefetchSchedule, *r);
+            }
+            ctx.ledger.reject_n(
+                PassKind::PrefetchSchedule,
+                Rejection::PatternDisabled,
+                out.disabled as u64,
+            );
+            if let Some(ot) = &out.candidate {
+                ctx.ledger.accept(PassKind::PrefetchSchedule, ot.stats.total() as u64);
+            }
+            work.candidate = out.candidate;
+            work.sched_skips = out.skips;
+        }
+        Flow::Continue
+    }
+}
+
+/// Publishes optimized traces to the trace pool, falls back to
+/// instrumentation for unanalyzable loads, and updates the phase
+/// bookkeeping (§2.5).
+struct PatchDeploy;
+
+impl Pass for PatchDeploy {
+    fn kind(&self) -> PassKind {
+        PassKind::PatchDeploy
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut OptContext<'_>,
+        m: &mut Machine,
+        _w: &ProfileWindow,
+        _ueb: &UserEventBuffer,
+    ) -> Flow {
+        let Some(sig) = ctx.scratch.sig else { return Flow::Continue };
+        let now = ctx.scratch.now;
+        let traces = std::mem::take(&mut ctx.scratch.traces);
+        let mut work = std::mem::take(&mut ctx.scratch.work);
+        let mut patched_any = false;
+        let mut new_patches: Vec<PatchedTrace> = Vec::new();
+        let mut event = OptEvent { at_cycles: m.cycles(), traces: Vec::new() };
+        for (ti, trace) in traces.iter().enumerate() {
+            let w = &mut work[ti];
+            let n_loads = w.mine.len();
+            let mut inserted = InsertionStats::default();
+            if trace.is_loop && !w.mine.is_empty() {
+                match w.candidate.take() {
+                    Some(ot) => {
+                        if let Ok(p) = install(m, &ot) {
+                            // Patch publication briefly pauses the main
+                            // thread.
+                            m.charge_cycles(ctx.config.patch_cost_cycles);
+                            ctx.counters.stats += ot.stats;
+                            inserted = ot.stats;
+                            ctx.counters.traces_patched += 1;
+                            patched_any = true;
+                            ctx.ledger.accept(PassKind::PatchDeploy, 1);
+                            ctx.event_log.emit(
+                                "deploy",
+                                Json::object()
+                                    .with("at_cycles", m.cycles())
+                                    .with("streams", ot.stats)
+                                    .with("patch", &p),
+                            );
+                            new_patches.push(p);
+                        } else {
+                            ctx.ledger.reject(PassKind::PatchDeploy, Rejection::PatchFailed);
+                        }
+                    }
+                    None if ctx.config.instrument_unanalyzable => {
+                        // Nothing analyzable: fall back to runtime
+                        // instrumentation on the hottest unanalyzable
+                        // load (§6 future work).
+                        deploy_instrumentation(ctx, m, trace, w);
+                    }
+                    None => {}
+                }
+                ctx.skips.append(&mut w.class_skips);
+                ctx.skips.append(&mut w.sched_skips);
+            }
+            event
+                .traces
+                .push((trace.start, trace.is_loop, trace.bundles.len(), n_loads, inserted));
+        }
+        ctx.events.push(event);
+        let idx = match ctx.scratch.entry_idx {
+            Some(i) => {
+                ctx.optimized[i].1 += 1;
+                ctx.optimized[i].2 = !patched_any;
+                ctx.optimized[i].3 = now;
+                i
+            }
+            None => {
+                ctx.optimized.push((sig, 1, !patched_any, now));
+                ctx.optimized.len() - 1
+            }
+        };
+        if !new_patches.is_empty() {
+            match ctx.live_patches.iter_mut().find(|(i, _, _)| *i == idx) {
+                Some((_, _, v)) => v.extend(new_patches),
+                None => ctx.live_patches.push((idx, sig.cpi, new_patches)),
+            }
+        }
+        if patched_any && ctx.scratch.entry_idx.is_none() {
+            ctx.counters.phases_optimized += 1;
+        }
+        Flow::Continue
+    }
+}
+
+/// Zeroes a recording buffer back to its allocation-time state.
+pub(crate) fn zero_buffer(m: &mut Machine, buffer: u64, capacity: u64) {
+    for i in 0..capacity {
+        m.mem_mut().write(buffer + 8 * i, 8, 0);
+    }
+}
+
+/// The instrumentation fallback of the deploy pass: records the hottest
+/// unanalyzable load's address stream for later promotion.
+fn deploy_instrumentation(ctx: &mut OptContext<'_>, m: &mut Machine, trace: &Trace, w: &TraceWork) {
+    let unanalyzable =
+        w.class_skips.iter().find(|(_, r)| matches!(r, Rejection::UnanalyzableSlice));
+    let Some(load) = unanalyzable.and_then(|(pc, _)| w.mine.iter().find(|l| l.pc == *pc)) else {
+        return;
+    };
+    let entries = ctx.config.instrument.buffer_entries;
+    let bytes = 8 * entries + 64;
+    if m.mem().remaining() <= bytes
+        || ctx.pending_instr.iter().any(|p| p.patch.original_head == trace.start)
+    {
+        ctx.ledger.reject(PassKind::PatchDeploy, Rejection::InstrumentBufferExhausted);
+        return;
+    }
+    let buffer = m.mem_mut().alloc(8 * entries, 64);
+    let Some(instr) = instrument_trace(trace, load.position, buffer, entries) else {
+        return;
+    };
+    let body_cycles = (trace.bundles.len() as u64).div_ceil(2).max(1) + 1;
+    let dist_iters = ((load.avg_latency / body_cycles as f64).ceil() as u64).clamp(4, 256);
+    if let Ok(p) = install(m, &instr.trace) {
+        m.charge_cycles(ctx.config.patch_cost_cycles);
+        ctx.counters.instrumented += 1;
+        ctx.event_log.emit(
+            "instrument",
+            Json::object()
+                .with("at_cycles", m.cycles())
+                .with("buffer", buffer)
+                .with("dist_iters", dist_iters)
+                .with("patch", &p),
+        );
+        ctx.pending_instr.push(PendingInstr {
+            patch: p,
+            trace: trace.clone(),
+            load_pos: load.position,
+            dist_iters,
+            buffer,
+            capacity: entries,
+            installed_window: ctx.scratch.now,
+        });
+    } else {
+        ctx.ledger.reject(PassKind::PatchDeploy, Rejection::PatchFailed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_names_round_trip() {
+        for kind in PassKind::ALL {
+            assert_eq!(kind.name().parse::<PassKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("no_such_pass".parse::<PassKind>().is_err());
+    }
+
+    #[test]
+    fn default_config_is_the_canonical_order() {
+        assert_eq!(PipelineConfig::default().order, PassKind::ALL.to_vec());
+        let without = PipelineConfig::default().disable(PassKind::UnpatchMonitor);
+        assert_eq!(without.order.len(), 8);
+        assert!(!without.order.contains(&PassKind::UnpatchMonitor));
+        assert_eq!(PipelineConfig::only(PassKind::PhaseGate).order, vec![PassKind::PhaseGate]);
+    }
+
+    #[test]
+    fn ledger_counts_and_serializes() {
+        let mut ledger = PipelineLedger::new(&[PassKind::PhaseGate, PassKind::PatchDeploy]);
+        ledger.reject(PassKind::PhaseGate, Rejection::PhaseUnstable);
+        ledger.reject_n(PassKind::PhaseGate, Rejection::PhaseUnstable, 2);
+        ledger.accept(PassKind::PatchDeploy, 3);
+        ledger.entry_mut(PassKind::PatchDeploy).charged_cycles += 40_000;
+        assert_eq!(ledger.total_charged(), 40_000);
+        let j = ledger.to_json();
+        let passes = j.get("passes").unwrap();
+        let Json::Array(items) = passes else { panic!("passes must be an array") };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("name").and_then(|v| v.as_str()), Some("phase_gate"));
+        assert_eq!(
+            items[0].get("rejections").and_then(|r| r.get("phase_unstable")).and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        assert_eq!(items[1].get("accepted").and_then(|v| v.as_u64()), Some(3));
+        // Host wall time must not leak into reports.
+        assert!(j.to_string().find("wall_ns").is_none());
+    }
+
+    #[test]
+    fn reject_n_zero_adds_nothing() {
+        let mut ledger = PipelineLedger::new(&[PassKind::PrefetchSchedule]);
+        ledger.reject_n(PassKind::PrefetchSchedule, Rejection::PatternDisabled, 0);
+        assert!(ledger.passes[0].1.rejections.is_empty());
+    }
+
+    #[test]
+    fn entry_mut_extends_for_unlisted_pass() {
+        let mut ledger = PipelineLedger::new(&[]);
+        ledger.accept(PassKind::TraceSelect, 1);
+        assert_eq!(ledger.passes.len(), 1);
+        assert_eq!(ledger.passes[0].0, PassKind::TraceSelect);
+    }
+}

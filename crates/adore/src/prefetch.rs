@@ -26,7 +26,8 @@ use std::collections::HashSet;
 use isa::{Addr, Bundle, Gr, Insn, Op, Pc, SlotKind};
 
 use crate::delinq::DelinquentLoad;
-use crate::pattern::{classify, Pattern, PatternError};
+use crate::pattern::{classify, Pattern};
+use crate::reject::Rejection;
 use crate::trace::Trace;
 
 /// Prefetch-generation configuration.
@@ -57,17 +58,6 @@ impl Default for PrefetchConfig {
             enable_pointer: true,
         }
     }
-}
-
-/// Why a delinquent load was not prefetched.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SkipReason {
-    /// Pattern detection failed.
-    Pattern(PatternError),
-    /// The four reserved registers were exhausted.
-    RegistersExhausted,
-    /// Another prefetch already covers the same stream (§3.4).
-    DuplicateStream,
 }
 
 /// Counts of inserted prefetch streams by pattern (Table 2 rows).
@@ -124,22 +114,58 @@ pub struct OptimizedTrace {
     pub stats: InsertionStats,
 }
 
-/// Generates prefetch code for the top delinquent loads of one loop
-/// trace. Returns the optimized trace (if at least one stream was
-/// inserted) plus per-load skip diagnostics.
-pub fn optimize_trace(
+/// Classifies the delinquent loads of one loop trace up-front
+/// (positions reference the unmodified body and are adjusted as bundles
+/// are inserted later). This is the pattern-analysis half of the old
+/// fused `optimize_trace`; the scheduling half is
+/// [`schedule_streams`].
+pub(crate) fn classify_loads(
     trace: &Trace,
     loads: &[DelinquentLoad],
+) -> (Vec<(Pc, f64, Pattern)>, Vec<(Pc, Rejection)>) {
+    if trace.back_edge.is_none() {
+        return (Vec::new(), Vec::new());
+    }
+    let mut work = Vec::new();
+    let mut skips = Vec::new();
+    for load in loads {
+        match classify(trace, load.position) {
+            Ok(p) => work.push((load.pc, load.avg_latency, p)),
+            Err(e) => skips.push((load.pc, e)),
+        }
+    }
+    (work, skips)
+}
+
+/// Result of [`schedule_streams`].
+pub(crate) struct ScheduleOutcome {
+    /// The optimized trace, when at least one stream was inserted.
+    pub candidate: Option<OptimizedTrace>,
+    /// Per-load scheduling rejections (register pressure, duplicates).
+    pub skips: Vec<(Pc, Rejection)>,
+    /// Streams silently dropped because their pattern class is disabled
+    /// in [`PrefetchConfig`] (counted in the pipeline ledger only — the
+    /// pre-pipeline optimizer never reported them as skips).
+    pub disabled: usize,
+}
+
+/// Schedules prefetch code for pre-classified loads into free slots of
+/// the trace body (the scheduling half of the old fused
+/// `optimize_trace`).
+pub(crate) fn schedule_streams(
+    trace: &Trace,
+    work: &[(Pc, f64, Pattern)],
     cfg: &PrefetchConfig,
-) -> (Option<OptimizedTrace>, Vec<(Pc, SkipReason)>) {
+) -> ScheduleOutcome {
     let Some(back_edge) = trace.back_edge else {
-        return (None, Vec::new());
+        return ScheduleOutcome { candidate: None, skips: Vec::new(), disabled: 0 };
     };
     let mut body = trace.bundles.clone();
     let mut back_edge = back_edge;
     let mut entry: Vec<Insn> = Vec::new();
     let mut stats = InsertionStats::default();
     let mut skips = Vec::new();
+    let mut disabled = 0usize;
 
     // Reserved registers already referenced by the trace body belong to
     // prefetch code from an earlier optimization pass of this trace;
@@ -163,30 +189,21 @@ pub fn optimize_trace(
     // Loop-body cycle estimate: two bundles per cycle plus the branch.
     let body_cycles = (trace.bundles.len() as u64).div_ceil(2).max(1) + 1;
 
-    // Classify everything up-front; positions reference the unmodified
-    // body and are adjusted as bundles are inserted.
-    let mut work: Vec<(Pc, f64, Pattern)> = Vec::new();
-    for load in loads {
-        match classify(trace, load.position) {
-            Ok(p) => work.push((load.pc, load.avg_latency, p)),
-            Err(e) => skips.push((load.pc, SkipReason::Pattern(e))),
-        }
-    }
-
-    for (pc, avg_latency, pattern) in &mut work {
+    for (pc, avg_latency, pattern) in work {
         let dist_iters = ((*avg_latency / body_cycles as f64).ceil() as u64)
             .clamp(cfg.min_distance_iters, cfg.max_distance_iters);
         match pattern {
             Pattern::Direct { stride, fp, base } => {
                 if !cfg.enable_direct {
+                    disabled += 1;
                     continue;
                 }
                 if !streams.insert((*base, *stride)) {
-                    skips.push((*pc, SkipReason::DuplicateStream));
+                    skips.push((*pc, Rejection::DuplicateStream));
                     continue;
                 }
                 if free_regs.is_empty() {
-                    skips.push((*pc, SkipReason::RegistersExhausted));
+                    skips.push((*pc, Rejection::RegistersExhausted));
                     continue;
                 }
                 let rp = free_regs.remove(0);
@@ -219,6 +236,7 @@ pub fn optimize_trace(
                 ..
             } => {
                 if !cfg.enable_indirect {
+                    disabled += 1;
                     continue;
                 }
                 let d2 = dist_iters as i64 * *index_stride;
@@ -257,7 +275,7 @@ pub fn optimize_trace(
                 } else if !free_regs.is_empty() {
                     // Fallback: cover the index stream only.
                     if !streams.insert((*index_base, *index_stride)) {
-                        skips.push((*pc, SkipReason::DuplicateStream));
+                        skips.push((*pc, Rejection::DuplicateStream));
                         continue;
                     }
                     let rl1 = free_regs.remove(0);
@@ -273,19 +291,20 @@ pub fn optimize_trace(
                     debug_assert!(ok);
                     stats.indirect += 1;
                 } else {
-                    skips.push((*pc, SkipReason::RegistersExhausted));
+                    skips.push((*pc, Rejection::RegistersExhausted));
                 }
             }
             Pattern::PointerChase { recurrent, update_pos } => {
                 if !cfg.enable_pointer {
+                    disabled += 1;
                     continue;
                 }
                 if chased.contains(recurrent) {
-                    skips.push((*pc, SkipReason::DuplicateStream));
+                    skips.push((*pc, Rejection::DuplicateStream));
                     continue;
                 }
                 if free_regs.is_empty() {
-                    skips.push((*pc, SkipReason::RegistersExhausted));
+                    skips.push((*pc, Rejection::RegistersExhausted));
                     continue;
                 }
                 let rs = free_regs.remove(0);
@@ -318,12 +337,12 @@ pub fn optimize_trace(
     }
 
     if stats.total() == 0 {
-        return (None, skips);
+        return ScheduleOutcome { candidate: None, skips, disabled };
     }
 
     let entry_bundles = pack_sequence(&entry);
-    (
-        Some(OptimizedTrace {
+    ScheduleOutcome {
+        candidate: Some(OptimizedTrace {
             entry: entry_bundles,
             body,
             back_edge,
@@ -332,7 +351,29 @@ pub fn optimize_trace(
             stats,
         }),
         skips,
-    )
+        disabled,
+    }
+}
+
+/// Generates prefetch code for the top delinquent loads of one loop
+/// trace. Returns the optimized trace (if at least one stream was
+/// inserted) plus per-load skip diagnostics: classification rejections
+/// first (in load order), then scheduling rejections (in stream order)
+/// — the same contents and order the pre-pipeline optimizer produced.
+///
+/// This is a convenience wrapper over the two pipeline halves,
+/// [`classify_loads`] and [`schedule_streams`]; the pass pipeline calls
+/// the halves separately so pattern analysis and prefetch scheduling
+/// can be ablated and measured independently.
+pub fn optimize_trace(
+    trace: &Trace,
+    loads: &[DelinquentLoad],
+    cfg: &PrefetchConfig,
+) -> (Option<OptimizedTrace>, Vec<(Pc, Rejection)>) {
+    let (work, mut skips) = classify_loads(trace, loads);
+    let out = schedule_streams(trace, &work, cfg);
+    skips.extend(out.skips);
+    (out.candidate, skips)
 }
 
 /// Packs a straight-line instruction sequence into bundles.
@@ -565,7 +606,7 @@ mod tests {
         let (opt, skips) = optimize_trace(&t, &loads, &PrefetchConfig::default());
         let opt = opt.unwrap();
         assert_eq!(opt.stats.direct, 1);
-        assert!(skips.iter().any(|(_, r)| *r == SkipReason::DuplicateStream));
+        assert!(skips.iter().any(|(_, r)| *r == Rejection::DuplicateStream));
     }
 
     #[test]
@@ -645,7 +686,7 @@ mod tests {
         let (opt, skips) = optimize_trace(&t, &loads, &PrefetchConfig::default());
         assert!(opt.is_none());
         assert_eq!(skips.len(), 1);
-        assert!(matches!(skips[0].1, SkipReason::Pattern(PatternError::UnanalyzableSlice)));
+        assert!(matches!(skips[0].1, Rejection::UnanalyzableSlice));
     }
 
     #[test]

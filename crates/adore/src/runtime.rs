@@ -11,17 +11,16 @@
 //! why total overhead stays in the 1–2 % range (Fig. 11).
 
 use isa::Pc;
-use obs::{Json, ToJson};
+use obs::{EventStream, Json, ToJson};
 use perfmon::{Perfmon, PerfmonConfig};
 use sim::{Machine, MachineConfig, SamplingConfig};
 
-use crate::delinq::find_delinquent_loads;
-use crate::instrument::{dominant_stride, instrument_trace, promote, InstrumentConfig};
-use crate::patch::{install, unpatch, PatchedTrace};
-use crate::pattern::PatternError;
-use crate::phase::{PhaseConfig, PhaseDecision, PhaseDetector, PhaseSignature};
-use crate::prefetch::{optimize_trace, InsertionStats, PrefetchConfig, SkipReason};
-use crate::trace::{select_traces, TraceConfig};
+use crate::instrument::InstrumentConfig;
+use crate::phase::PhaseConfig;
+use crate::pipeline::{OptContext, Pipeline, PipelineConfig, PipelineLedger};
+use crate::prefetch::{InsertionStats, PrefetchConfig};
+use crate::reject::Rejection;
+use crate::trace::TraceConfig;
 
 /// Complete ADORE configuration.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +50,10 @@ pub struct AdoreConfig {
     pub instrument_unanalyzable: bool,
     /// Instrumentation parameters.
     pub instrument: InstrumentConfig,
+    /// Which optimizer passes run, and in what order. The default is
+    /// the canonical full pipeline; ablation cells disable individual
+    /// passes through this.
+    pub pipeline: PipelineConfig,
 }
 
 impl AdoreConfig {
@@ -115,7 +118,7 @@ pub struct RunReport {
     pub timeline: Vec<TimePoint>,
     /// Loads that could not be prefetched, with reasons (§4.3's failure
     /// analysis).
-    pub skips: Vec<(Pc, SkipReason)>,
+    pub skips: Vec<(Pc, Rejection)>,
     /// Profile windows produced.
     pub windows: u64,
     /// Per-optimization-event details (diagnostics).
@@ -126,6 +129,11 @@ pub struct RunReport {
     pub instrumented: usize,
     /// Instrumented loads promoted to real prefetch streams.
     pub promoted: usize,
+    /// Per-pass overhead ledger (invocations, charged cycles,
+    /// accept/reject counts).
+    pub ledger: PipelineLedger,
+    /// Structured deploy/instrument/promote/unpatch event stream.
+    pub event_log: EventStream,
 }
 
 // Run state crosses thread boundaries in the parallel experiment
@@ -155,7 +163,7 @@ impl ToJson for RunReport {
             .skips
             .iter()
             .map(|(pc, reason)| {
-                Json::object().with("pc", pc.to_string()).with("reason", format!("{reason:?}"))
+                Json::object().with("pc", pc.to_string()).with("reason", *reason)
             })
             .collect();
         Json::object()
@@ -170,6 +178,8 @@ impl ToJson for RunReport {
             .with("promoted", self.promoted)
             .with("skips", skips)
             .with("timeline", self.timeline.as_slice())
+            .with("pipeline", &self.ledger)
+            .with("event_log", &self.event_log)
     }
 }
 
@@ -188,262 +198,31 @@ pub fn run(machine: &mut Machine, config: &AdoreConfig) -> RunReport {
 /// generated programs that never terminate.
 pub fn run_with_limit(machine: &mut Machine, config: &AdoreConfig, cycle_limit: u64) -> RunReport {
     let mut perfmon = Perfmon::new(config.perfmon.clone());
-    let mut detector = PhaseDetector::new(config.phase.clone());
-    // (signature, attempts, exhausted, last attempt window): a phase may
-    // be optimized again while its miss rate stays high and previous
-    // passes kept finding new streams — the paper's "continue to
-    // monitor the execution of the optimized trace" (§2.3). A few
-    // windows of cooldown between attempts let the profile refresh
-    // with post-patch samples first.
-    let mut optimized: Vec<(PhaseSignature, u32, bool, u64)> = Vec::new();
-    // Patches grouped by the phase signature index that created them,
-    // with the phase CPI observed before patching.
-    let mut live_patches: Vec<(usize, f64, Vec<PatchedTrace>)> = Vec::new();
-    let mut traces_unpatched = 0usize;
-    // Pending instrumentation: (patch record, original trace, load
-    // position, distance hint, buffer, capacity, installed-at window).
-    struct PendingInstr {
-        patch: PatchedTrace,
-        trace: crate::trace::Trace,
-        load_pos: (usize, u8),
-        dist_iters: u64,
-        buffer: u64,
-        capacity: u64,
-        installed_window: u64,
-    }
-    let mut pending_instr: Vec<PendingInstr> = Vec::new();
-    let mut instrumented = 0usize;
-    let mut promoted = 0usize;
+    let mut pipeline = Pipeline::from_config(&config.pipeline);
+    let mut ctx = OptContext::new(config);
     let mut report = RunReport::default();
 
-    let mut timeline = Vec::new();
-    let mut phases_optimized = 0usize;
-    let mut stats = InsertionStats::default();
-    let mut traces_patched = 0usize;
-    let mut skips: Vec<(Pc, SkipReason)> = Vec::new();
-    let mut events: Vec<OptEvent> = Vec::new();
-
     perfmon.run_with_windows_until(machine, cycle_limit, |m, w, ueb| {
-        timeline.push(TimePoint {
-            cycles: w.samples.last().map(|s| s.cycles).unwrap_or(0),
-            cpi: w.cpi,
-            dear_per_kinsn: w.dear_per_kinsn,
-        });
-
-        // Harvest matured instrumentation: read the recorded address
-        // stream back, take the instrumentation out, and promote it to
-        // a prefetch stream if one stride dominates.
-        let window_now_pre = timeline.len() as u64;
-        let mut i = 0;
-        while i < pending_instr.len() {
-            if window_now_pre
-                < pending_instr[i].installed_window + config.instrument.observe_windows
-            {
-                i += 1;
-                continue;
-            }
-            let pi = pending_instr.swap_remove(i);
-            let stride = dominant_stride(
-                m.mem(),
-                pi.buffer,
-                pi.capacity,
-                config.instrument.min_samples,
-                config.instrument.min_stride_share,
-            );
-            let _ = unpatch(m, &pi.patch);
-            if let Some(stride) = stride {
-                if let Some(ot) = promote(&pi.trace, pi.load_pos, stride, pi.dist_iters) {
-                    if let Ok(p) = install(m, &ot) {
-                        m.charge_cycles(config.patch_cost_cycles);
-                        stats += ot.stats;
-                        traces_patched += 1;
-                        promoted += 1;
-                        let _ = p;
-                    }
-                }
-            }
-        }
-
-        let decision = detector.evaluate(ueb);
-        let sig = match decision {
-            PhaseDecision::Stable(sig) => sig,
-            // Executing optimized traces but still missing heavily:
-            // candidate for incremental re-optimization.
-            PhaseDecision::InTracePool(sig) if sig.dpi >= config.phase.min_dpi => sig,
-            _ => return,
-        };
-        let window_now = timeline.len() as u64;
-        let cooldown = config.phase.windows_required as u64 + 1;
-        let entry_idx =
-            optimized.iter().position(|(s, _, _, _)| detector.same_phase(s, &sig));
-        // Nonprofitable-trace monitoring: if a patched phase's CPI is
-        // now clearly worse than before its patches went in, take them
-        // out (§2.3's "detect and fix nonprofitable ones"). The phase
-        // is recognized either by its code-side signature or — when
-        // execution moved entirely into the trace pool — by the pool
-        // range its samples fall into.
-        if config.unpatch_nonprofitable {
-            let group = entry_idx
-                .and_then(|i| live_patches.iter().position(|(idx, _, _)| *idx == i))
-                .or_else(|| {
-                    if sig.pc_center < isa::TRACE_POOL_BASE as f64 {
-                        return None;
-                    }
-                    live_patches.iter().position(|(_, _, patches)| {
-                        patches.iter().any(|p| {
-                            let start = p.pool_addr.0 as f64;
-                            let end = start + (p.len as f64) * 16.0;
-                            sig.pc_center >= start && sig.pc_center < end
-                        })
-                    })
-                });
-            if let Some(pi) = group {
-                let (idx, cpi_before, _) = live_patches[pi];
-                if sig.cpi > cpi_before * 1.02 {
-                    let (_, _, patches) = live_patches.swap_remove(pi);
-                    for patch in &patches {
-                        if unpatch(m, patch).is_ok() {
-                            traces_unpatched += 1;
-                        }
-                    }
-                    m.charge_cycles(config.patch_cost_cycles);
-                    optimized[idx].2 = true; // do not try again
-                    return;
-                }
-            }
-        }
-        if let Some(i) = entry_idx {
-            let (_, attempts, exhausted, last) = optimized[i];
-            if exhausted || attempts >= 4 || window_now < last + cooldown {
-                return; // nothing more to gain from this phase (yet)
-            }
-        }
-        if !config.insert_prefetches {
-            if entry_idx.is_none() {
-                optimized.push((sig, 1, true, window_now));
-            }
-            return; // Fig. 11: machinery without insertion
-        }
-
-        // Dynamic-optimization thread work (2nd CPU — free): select
-        // traces, find delinquent loads, generate prefetches. Selection
-        // reads through the machine so already-patched traces in the
-        // pool can be re-selected for incremental re-optimization.
-        let traces = select_traces(&*m, ueb, &config.trace);
-        let loads = find_delinquent_loads(&traces, ueb);
-        let mut patched_any = false;
-        let mut new_patches: Vec<PatchedTrace> = Vec::new();
-        let mut event = OptEvent { at_cycles: m.cycles(), traces: Vec::new() };
-        for (ti, trace) in traces.iter().enumerate() {
-            let mine: Vec<_> =
-                loads.iter().filter(|l| l.trace_index == ti).cloned().collect();
-            let n_loads = mine.len();
-            let mut inserted = InsertionStats::default();
-            if trace.is_loop && !mine.is_empty() {
-                let (opt, trace_skips) = optimize_trace(trace, &mine, &config.prefetch);
-                match opt {
-                    Some(ot) => {
-                        if let Ok(p) = install(m, &ot) {
-                            // Patch publication briefly pauses the main thread.
-                            m.charge_cycles(config.patch_cost_cycles);
-                            stats += ot.stats;
-                            inserted = ot.stats;
-                            traces_patched += 1;
-                            patched_any = true;
-                            new_patches.push(p);
-                        }
-                    }
-                    None if config.instrument_unanalyzable => {
-                        // Nothing analyzable: fall back to runtime
-                        // instrumentation on the hottest unanalyzable
-                        // load (§6 future work).
-                        let unanalyzable = trace_skips.iter().find(|(_, r)| {
-                            matches!(r, SkipReason::Pattern(PatternError::UnanalyzableSlice))
-                        });
-                        let candidate = unanalyzable
-                            .and_then(|(pc, _)| mine.iter().find(|l| l.pc == *pc));
-                        if let Some(load) = candidate {
-                            let bytes = 8 * config.instrument.buffer_entries + 64;
-                            if m.mem().remaining() > bytes
-                                && !pending_instr
-                                    .iter()
-                                    .any(|p| p.patch.original_head == trace.start)
-                            {
-                                let buffer = m
-                                    .mem_mut()
-                                    .alloc(8 * config.instrument.buffer_entries, 64);
-                                if let Some(instr) = instrument_trace(
-                                    trace,
-                                    load.position,
-                                    buffer,
-                                    config.instrument.buffer_entries,
-                                ) {
-                                    let body_cycles =
-                                        (trace.bundles.len() as u64).div_ceil(2).max(1) + 1;
-                                    let dist_iters = ((load.avg_latency / body_cycles as f64)
-                                        .ceil() as u64)
-                                        .clamp(4, 256);
-                                    if let Ok(p) = install(m, &instr.trace) {
-                                        m.charge_cycles(config.patch_cost_cycles);
-                                        instrumented += 1;
-                                        pending_instr.push(PendingInstr {
-                                            patch: p,
-                                            trace: trace.clone(),
-                                            load_pos: load.position,
-                                            dist_iters,
-                                            buffer,
-                                            capacity: config.instrument.buffer_entries,
-                                            installed_window: window_now_pre,
-                                        });
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    None => {}
-                }
-                skips.extend(trace_skips);
-            }
-            event
-                .traces
-                .push((trace.start, trace.is_loop, trace.bundles.len(), n_loads, inserted));
-        }
-        events.push(event);
-        let idx = match entry_idx {
-            Some(i) => {
-                optimized[i].1 += 1;
-                optimized[i].2 = !patched_any;
-                optimized[i].3 = window_now;
-                i
-            }
-            None => {
-                optimized.push((sig, 1, !patched_any, window_now));
-                optimized.len() - 1
-            }
-        };
-        if !new_patches.is_empty() {
-            match live_patches.iter_mut().find(|(i, _, _)| *i == idx) {
-                Some((_, _, v)) => v.extend(new_patches),
-                None => live_patches.push((idx, sig.cpi, new_patches)),
-            }
-        }
-        if patched_any && entry_idx.is_none() {
-            phases_optimized += 1;
-        }
+        pipeline.run_window(&mut ctx, m, w, ueb);
     });
+
+    // Detach teardown: every §6 recording buffer — harvested or still
+    // pending — is zeroed now that execution has stopped, so transient
+    // instrumentation leaves no footprint in data memory (its cycles
+    // are already on the books).
+    let buffers = ctx
+        .retired_buffers
+        .iter()
+        .copied()
+        .chain(ctx.pending_instr.iter().map(|pi| (pi.buffer, pi.capacity)));
+    for (buffer, capacity) in buffers.collect::<Vec<_>>() {
+        crate::pipeline::zero_buffer(machine, buffer, capacity);
+    }
 
     report.cycles = machine.cycles();
     report.retired = machine.retired();
-    report.timeline = timeline;
-    report.phases_optimized = phases_optimized;
-    report.stats = stats;
-    report.traces_patched = traces_patched;
-    report.skips = skips;
     report.windows = perfmon.windows_produced();
-    report.events = events;
-    report.traces_unpatched = traces_unpatched;
-    report.instrumented = instrumented;
-    report.promoted = promoted;
+    ctx.finish(&mut report);
     report
 }
 

@@ -17,6 +17,8 @@ use std::collections::{HashMap, HashSet};
 use isa::{Addr, Bundle, Insn, Op, Pc, Pr, Program, SlotKind};
 use perfmon::UserEventBuffer;
 
+use crate::reject::Rejection;
+
 /// Source of executable bundles: the static program, or the machine
 /// (static code *plus* the trace pool, so already-patched traces can be
 /// re-selected and re-optimized — the paper's "continue to monitor the
@@ -152,31 +154,55 @@ pub fn select_traces<C: CodeSource>(
     ueb: &UserEventBuffer,
     cfg: &TraceConfig,
 ) -> Vec<Trace> {
+    select_traces_with_drops(code, ueb, cfg).0
+}
+
+/// Like [`select_traces`], but also reports the hot branch targets that
+/// were *not* turned into traces and why (the trace-selection subset of
+/// [`Rejection`]: cold targets, already-covered targets, unmapped or
+/// boundary heads). The pipeline's trace-selection pass feeds the drops
+/// into the per-pass overhead ledger. Targets left over when the
+/// `max_traces` budget is reached are not enumerated.
+pub fn select_traces_with_drops<C: CodeSource>(
+    code: &C,
+    ueb: &UserEventBuffer,
+    cfg: &TraceConfig,
+) -> (Vec<Trace>, Vec<(Addr, Rejection)>) {
     let profile = PathProfile::from_ueb(ueb);
     let mut covered: HashSet<Addr> = HashSet::new();
     let mut traces = Vec::new();
+    let mut drops = Vec::new();
     for (target, count) in profile.hot_targets() {
         if traces.len() >= cfg.max_traces {
             break;
         }
-        if count < cfg.min_target_count || covered.contains(&target) {
+        if count < cfg.min_target_count {
+            drops.push((target, Rejection::ColdTarget));
             continue;
         }
-        if let Some(trace) = build_trace(code, target, &profile, cfg) {
-            covered.extend(trace.origins.iter().copied());
-            traces.push(trace);
+        if covered.contains(&target) {
+            drops.push((target, Rejection::AlreadyCovered));
+            continue;
+        }
+        match build_trace(code, target, &profile, cfg) {
+            Ok(trace) => {
+                covered.extend(trace.origins.iter().copied());
+                traces.push(trace);
+            }
+            Err(r) => drops.push((target, r)),
         }
     }
-    traces
+    (traces, drops)
 }
 
-/// Builds a single trace beginning at `start`.
+/// Builds a single trace beginning at `start`, or the reason no trace
+/// can start there.
 fn build_trace<C: CodeSource>(
     code: &C,
     start: Addr,
     profile: &PathProfile,
     cfg: &TraceConfig,
-) -> Option<Trace> {
+) -> Result<Trace, Rejection> {
     let mut bundles: Vec<Bundle> = Vec::new();
     let mut origins: Vec<Addr> = Vec::new();
     let mut visited: HashSet<Addr> = HashSet::new();
@@ -205,11 +231,11 @@ fn build_trace<C: CodeSource>(
                     // this bundle entirely if the boundary is its first
                     // real instruction.
                     if bundles.is_empty() {
-                        return None;
+                        return Err(Rejection::BoundaryAtHead);
                     }
                     // Do not copy this bundle at all: execution exits to
                     // it from the previous bundle.
-                    return Some(finish_trace(start, bundles, origins, false, None, cur));
+                    return Ok(finish_trace(start, bundles, origins, false, None, cur));
                 }
                 Op::Br { target } => {
                     if target.bundle_align() == start {
@@ -279,7 +305,7 @@ fn build_trace<C: CodeSource>(
         origins.push(cur);
         bundles.push(copy);
         if closed_loop {
-            return Some(finish_trace(
+            return Ok(finish_trace(
                 start,
                 bundles,
                 origins,
@@ -298,10 +324,10 @@ fn build_trace<C: CodeSource>(
     }
 
     if bundles.is_empty() {
-        return None;
+        return Err(Rejection::HeadUnmapped);
     }
     let exit = origins.last().map(|&a| a.offset_bundles(1)).unwrap_or(start);
-    Some(finish_trace(start, bundles, origins, false, None, exit))
+    Ok(finish_trace(start, bundles, origins, false, None, exit))
 }
 
 fn finish_trace(

@@ -11,7 +11,12 @@
 //! Emits `results/fuzz.json`.
 //!
 //! Usage: `fuzz [--cases=N] [--seed=N] [--quick] [--jobs N]
-//! [--exec-path=fast|reference]`
+//! [--exec-path=fast|reference] [--pass=NAME]`
+//!
+//! `--pass=NAME` restricts the ADORE leg to a pipeline with that single
+//! pass active (see `adore::PassKind` for names) — a targeted probe
+//! that any pass alone, run against an otherwise empty pipeline, still
+//! preserves semantics.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -85,8 +90,19 @@ fn main() {
             as usize;
     let base_seed = flag_value(&cli.flags, "seed").unwrap_or(1);
     let exec_path = exec_path_flag(&cli.flags);
+    let only_pass: Option<adore::PassKind> =
+        cli.flags.iter().find_map(|f| f.strip_prefix("--pass=")).map(|name| {
+            name.parse().unwrap_or_else(|e: String| {
+                eprintln!("fuzz: --pass: {e}");
+                std::process::exit(2);
+            })
+        });
     let gen_cfg = GenConfig::default();
-    let diff_cfg = DiffConfig { exec_path, ..DiffConfig::default() };
+    let diff_cfg = DiffConfig {
+        exec_path,
+        pipeline: only_pass.map(adore::PipelineConfig::only),
+        ..DiffConfig::default()
+    };
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, u64, Coverage, CaseReport)>> =
@@ -106,6 +122,7 @@ fn main() {
                     CaseResult::Agree {
                         outcome,
                         traces_patched,
+                        ..
                     } => CaseReport::Agree {
                         outcome_label: outcome.label(),
                         traces_patched,
@@ -198,6 +215,7 @@ fn main() {
     report.set("args", cli.report_args.clone());
     report.set("seed", base_seed);
     report.set("exec_path", exec_path.to_string());
+    report.set("only_pass", only_pass.map(|k| k.name().to_string()));
     report.set("cases", cases as u64);
     report.set("mismatches", mismatches);
     report.set("undecided", undecided);

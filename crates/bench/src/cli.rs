@@ -44,6 +44,18 @@ impl Cli {
     pub fn pick(&self) -> Option<&str> {
         self.picks.first().map(String::as_str)
     }
+
+    /// Values of every `--<name>=VALUE` flag, in order (e.g.
+    /// `flag_values("disable-pass")` for `--disable-pass=phase_gate`).
+    pub fn flag_values<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a str> + 'a {
+        let prefix = format!("--{name}=");
+        self.flags.iter().filter_map(move |f| f.strip_prefix(&prefix))
+    }
+
+    /// Value of the first `--<name>=VALUE` flag, if any.
+    pub fn flag_value(&self, name: &str) -> Option<&str> {
+        self.flag_values(name).next()
+    }
 }
 
 /// Parses the process arguments (skipping argv[0]).
@@ -116,6 +128,15 @@ mod tests {
         let c = parse_from(v(&["--jobs=2", "mcf"]));
         assert_eq!(c.jobs, 2);
         assert_eq!(c.report_args, v(&["mcf"]));
+    }
+
+    #[test]
+    fn flag_values_parse_assignments() {
+        let c = parse_from(v(&["--disable-pass=phase_gate", "--disable-pass=reopt_gate", "--pass=trace_select"]));
+        let d: Vec<&str> = c.flag_values("disable-pass").collect();
+        assert_eq!(d, vec!["phase_gate", "reopt_gate"]);
+        assert_eq!(c.flag_value("pass"), Some("trace_select"));
+        assert_eq!(c.flag_value("missing"), None);
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub enum Measure {
     CompareCompile(Box<CompileOptions>),
     /// Cached baseline versus a full ADORE run (Fig. 7, ablation).
     Comparison,
+    /// Like [`Measure::Comparison`], plus the per-pass overhead ledger,
+    /// the structured event stream, and the sampling-handler overhead
+    /// split out from the pipeline's own charges (pass-ablation cells).
+    PipelineComparison,
     /// Cached baseline versus sampling-only ADORE — prefetch insertion
     /// forced off (Fig. 11).
     Overhead,
@@ -569,6 +573,7 @@ fn run_cell(cell: &Cell, suite: &[Workload], cache: &BaselineCache) -> Result<Js
         Measure::Plain => plain_cell(w, cell, cache),
         Measure::CompareCompile(other) => compare_compile_cell(w, cell, other, cache),
         Measure::Comparison => comparison_cell(w, cell, cache),
+        Measure::PipelineComparison => pipeline_comparison_cell(w, cell, cache),
         Measure::Overhead => overhead_cell(w, cell, cache),
         Measure::Streams => streams_cell(w, cell),
         Measure::Timeline => timeline_cell(w, cell),
@@ -628,6 +633,32 @@ fn comparison_cell(w: &Workload, cell: &Cell, cache: &BaselineCache) -> Result<J
         .with("streams", report.stats)
         .with("base", base.stats)
         .with("adore", machine_stats_json(&m)))
+}
+
+fn pipeline_comparison_cell(
+    w: &Workload,
+    cell: &Cell,
+    cache: &BaselineCache,
+) -> Result<Json, CellError> {
+    let base = cache.plain(w, &cell.opts, &cell.machine)?;
+    let (report, m) = run_adore_in(cell, w, &base.bin);
+    // The PMU's overhead counter accumulates *every* charge to the main
+    // thread; the pipeline ledger knows which part the optimizer passes
+    // charged, so the remainder is the sampling/copy-handler share.
+    let sampling_overhead =
+        m.pmu().counters.overhead_cycles.saturating_sub(report.ledger.total_charged());
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("base_cycles", base.cycles)
+        .with("adore_cycles", report.cycles)
+        .with("speedup_pct", speedup_pct(base.cycles, report.cycles))
+        .with("traces_patched", report.traces_patched)
+        .with("traces_unpatched", report.traces_unpatched)
+        .with("phases_optimized", report.phases_optimized)
+        .with("streams", report.stats)
+        .with("pipeline", &report.ledger)
+        .with("sampling_overhead_cycles", sampling_overhead)
+        .with("events", &report.event_log))
 }
 
 fn overhead_cell(w: &Workload, cell: &Cell, cache: &BaselineCache) -> Result<Json, CellError> {
@@ -845,7 +876,7 @@ fn diag_cell(w: &Workload, cell: &Cell, profile: bool, adore_run: bool) -> Resul
                 .loop_containing(pc.addr)
                 .map(|l| l.name.as_str())
                 .unwrap_or("?");
-            alines.push(format!("  skip {pc} in `{loop_name}`: {reason:?}"));
+            alines.push(format!("  skip {pc} in `{loop_name}`: {reason}"));
         }
         for e in &report.events {
             alines.push(format!("  opt-event at {} cycles:", e.at_cycles));

@@ -1,0 +1,95 @@
+//! A structured event stream.
+//!
+//! Pipeline passes emit typed events ("deploy", "unpatch", "promote",
+//! …) as JSON objects; the stream preserves emission order and
+//! serializes as a JSON array, so reports can carry a replayable record
+//! of what the optimizer did and when.
+
+use crate::json::{Json, ToJson};
+
+/// An append-only, order-preserving stream of structured events.
+///
+/// Each entry is a JSON object whose first field is `"kind"`; the
+/// remaining fields come from the payload passed to [`emit`].
+///
+/// [`emit`]: EventStream::emit
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventStream {
+    entries: Vec<Json>,
+}
+
+impl EventStream {
+    /// Creates an empty stream.
+    pub fn new() -> EventStream {
+        EventStream::default()
+    }
+
+    /// Appends an event of the given kind.
+    ///
+    /// When `payload` is a JSON object its fields are merged after the
+    /// `"kind"` field; any other payload is stored under a `"data"`
+    /// field. `Json::Null` payloads add nothing beyond the kind.
+    pub fn emit(&mut self, kind: &str, payload: Json) {
+        let mut entry = Json::object().with("kind", kind);
+        match payload {
+            Json::Object(fields) => {
+                for (k, v) in fields {
+                    entry = entry.with(&k, v);
+                }
+            }
+            Json::Null => {}
+            other => entry = entry.with("data", other),
+        }
+        self.entries.push(entry);
+    }
+
+    /// Iterates over the recorded events in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Json> {
+        self.entries.iter()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl ToJson for EventStream {
+    fn to_json(&self) -> Json {
+        Json::Array(self.entries.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_payload_fields_merge_after_kind() {
+        let mut s = EventStream::new();
+        s.emit("deploy", Json::object().with("trace", 7u64).with("streams", 2u64));
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"[{"kind":"deploy","trace":7,"streams":2}]"#
+        );
+    }
+
+    #[test]
+    fn scalar_payload_lands_under_data() {
+        let mut s = EventStream::new();
+        s.emit("note", Json::Str("hello".into()));
+        s.emit("tick", Json::Null);
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"[{"kind":"note","data":"hello"},{"kind":"tick"}]"#
+        );
+        assert!(!s.is_empty());
+        assert_eq!(s.iter().count(), 2);
+    }
+}

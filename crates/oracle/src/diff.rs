@@ -40,6 +40,10 @@ pub struct DiffConfig {
     /// leg is path-independent, so fuzzing once per path checks each
     /// simulator loop against the same architectural truth.
     pub exec_path: ExecPath,
+    /// Pipeline override for the ADORE leg. `None` runs the default
+    /// pipeline; `Some` replaces it (e.g. `PipelineConfig::only(pass)`
+    /// to probe that a single pass alone preserves semantics).
+    pub pipeline: Option<adore::PipelineConfig>,
 }
 
 impl Default for DiffConfig {
@@ -49,6 +53,7 @@ impl Default for DiffConfig {
             cycle_limit: 60_000_000,
             shrink_evals: 400,
             exec_path: ExecPath::Fast,
+            pipeline: None,
         }
     }
 }
@@ -145,6 +150,10 @@ pub enum CaseResult {
         outcome: CaseOutcome,
         /// Traces the ADORE run actually patched (coverage signal).
         traces_patched: usize,
+        /// Loads the ADORE run instrumented for stride discovery (§6).
+        instrumented: usize,
+        /// Instrumented loads promoted to real prefetch streams.
+        promoted: usize,
     },
     /// No verdict: the case could not be compared (reference ran out of
     /// fuel, a simulation hit the cycle cap, or a shrink candidate
@@ -173,10 +182,18 @@ fn fuzz_cache() -> CacheConfig {
     }
 }
 
+/// Data-memory headroom beyond the spec arena, identical on all three
+/// legs (so unmapped-address faults and arena digests stay comparable).
+/// The ADORE leg's §6 instrumentation allocates its recording buffers
+/// here; the runtime zeroes them once harvested, so a transparent
+/// instrumentation run digests identically to a run that never
+/// instrumented.
+const INSTR_SCRATCH: u64 = 64 * 1024;
+
 fn base_machine_config(spec: &ProgSpec, cfg: &DiffConfig) -> MachineConfig {
     MachineConfig {
         cache: fuzz_cache(),
-        mem_capacity: spec.arena_bytes as usize,
+        mem_capacity: (spec.arena_bytes + INSTR_SCRATCH) as usize,
         sampling: None,
         exec_path: cfg.exec_path,
         ..MachineConfig::default()
@@ -298,7 +315,8 @@ pub fn check(spec: &ProgSpec, cfg: &DiffConfig) -> CaseResult {
     };
 
     // Reference interpreter.
-    let mut interp = Interp::new(program.clone(), spec.arena_bytes as usize);
+    let mut interp =
+        Interp::new(program.clone(), (spec.arena_bytes + INSTR_SCRATCH) as usize);
     spec.init_memory(interp.mem_mut());
     let ref_outcome = match interp.run(cfg.fuel) {
         Outcome::Halted => CaseOutcome::Halted,
@@ -328,7 +346,10 @@ pub fn check(spec: &ProgSpec, cfg: &DiffConfig) -> CaseResult {
     }
 
     // ADORE machine: sampling on, aggressive optimizer.
-    let adore_config = fuzz_adore_config(spec.seed);
+    let mut adore_config = fuzz_adore_config(spec.seed);
+    if let Some(p) = &cfg.pipeline {
+        adore_config.pipeline = p.clone();
+    }
     let mut opt =
         Machine::new(program, adore_config.machine_config(base_machine_config(spec, cfg)));
     spec.init_memory(opt.mem_mut());
@@ -350,7 +371,12 @@ pub fn check(spec: &ProgSpec, cfg: &DiffConfig) -> CaseResult {
         }));
     }
 
-    CaseResult::Agree { outcome: ref_outcome, traces_patched: report.traces_patched }
+    CaseResult::Agree {
+        outcome: ref_outcome,
+        traces_patched: report.traces_patched,
+        instrumented: report.instrumented,
+        promoted: report.promoted,
+    }
 }
 
 /// Minimizes a mismatching spec: repeatedly drops item ranges
@@ -538,7 +564,7 @@ mod tests {
         ];
         let spec = ProgSpec { seed: 0, arena_bytes: 1 << 18, mem_seed: 11, items };
         match check(&spec, &DiffConfig::default()) {
-            CaseResult::Agree { outcome, traces_patched } => {
+            CaseResult::Agree { outcome, traces_patched, .. } => {
                 assert_eq!(outcome, CaseOutcome::Halted);
                 assert!(traces_patched > 0, "streaming loop was never patched");
             }

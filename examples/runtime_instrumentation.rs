@@ -35,10 +35,7 @@ fn main() {
         stock
             .skips
             .iter()
-            .filter(|(_, r)| matches!(
-                r,
-                adore::SkipReason::Pattern(adore::PatternError::UnanalyzableSlice)
-            ))
+            .filter(|(_, r)| matches!(r, adore::Rejection::UnanalyzableSlice))
             .count()
     );
 

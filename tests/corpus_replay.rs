@@ -33,7 +33,7 @@ fn corpus_replays_without_mismatch() {
         for exec_path in [ExecPath::Fast, ExecPath::Reference] {
             let cfg = DiffConfig { exec_path, ..DiffConfig::default() };
             match check(&spec, &cfg) {
-                CaseResult::Agree { outcome, traces_patched } => {
+                CaseResult::Agree { outcome, traces_patched, .. } => {
                     eprintln!(
                         "{} [{exec_path}]: agree ({}, {traces_patched} traces patched)",
                         path.display(),
@@ -57,4 +57,37 @@ fn corpus_replays_without_mismatch() {
         replayed += 1;
     }
     eprintln!("replayed {replayed} corpus reproducer(s) on both exec paths");
+}
+
+/// The fp-conversion reproducer must not just *agree* — it exists to
+/// pin the §6 instrumentation-promotion path end to end. Its odd seed
+/// switches `instrument_unanalyzable` on in the fuzz ADORE config, the
+/// setf/getf round trip defeats the static pattern analyzer, and the
+/// constant 128-byte stride lets the recorded address buffer promote
+/// the load to a real prefetch stream — on both execution paths.
+#[test]
+fn fpconv_reproducer_instruments_and_promotes() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join("instr_promotion_fpconv.txt");
+    let text = std::fs::read_to_string(&path).expect("read fpconv reproducer");
+    let spec = parse_repro(&text).expect("parse fpconv reproducer");
+    assert_eq!(spec.seed % 2, 1, "odd seed is what enables instrument_unanalyzable");
+    for exec_path in [ExecPath::Fast, ExecPath::Reference] {
+        let cfg = DiffConfig { exec_path, ..DiffConfig::default() };
+        match check(&spec, &cfg) {
+            CaseResult::Agree { instrumented, promoted, .. } => {
+                assert!(
+                    instrumented >= 1,
+                    "[{exec_path}] the fp-converted load should be instrumented"
+                );
+                assert!(
+                    promoted >= 1,
+                    "[{exec_path}] the 128-byte stride should be discovered and promoted"
+                );
+            }
+            other => panic!("[{exec_path}] expected agreement, got {other:?}"),
+        }
+    }
 }

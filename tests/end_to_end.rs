@@ -205,7 +205,9 @@ fn check_mcf_gains_and_lucas_does_not(p: &Profile) {
         lucas_report
             .skips
             .iter()
-            .any(|(_, r)| matches!(r, adore::SkipReason::Pattern(_))),
+            .any(|(_, r)| matches!(r, adore::Rejection::UnanalyzableSlice
+                | adore::Rejection::LoopInvariantAddress
+                | adore::Rejection::NotALoad)),
         "and the failure should be visible as unanalyzable slices: {:?}",
         lucas_report.skips
     );

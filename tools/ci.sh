@@ -18,9 +18,13 @@
 #      three-way oracle, once per simulator execution path
 #      (--exec-path=fast, then reference); any semantic mismatch or
 #      undecided case fails the gate
-#   6. simulator benchmark + throughput gate: the predecoded fast path
+#   6. per-pass ablation smoke: every optimizer pass disabled once on
+#      one workload, then schema validation of the per-pass overhead
+#      ledger, rejection taxonomy and event stream in
+#      results/ablation.json
+#   7. simulator benchmark + throughput gate: the predecoded fast path
 #      must stay at least 2x the reference path on the quick suite
-#   7. schema validation of the emitted JSON, including the engine's
+#   8. schema validation of the emitted JSON, including the engine's
 #      merged sections
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -92,6 +96,48 @@ print(f"  ok: {doc['cases']} cases on the {doc['exec_path']} path, 0 mismatches,
       f" ({doc['traces_patched_total']} traces)")
 EOF
 done
+
+echo "== smoke: per-pass ablation (each pass disabled once) =="
+t0=$(date +%s%N)
+cargo run --release -q -p adore-bench --bin ablation -- --quick --jobs 2 --pass-smoke
+echo "wall-clock: pass-smoke ablation $(ms_since "$t0")ms"
+
+echo "== validate pass-pipeline ledger schema (results/ablation.json) =="
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/ablation.json"))
+assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["tool"] == "ablation", "tool must be ablation"
+ALL_PASSES = ["instr_promote", "phase_gate", "unpatch_monitor", "reopt_gate",
+              "trace_select", "delinq_filter", "pattern_analyze",
+              "prefetch_schedule", "patch_deploy"]
+EVENT_KINDS = {"deploy", "instrument", "promote", "unpatch"}
+LEDGER_KEYS = {"name", "invocations", "charged_cycles", "accepted", "rejections"}
+for off in ALL_PASSES:
+    key = f"pass_off_{off}"
+    rows = doc.get(key)
+    assert rows, f"missing pass-smoke section: {key}"
+    for row in rows:
+        assert {"bench", "base_cycles", "adore_cycles", "speedup_pct",
+                "pipeline", "sampling_overhead_cycles", "events"} <= row.keys()
+        passes = row["pipeline"]["passes"]
+        names = [p["name"] for p in passes]
+        assert off not in names, f"{key}: disabled pass {off} still in ledger"
+        assert len(passes) == len(ALL_PASSES) - 1, f"{key}: ledger must cover the 8 enabled passes"
+        assert names == [p for p in ALL_PASSES if p != off], f"{key}: ledger order must match pipeline order"
+        for p in passes:
+            assert LEDGER_KEYS <= p.keys(), f"{key}: pass entry missing keys: {p.keys()}"
+            assert isinstance(p["rejections"], dict), f"{key}: rejections must map label -> count"
+        assert row["sampling_overhead_cycles"] >= 0
+        for ev in row["events"]:
+            assert ev["kind"] in EVENT_KINDS, f"{key}: unknown event kind {ev['kind']!r}"
+charged = sum(p["charged_cycles"]
+              for off in ALL_PASSES
+              for row in doc[f"pass_off_{off}"]
+              for p in row["pipeline"]["passes"])
+print(f"  ok: 9 single-pass-off sections, ledger schema valid,"
+      f" {charged} total charged cycles on the books")
+EOF
 
 echo "== smoke: bench simulator --quick =="
 cargo bench -q -p adore-bench --bench simulator -- --quick
