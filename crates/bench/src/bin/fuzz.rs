@@ -2,38 +2,60 @@
 //! semantics (see `crates/oracle` and DESIGN.md §"Differential
 //! oracle").
 //!
-//! Generates seeded random programs and runs each through the
-//! three-way oracle — reference interpreter, plain machine, ADORE
-//! machine — failing (exit code 1) on any architectural divergence.
-//! Mismatching cases are shrunk and written to `tests/corpus/`, where
+//! Two modes share the three-way oracle (reference interpreter, plain
+//! machine, ADORE machine) and the `results/fuzz.json` report:
+//!
+//! * **classic** (default): generates `--cases` independent seeded
+//!   programs and checks each once;
+//! * **campaign** (`--campaign`): the coverage-guided engine from
+//!   `oracle::campaign` — corpus scheduling, bundle-level mutation,
+//!   snapshot-reset machines, and a persistent minimized corpus
+//!   directory.
+//!
+//! Either way, any architectural divergence fails the run (exit 1);
+//! mismatching cases are shrunk and written to `tests/corpus/`, where
 //! the `corpus_replay` test re-checks them on every `cargo test`.
 //!
-//! Emits `results/fuzz.json`.
-//!
 //! Usage: `fuzz [--cases=N] [--seed=N] [--quick] [--jobs N]
-//! [--exec-path=fast|reference] [--pass=NAME]`
+//! [--exec-path=fast|reference] [--pass=NAME]
+//! [--campaign] [--rounds=N] [--batch=N] [--minimize-evals=N]
+//! [--campaign-dir=PATH] [--campaign-no-snapshot] [--progress]`
 //!
 //! `--pass=NAME` restricts the ADORE leg to a pipeline with that single
 //! pass active (see `adore::PassKind` for names) — a targeted probe
 //! that any pass alone, run against an otherwise empty pipeline, still
 //! preserves semantics.
+//!
+//! The campaign corpus directory resolves from `--campaign-dir=`, then
+//! the `ADORE_CAMPAIGN_DIR` environment variable, then
+//! `corpus/campaign/` under the workspace root.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use bench_harness::cli;
 use obs::{Json, Report};
-use oracle::{check, generate, shrink, CaseResult, Coverage, DiffConfig, GenConfig};
+use oracle::{
+    check_case, generate, run_campaign, shrink, CampaignConfig, CaseResult, CaseRunner, Coverage,
+    DiffConfig, GenConfig,
+};
 
-/// Value of a `--name=value` flag.
+/// Value of a numeric `--name=value` flag.
 fn flag_value(flags: &[String], name: &str) -> Option<u64> {
     let prefix = format!("--{name}=");
     flags
         .iter()
         .find_map(|f| f.strip_prefix(&prefix))
         .and_then(|v| v.parse().ok())
+}
+
+/// Value of a string `--name=value` flag.
+fn str_flag(flags: &[String], name: &str) -> Option<String> {
+    let prefix = format!("--{name}=");
+    flags.iter().find_map(|f| f.strip_prefix(&prefix)).map(str::to_string)
 }
 
 /// Simulator execution path selected by `--exec-path=fast|reference`
@@ -48,29 +70,59 @@ fn exec_path_flag(flags: &[String]) -> sim::ExecPath {
     }
 }
 
-/// `tests/corpus/` under the workspace root (the directory holding
-/// `Cargo.lock`), overridable with `ADORE_CORPUS_DIR`.
-fn corpus_dir() -> PathBuf {
-    if let Some(dir) = std::env::var_os("ADORE_CORPUS_DIR") {
-        return PathBuf::from(dir);
-    }
+/// `--pass=NAME` pipeline restriction for the ADORE leg.
+fn only_pass_flag(flags: &[String]) -> Option<adore::PassKind> {
+    flags.iter().find_map(|f| f.strip_prefix("--pass=")).map(|name| {
+        name.parse().unwrap_or_else(|e: String| {
+            eprintln!("fuzz: --pass: {e}");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// `rel` under the workspace root (the directory holding `Cargo.lock`),
+/// falling back to a relative path when no root is found.
+fn workspace_path(rel: &str) -> PathBuf {
     if let Ok(mut at) = std::env::current_dir() {
         loop {
             if at.join("Cargo.lock").is_file() {
-                return at.join("tests").join("corpus");
+                return at.join(rel);
             }
             if !at.pop() {
                 break;
             }
         }
     }
-    PathBuf::from("tests/corpus")
+    PathBuf::from(rel)
+}
+
+/// `tests/corpus/` (mismatch reproducers), overridable with
+/// `ADORE_CORPUS_DIR`.
+fn corpus_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("ADORE_CORPUS_DIR") {
+        return PathBuf::from(dir);
+    }
+    workspace_path("tests/corpus")
+}
+
+/// Shrinks a mismatching spec and writes its reproducer to
+/// `tests/corpus/`, returning the file path and shrunk size.
+fn write_reproducer(spec: &oracle::ProgSpec, case_seed: u64) -> (PathBuf, usize) {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    let file = dir.join(format!("fuzz_{case_seed:016x}.txt"));
+    std::fs::write(&file, oracle::serialize_repro(spec)).expect("write reproducer");
+    (file, spec.items.len())
 }
 
 enum CaseReport {
     Agree {
         outcome_label: &'static str,
         traces_patched: usize,
+    },
+    Inconclusive {
+        leg: &'static str,
+        why: String,
     },
     Undecided {
         why: String,
@@ -85,18 +137,154 @@ enum CaseReport {
 
 fn main() {
     let cli = cli::parse();
+    if cli.flag("--campaign") {
+        campaign_main(&cli);
+        return;
+    }
+    classic_main(&cli);
+}
+
+/// The coverage-guided campaign mode (`--campaign`).
+fn campaign_main(cli: &cli::Cli) {
+    let exec_path = exec_path_flag(&cli.flags);
+    let only_pass = only_pass_flag(&cli.flags);
+    let campaign_dir = str_flag(&cli.flags, "campaign-dir")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("ADORE_CAMPAIGN_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| workspace_path("corpus/campaign"));
+    let defaults = CampaignConfig::default();
+    let cfg = CampaignConfig {
+        rounds: flag_value(&cli.flags, "rounds").unwrap_or(defaults.rounds as u64) as usize,
+        batch: flag_value(&cli.flags, "batch").unwrap_or(defaults.batch as u64) as usize,
+        seed: flag_value(&cli.flags, "seed").unwrap_or(1),
+        jobs: cli.jobs.max(1),
+        diff: DiffConfig {
+            exec_path,
+            pipeline: only_pass.map(adore::PipelineConfig::only),
+            ..DiffConfig::default()
+        },
+        corpus_dir: Some(campaign_dir),
+        reuse_machines: !cli.flag("--campaign-no-snapshot"),
+        minimize_evals: flag_value(&cli.flags, "minimize-evals")
+            .unwrap_or(defaults.minimize_evals as u64) as usize,
+        progress: cli.flag("--progress"),
+        ..defaults
+    };
+
+    let started = Instant::now();
+    let stats = run_campaign(&cfg);
+    let wall = started.elapsed();
+
+    let mut mismatch_rows = Json::array();
+    for m in &stats.mismatches {
+        let (file, shrunk_items) = write_reproducer(&m.spec, m.case_seed);
+        eprintln!(
+            "[fuzz] MISMATCH seed {:#x} at {}: {} — reproducer {}",
+            m.case_seed,
+            m.stage,
+            m.detail,
+            file.display()
+        );
+        mismatch_rows.push(
+            Json::object()
+                .with("seed", m.case_seed)
+                .with("stage", m.stage)
+                .with("detail", m.detail.as_str())
+                .with("shrunk_items", shrunk_items as u64)
+                .with("corpus_file", file.display().to_string()),
+        );
+    }
+
+    let mut outcome_obj = Json::object();
+    for (label, count) in &stats.outcomes {
+        outcome_obj.set(label, *count);
+    }
+    let mut coverage_obj = Json::object();
+    for (name, count) in stats.features.fields() {
+        coverage_obj.set(name, count);
+    }
+    let mut hits_obj = Json::object();
+    for (key, count) in &stats.coverage {
+        hits_obj.set(key, *count);
+    }
+    let mut mutations_obj = Json::object();
+    for (op, count) in &stats.mutations {
+        mutations_obj.set(op, *count);
+    }
+    let mut origins_obj = Json::object();
+    for (origin, count) in &stats.origins {
+        origins_obj.set(origin, *count);
+    }
+    let campaign_obj = Json::object()
+        .with("rounds", stats.rounds as u64)
+        .with("batch", cfg.batch as u64)
+        .with("snapshot", cfg.reuse_machines)
+        .with("corpus_imported", stats.corpus_imported)
+        .with("corpus_added", stats.corpus_added)
+        .with("corpus_len", stats.corpus.len() as u64)
+        .with("new_key_events", stats.new_key_events)
+        .with("coverage_keys", stats.coverage.len() as u64)
+        .with("coverage_hits", hits_obj)
+        .with("mutations", mutations_obj)
+        .with("origins", origins_obj);
+
+    let mismatches = stats.mismatches.len() as u64;
+    let mut report = Report::new("fuzz");
+    report.set("args", cli.report_args.clone());
+    report.set("mode", "campaign");
+    report.set("seed", cfg.seed);
+    report.set("exec_path", exec_path.to_string());
+    report.set("only_pass", only_pass.map(|k| k.name().to_string()));
+    report.set("cases", stats.cases);
+    report.set("mismatches", mismatches);
+    report.set("inconclusive", stats.inconclusive);
+    report.set("undecided", stats.undecided);
+    report.set("outcomes", outcome_obj);
+    report.set("coverage", coverage_obj);
+    report.set("campaign", campaign_obj);
+    report.set("cases_with_patches", stats.cases_with_patches);
+    report.set("traces_patched_total", stats.traces_patched_total);
+    report.set("mismatch_details", mismatch_rows);
+    report.save().expect("write results/fuzz.json");
+
+    // Machine build/reset counters are per-worker and therefore
+    // jobs-dependent: stderr only, never in the report.
+    eprintln!(
+        "[fuzz] campaign wall {:.2}s, machines built {} / reset {}",
+        wall.as_secs_f64(),
+        stats.machine_builds,
+        stats.machine_resets
+    );
+    println!(
+        "fuzz[{exec_path}] campaign: {} cases over {} rounds, {mismatches} mismatches, \
+         {} inconclusive, {} undecided, corpus +{} (now {}), {} coverage keys",
+        stats.cases,
+        stats.rounds,
+        stats.inconclusive,
+        stats.undecided,
+        stats.corpus_added,
+        stats.corpus.len(),
+        stats.coverage.len()
+    );
+    for (label, count) in &stats.outcomes {
+        println!("  {label}: {count}");
+    }
+    if mismatches > 0 {
+        eprintln!("[fuzz] FAIL: {mismatches} semantic mismatches (reproducers in tests/corpus/)");
+        std::process::exit(1);
+    }
+}
+
+/// The classic fixed-case mode: independent seeded cases, one check
+/// each. Workers still lease snapshot-reset machines from a
+/// per-worker [`CaseRunner`].
+fn classic_main(cli: &cli::Cli) {
     let cases =
         flag_value(&cli.flags, "cases").unwrap_or(if cli.flag("--quick") { 128 } else { 512 })
             as usize;
     let base_seed = flag_value(&cli.flags, "seed").unwrap_or(1);
     let exec_path = exec_path_flag(&cli.flags);
-    let only_pass: Option<adore::PassKind> =
-        cli.flags.iter().find_map(|f| f.strip_prefix("--pass=")).map(|name| {
-            name.parse().unwrap_or_else(|e: String| {
-                eprintln!("fuzz: --pass: {e}");
-                std::process::exit(2);
-            })
-        });
+    let only_pass = only_pass_flag(&cli.flags);
     let gen_cfg = GenConfig::default();
     let diff_cfg = DiffConfig {
         exec_path,
@@ -108,60 +296,68 @@ fn main() {
     let results: Mutex<Vec<(usize, u64, Coverage, CaseReport)>> =
         Mutex::new(Vec::with_capacity(cases));
     let done = AtomicUsize::new(0);
+    let machines = Mutex::new((0u64, 0u64));
 
     std::thread::scope(|scope| {
         for _ in 0..cli.jobs.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cases {
-                    return;
-                }
-                let case_seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                let (spec, cov) = generate(case_seed, &gen_cfg);
-                let report = match check(&spec, &diff_cfg) {
-                    CaseResult::Agree {
-                        outcome,
-                        traces_patched,
-                        ..
-                    } => CaseReport::Agree {
-                        outcome_label: outcome.label(),
-                        traces_patched,
-                    },
-                    CaseResult::Undecided(why) => CaseReport::Undecided { why },
-                    CaseResult::Mismatch(m) => {
-                        eprintln!(
-                            "[fuzz] MISMATCH seed {case_seed:#x} at {}: {} — shrinking",
-                            m.stage, m.detail
-                        );
-                        let small = shrink(&spec, &diff_cfg);
-                        let dir = corpus_dir();
-                        std::fs::create_dir_all(&dir).expect("create corpus dir");
-                        let file = dir.join(format!("fuzz_{case_seed:016x}.txt"));
-                        std::fs::write(&file, oracle::serialize_repro(&small))
-                            .expect("write reproducer");
-                        CaseReport::Mismatch {
-                            stage: m.stage,
-                            detail: m.detail,
-                            shrunk_items: small.items.len(),
-                            file,
-                        }
+            scope.spawn(|| {
+                let mut runner = CaseRunner::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cases {
+                        break;
                     }
-                };
-                results.lock().unwrap().push((i, case_seed, cov, report));
-                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if d % 64 == 0 || d == cases {
-                    eprintln!("[fuzz] {d}/{cases} cases");
+                    let case_seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let (spec, cov) = generate(case_seed, &gen_cfg);
+                    let report = match check_case(&spec, &diff_cfg, &mut runner).0 {
+                        CaseResult::Agree {
+                            outcome,
+                            traces_patched,
+                            ..
+                        } => CaseReport::Agree {
+                            outcome_label: outcome.label(),
+                            traces_patched,
+                        },
+                        CaseResult::Inconclusive { leg, why } => {
+                            CaseReport::Inconclusive { leg, why }
+                        }
+                        CaseResult::Undecided(why) => CaseReport::Undecided { why },
+                        CaseResult::Mismatch(m) => {
+                            eprintln!(
+                                "[fuzz] MISMATCH seed {case_seed:#x} at {}: {} — shrinking",
+                                m.stage, m.detail
+                            );
+                            let small = shrink(&spec, &diff_cfg);
+                            let (file, shrunk_items) = write_reproducer(&small, case_seed);
+                            CaseReport::Mismatch {
+                                stage: m.stage,
+                                detail: m.detail,
+                                shrunk_items,
+                                file,
+                            }
+                        }
+                    };
+                    results.lock().unwrap().push((i, case_seed, cov, report));
+                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if d % 64 == 0 || d == cases {
+                        eprintln!("[fuzz] {d}/{cases} cases");
+                    }
                 }
+                let mut m = machines.lock().unwrap();
+                m.0 += runner.builds;
+                m.1 += runner.resets;
             });
         }
     });
 
     let mut results = results.into_inner().unwrap();
     results.sort_by_key(|(i, ..)| *i);
+    let (builds, resets) = machines.into_inner().unwrap();
 
     let mut coverage = Coverage::default();
     let mut outcomes: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut mismatches = 0u64;
+    let mut inconclusive = 0u64;
     let mut undecided = 0u64;
     let mut cases_with_patches = 0u64;
     let mut traces_patched_total = 0u64;
@@ -178,6 +374,10 @@ fn main() {
                     cases_with_patches += 1;
                 }
                 traces_patched_total += *traces_patched as u64;
+            }
+            CaseReport::Inconclusive { leg, why } => {
+                inconclusive += 1;
+                eprintln!("[fuzz] inconclusive seed {case_seed:#x} ({leg} leg): {why}");
             }
             CaseReport::Undecided { why } => {
                 undecided += 1;
@@ -213,11 +413,13 @@ fn main() {
 
     let mut report = Report::new("fuzz");
     report.set("args", cli.report_args.clone());
+    report.set("mode", "fuzz");
     report.set("seed", base_seed);
     report.set("exec_path", exec_path.to_string());
     report.set("only_pass", only_pass.map(|k| k.name().to_string()));
     report.set("cases", cases as u64);
     report.set("mismatches", mismatches);
+    report.set("inconclusive", inconclusive);
     report.set("undecided", undecided);
     report.set("outcomes", outcome_obj);
     report.set("coverage", coverage_obj);
@@ -226,9 +428,10 @@ fn main() {
     report.set("mismatch_details", mismatch_rows);
     report.save().expect("write results/fuzz.json");
 
+    eprintln!("[fuzz] machines built {builds} / reset {resets}");
     println!(
-        "fuzz[{exec_path}]: {cases} cases, {mismatches} mismatches, {undecided} undecided, \
-         {cases_with_patches} cases patched ({traces_patched_total} traces)"
+        "fuzz[{exec_path}]: {cases} cases, {mismatches} mismatches, {inconclusive} inconclusive, \
+         {undecided} undecided, {cases_with_patches} cases patched ({traces_patched_total} traces)"
     );
     for (label, count) in &outcomes {
         println!("  {label}: {count}");

@@ -58,13 +58,51 @@ impl Cli {
     }
 }
 
-/// Parses the process arguments (skipping argv[0]).
+/// Parses the process arguments (skipping argv[0]). An invalid worker
+/// count — `--jobs 0`, `--jobs=abc`, a missing value, or a non-empty
+/// `ADORE_JOBS` that is not a positive integer — prints a clear error
+/// and exits with status 2 instead of silently falling back.
 pub fn parse() -> Cli {
-    parse_from(std::env::args().skip(1).collect())
+    match try_parse_from(std::env::args().skip(1).collect(), std::env::var("ADORE_JOBS").ok()) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
-/// Parses an explicit argument list (used by tests).
+/// Parses an explicit argument list with the process environment's
+/// `ADORE_JOBS` (used by tests that only exercise valid inputs).
+///
+/// # Panics
+///
+/// Panics on an invalid worker count; use [`try_parse_from`] to handle
+/// the error.
 pub fn parse_from(args: Vec<String>) -> Cli {
+    try_parse_from(args, std::env::var("ADORE_JOBS").ok())
+        .unwrap_or_else(|e| panic!("parse_from: {e}"))
+}
+
+/// Parses a worker count that has already been determined to be
+/// user-supplied: only a positive integer is acceptable.
+fn parse_jobs(source: &str, value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!("{source}: worker count must be at least 1, got {value:?}")),
+        Err(_) => Err(format!("{source}: invalid worker count {value:?} (expected a positive integer)")),
+    }
+}
+
+/// Parses an explicit argument list and `ADORE_JOBS` value.
+///
+/// Worker-count resolution: `--jobs` wins over `ADORE_JOBS`, which
+/// wins over the machine's available parallelism. An **empty** (or
+/// whitespace-only) `ADORE_JOBS` is treated as unset — the documented
+/// fallback for `ADORE_JOBS= cmd`-style invocations. Any other value
+/// that is not a positive integer is an error, as is any invalid
+/// `--jobs` argument; nothing falls back silently.
+pub fn try_parse_from(args: Vec<String>, env_jobs: Option<String>) -> Result<Cli, String> {
     let mut jobs: Option<usize> = None;
     let mut picks = Vec::new();
     let mut flags = Vec::new();
@@ -72,9 +110,10 @@ pub fn parse_from(args: Vec<String>) -> Cli {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--jobs" {
-            jobs = it.next().and_then(|n| n.parse().ok()).or(jobs);
+            let value = it.next().ok_or("--jobs: missing worker count")?;
+            jobs = Some(parse_jobs("--jobs", &value)?);
         } else if let Some(n) = a.strip_prefix("--jobs=") {
-            jobs = n.parse().ok().or(jobs);
+            jobs = Some(parse_jobs("--jobs", n)?);
         } else if a.starts_with("--") {
             flags.push(a.clone());
             report_args.push(a);
@@ -83,30 +122,28 @@ pub fn parse_from(args: Vec<String>) -> Cli {
             report_args.push(a);
         }
     }
-    let jobs = jobs
-        .or_else(|| {
-            std::env::var("ADORE_JOBS")
-                .ok()
-                .and_then(|n| n.parse().ok())
-        })
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
+    if jobs.is_none() {
+        if let Some(env) = env_jobs.filter(|v| !v.trim().is_empty()) {
+            jobs = Some(parse_jobs("ADORE_JOBS", &env)?);
+        }
+    }
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     let scale = if flags.iter().any(|f| f == "--quick") {
         QUICK_SCALE
     } else {
         FULL_SCALE
     };
-    Cli {
+    Ok(Cli {
         scale,
         jobs,
         picks,
         flags,
         report_args,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -137,6 +174,46 @@ mod tests {
         assert_eq!(d, vec!["phase_gate", "reopt_gate"]);
         assert_eq!(c.flag_value("pass"), Some("trace_select"));
         assert_eq!(c.flag_value("missing"), None);
+    }
+
+    #[test]
+    fn invalid_jobs_arguments_are_hard_errors() {
+        // Before this was typed, every one of these silently fell back
+        // to the machine's core count.
+        for bad in [
+            v(&["--jobs", "0"]),
+            v(&["--jobs=0"]),
+            v(&["--jobs", "abc"]),
+            v(&["--jobs=abc"]),
+            v(&["--jobs="]),
+            v(&["--jobs", "-2"]),
+            v(&["--jobs"]), // missing value
+        ] {
+            let err = try_parse_from(bad.clone(), None)
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.starts_with("--jobs"), "error must name the flag: {err}");
+        }
+    }
+
+    #[test]
+    fn adore_jobs_env_is_validated_with_empty_meaning_unset() {
+        // A set-but-invalid ADORE_JOBS is a hard error...
+        for bad in ["0", "abc", "-1", "1.5"] {
+            let err = try_parse_from(v(&[]), Some(bad.to_string()))
+                .expect_err(&format!("ADORE_JOBS={bad:?} must be rejected"));
+            assert!(err.starts_with("ADORE_JOBS"), "error must name the variable: {err}");
+        }
+        // ...but empty/whitespace means unset (the `ADORE_JOBS= cmd`
+        // idiom), falling back to available parallelism.
+        for unset in ["", "   "] {
+            let c = try_parse_from(v(&[]), Some(unset.to_string())).expect("empty env is unset");
+            assert!(c.jobs >= 1);
+        }
+        // A valid value is used, and --jobs still wins over it.
+        let c = try_parse_from(v(&[]), Some("3".to_string())).unwrap();
+        assert_eq!(c.jobs, 3);
+        let c = try_parse_from(v(&["--jobs", "2"]), Some("3".to_string())).unwrap();
+        assert_eq!(c.jobs, 2);
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl Progress {
             self.total,
             elapsed.as_millis()
         );
-        let mut slots = self.entries.lock().expect("progress lock");
+        // A worker that panics while holding the lock poisons it; the
+        // slot table itself is never left half-written (each slot is
+        // assigned atomically below), so the surviving workers recover
+        // the guard instead of turning one panic into a panic storm.
+        let mut slots = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if index < slots.len() {
             slots[index] = Some(ProgressEntry { label: label.to_string(), millis: elapsed.as_millis() });
         }
@@ -73,7 +77,15 @@ impl Progress {
     /// All recorded entries in submission order — deterministic
     /// regardless of which worker finished which item when.
     pub fn merged(&self) -> Vec<ProgressEntry> {
-        self.entries.lock().expect("progress lock").iter().flatten().cloned().collect()
+        // Same poison recovery as `item_done`: a dead worker must not
+        // cost the run its final report.
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .flatten()
+            .cloned()
+            .collect()
     }
 
     /// Submission-ordered labels only (the report-safe projection).
@@ -100,6 +112,26 @@ mod tests {
         p.item_done(1, "b", Duration::from_millis(4));
         assert_eq!(p.labels(), vec!["a", "b", "c", "d"]);
         assert_eq!(p.completed(), 4);
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_cascaded() {
+        let p = Progress::new("unit", 2);
+        // One worker dies while holding the entries lock — exactly the
+        // scenario a fuzzing-campaign worker pool produces when a case
+        // panics mid-report. The mutex is now poisoned.
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = p.entries.lock().unwrap();
+            panic!("worker died mid-update");
+        }));
+        assert!(died.is_err());
+        assert!(p.entries.is_poisoned(), "the setup must actually poison the lock");
+        // Surviving workers keep reporting and the final merge still
+        // works; before the poison recovery both calls panicked.
+        p.item_done(0, "a", Duration::ZERO);
+        p.item_done(1, "b", Duration::ZERO);
+        assert_eq!(p.labels(), vec!["a", "b"]);
+        assert_eq!(p.completed(), 2);
     }
 
     #[test]

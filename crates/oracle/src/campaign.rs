@@ -1,0 +1,509 @@
+//! Coverage-guided snapshot fuzzing campaign.
+//!
+//! The classic fuzz path (`bench fuzz`) generates each case from a
+//! seed, runs it once through the three-way harness, and forgets it.
+//! The campaign engine closes the loop: cases that light up coverage
+//! the campaign has not seen before are admitted to a corpus, the
+//! corpus is mutated to derive new cases ([`crate::mutate`]), and
+//! scheduling is weighted toward entries that earned their place with
+//! more novelty. Coverage combines the generator's static feature
+//! vector ([`crate::generator::static_coverage`], `feat:` keys) with
+//! runtime signals the ADORE leg produced ([`crate::diff::RunCoverage`]:
+//! pass invocations, rejection-taxonomy labels, deployed trace shapes,
+//! termination outcomes).
+//!
+//! Two properties are load-bearing and tested:
+//!
+//! * **Determinism across worker counts.** A round is planned serially
+//!   from the corpus state at round start, evaluated in parallel, and
+//!   merged serially in submission order — so the corpus, the coverage
+//!   map, and the report are byte-identical for `--jobs 1` and
+//!   `--jobs 4` given the same seed. (`tools/ci.sh` enforces this on
+//!   the real binary.)
+//! * **Snapshot evaluation.** Each worker leases its two simulated
+//!   machines from a [`CaseRunner`], which re-arms them in place via
+//!   `Machine::reset` — the snapshot/restore path built on the code
+//!   store's generation tags — instead of reallocating caches, TLB and
+//!   memory per case.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use workloads::Rng64;
+
+use crate::diff::{check_case, shrink, shrink_with, CaseResult, CaseRunner, DiffConfig};
+use crate::generator::{generate, static_coverage, Coverage, GenConfig};
+use crate::mutate::{mutate, MutateConfig};
+use crate::spec::ProgSpec;
+use crate::text::{parse_repro, serialize_repro};
+
+/// Campaign tuning.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Scheduling rounds to run.
+    pub rounds: usize,
+    /// Cases planned per round (imports ride on top in round 0).
+    pub batch: usize,
+    /// Master seed; every planned case derives its own seed from it.
+    pub seed: u64,
+    /// Worker threads evaluating a round's batch.
+    pub jobs: usize,
+    /// Probability a planned case is freshly generated rather than
+    /// mutated from the corpus (always 1 while the corpus is empty).
+    pub fresh_prob: f64,
+    /// Generator knobs for fresh cases and mutation material.
+    pub gen: GenConfig,
+    /// Harness budgets shared by every evaluation.
+    pub diff: DiffConfig,
+    /// Mutation knobs.
+    pub mutate: MutateConfig,
+    /// Persistent corpus directory: minimized entries are written here
+    /// and `*.txt` reproducers found here are imported in round 0.
+    pub corpus_dir: Option<PathBuf>,
+    /// Evaluate on snapshot-reset machines (`false` rebuilds machines
+    /// per case — the A/B baseline for the snapshot path).
+    pub reuse_machines: bool,
+    /// Shrinker budget per admitted corpus entry (0 disables corpus
+    /// minimization).
+    pub minimize_evals: usize,
+    /// Emit per-case progress through [`obs::Progress`].
+    pub progress: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            rounds: 4,
+            batch: 64,
+            seed: 1,
+            jobs: 1,
+            fresh_prob: 0.35,
+            gen: GenConfig::default(),
+            diff: DiffConfig::default(),
+            mutate: MutateConfig::default(),
+            corpus_dir: None,
+            reuse_machines: true,
+            minimize_evals: 24,
+            progress: false,
+        }
+    }
+}
+
+/// A corpus member: a minimized agreeing program plus the coverage
+/// novelty that earned its admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// The (minimized) program.
+    pub spec: ProgSpec,
+    /// Coverage keys this entry was the first to produce.
+    pub novel_keys: Vec<String>,
+    /// Scheduling weight: the admission novelty count (at least 1).
+    pub energy: u64,
+}
+
+/// A semantic divergence found by the campaign, already shrunk.
+#[derive(Debug, Clone)]
+pub struct CampaignMismatch {
+    /// The per-case seed that produced it.
+    pub case_seed: u64,
+    /// Which leg disagreed (`"plain"` or `"adore"`).
+    pub stage: &'static str,
+    /// First difference, human-readable.
+    pub detail: String,
+    /// The shrunk reproducer.
+    pub spec: ProgSpec,
+}
+
+/// Everything a campaign run produced. All fields except
+/// `machine_builds` / `machine_resets` are independent of `jobs`.
+#[derive(Debug, Default)]
+pub struct CampaignStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Cases evaluated (including imports).
+    pub cases: u64,
+    /// Shrunk semantic divergences.
+    pub mismatches: Vec<CampaignMismatch>,
+    /// Budget-capped non-verdicts (fuel / cycle cap).
+    pub inconclusive: u64,
+    /// Structural non-verdicts (assembly failures).
+    pub undecided: u64,
+    /// Agreeing terminations by outcome label.
+    pub outcomes: std::collections::BTreeMap<&'static str, u64>,
+    /// Coverage-key hit counts across all cases.
+    pub coverage: std::collections::BTreeMap<String, u64>,
+    /// Aggregate static feature vector across all cases.
+    pub features: Coverage,
+    /// Applied mutation operators by name.
+    pub mutations: std::collections::BTreeMap<&'static str, u64>,
+    /// Case provenance counts: `gen`, `mutate`, `import`.
+    pub origins: std::collections::BTreeMap<&'static str, u64>,
+    /// The final corpus, in admission order.
+    pub corpus: Vec<CorpusEntry>,
+    /// Corpus reproducers imported from `corpus_dir` in round 0.
+    pub corpus_imported: u64,
+    /// Entries admitted during this run.
+    pub corpus_added: u64,
+    /// Cases that produced at least one never-seen coverage key.
+    pub new_key_events: u64,
+    /// Agreeing cases where ADORE patched at least one trace.
+    pub cases_with_patches: u64,
+    /// Total traces patched across agreeing cases.
+    pub traces_patched_total: u64,
+    /// Machines built from scratch (jobs-dependent; not reported).
+    pub machine_builds: u64,
+    /// Machines re-armed in place (jobs-dependent; not reported).
+    pub machine_resets: u64,
+}
+
+/// FNV-1a (used for stable corpus file names).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// `feat:` coverage keys for the non-zero fields of a static feature
+/// vector.
+fn feat_keys(cov: &Coverage) -> Vec<String> {
+    cov.fields()
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|(name, _)| format!("feat:{name}"))
+        .collect()
+}
+
+/// One planned case: what to run and where it came from.
+struct Planned {
+    spec: ProgSpec,
+    origin: &'static str,
+    case_seed: u64,
+    ops: Vec<&'static str>,
+}
+
+/// Picks a corpus index weighted by entry energy.
+fn weighted_pick(rng: &mut Rng64, corpus: &[CorpusEntry]) -> usize {
+    let total: u64 = corpus.iter().map(|e| e.energy).sum();
+    let mut ticket = rng.below(total.max(1));
+    for (i, e) in corpus.iter().enumerate() {
+        if ticket < e.energy {
+            return i;
+        }
+        ticket -= e.energy;
+    }
+    corpus.len() - 1
+}
+
+/// Plans one round's batch from the corpus state at round start.
+fn plan_round(round: usize, corpus: &[CorpusEntry], cfg: &CampaignConfig) -> Vec<Planned> {
+    let mut rng = Rng64::new(
+        cfg.seed ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x6361_6d70,
+    );
+    let mut plan = Vec::with_capacity(cfg.batch);
+    for _ in 0..cfg.batch {
+        let case_seed = rng.next_u64();
+        if corpus.is_empty() || rng.chance(cfg.fresh_prob) {
+            let (spec, _) = generate(case_seed, &cfg.gen);
+            plan.push(Planned { spec, origin: "gen", case_seed, ops: Vec::new() });
+        } else {
+            let parent = weighted_pick(&mut rng, corpus);
+            let donor = if corpus.len() > 1 && rng.chance(0.5) {
+                // A distinct donor for splices; `mutate` falls back to
+                // the parent when none is supplied.
+                let mut d = weighted_pick(&mut rng, corpus);
+                if d == parent {
+                    d = (d + 1) % corpus.len();
+                }
+                Some(d)
+            } else {
+                None
+            };
+            let (spec, ops) = mutate(
+                &corpus[parent].spec,
+                donor.map(|d| &corpus[d].spec),
+                case_seed,
+                &cfg.mutate,
+            );
+            plan.push(Planned { spec, origin: "mutate", case_seed, ops });
+        }
+    }
+    plan
+}
+
+/// Evaluates a round's plan, possibly in parallel. Results come back
+/// indexed by plan position, so the serial merge that follows is
+/// independent of worker scheduling.
+fn evaluate_batch(
+    plan: &[Planned],
+    cfg: &CampaignConfig,
+    stats: &mut CampaignStats,
+) -> Vec<(CaseResult, crate::diff::RunCoverage)> {
+    let slots: Vec<Mutex<Option<(CaseResult, crate::diff::RunCoverage)>>> =
+        (0..plan.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = cfg.jobs.max(1).min(plan.len().max(1));
+    let counters = Mutex::new((0u64, 0u64));
+    let progress = cfg.progress.then(|| obs::Progress::new("campaign", plan.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut runner = CaseRunner::new();
+                let (mut builds, mut resets) = (0u64, 0u64);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= plan.len() {
+                        break;
+                    }
+                    let started = Instant::now();
+                    let result = if cfg.reuse_machines {
+                        check_case(&plan[i].spec, &cfg.diff, &mut runner)
+                    } else {
+                        // A/B baseline: fresh machines per case.
+                        let mut fresh = CaseRunner::new();
+                        let r = check_case(&plan[i].spec, &cfg.diff, &mut fresh);
+                        builds += fresh.builds;
+                        r
+                    };
+                    if let Some(p) = &progress {
+                        let label =
+                            format!("{} {:#018x}", plan[i].origin, plan[i].case_seed);
+                        p.item_done(i, &label, started.elapsed());
+                    }
+                    *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some(result);
+                }
+                builds += runner.builds;
+                resets += runner.resets;
+                let mut c = counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                c.0 += builds;
+                c.1 += resets;
+            });
+        }
+    });
+
+    let (builds, resets) =
+        counters.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    stats.machine_builds += builds;
+    stats.machine_resets += resets;
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every planned case evaluated")
+        })
+        .collect()
+}
+
+/// Imports sorted `*.txt` reproducers from the corpus directory.
+fn import_corpus(cfg: &CampaignConfig) -> Vec<Planned> {
+    let Some(dir) = &cfg.corpus_dir else { return Vec::new() };
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .filter_map(|p| {
+            let text = std::fs::read_to_string(p).ok()?;
+            let spec = parse_repro(&text).ok()?;
+            Some(Planned { case_seed: spec.seed, spec, origin: "import", ops: Vec::new() })
+        })
+        .collect()
+}
+
+/// Writes an admitted entry to the corpus directory under a
+/// content-addressed name (idempotent across runs).
+fn persist_entry(cfg: &CampaignConfig, spec: &ProgSpec) {
+    let Some(dir) = &cfg.corpus_dir else { return };
+    let text = serialize_repro(spec);
+    let path = dir.join(format!("q{:016x}.txt", fnv64(text.as_bytes())));
+    if path.exists() {
+        return;
+    }
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(&path, text);
+    }
+}
+
+/// Runs a full campaign and returns its statistics (including the
+/// final corpus). Deterministic in `cfg.seed` for any `cfg.jobs`.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
+    let mut stats = CampaignStats::default();
+    let mut corpus: Vec<CorpusEntry> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut coord = CaseRunner::new();
+
+    let imports = import_corpus(cfg);
+    stats.corpus_imported = imports.len() as u64;
+    let mut pending_imports = Some(imports);
+
+    for round in 0..cfg.rounds {
+        stats.rounds = round + 1;
+        let mut plan = pending_imports.take().unwrap_or_default();
+        plan.extend(plan_round(round, &corpus, cfg));
+        let results = evaluate_batch(&plan, cfg, &mut stats);
+
+        // Serial merge, in submission order: corpus growth, coverage
+        // accounting and minimization see the same sequence no matter
+        // how many workers evaluated the round.
+        for (planned, (result, run_cov)) in plan.iter().zip(results) {
+            stats.cases += 1;
+            *stats.origins.entry(planned.origin).or_insert(0) += 1;
+            for op in &planned.ops {
+                *stats.mutations.entry(op).or_insert(0) += 1;
+            }
+            let static_cov = static_coverage(&planned.spec);
+            stats.features.absorb(&static_cov);
+            let mut keys = feat_keys(&static_cov);
+            keys.extend(run_cov.keys.iter().cloned());
+            keys.sort();
+            keys.dedup();
+            for key in &keys {
+                *stats.coverage.entry(key.clone()).or_insert(0) += 1;
+            }
+
+            match result {
+                CaseResult::Agree { outcome, traces_patched, .. } => {
+                    *stats.outcomes.entry(outcome.label()).or_insert(0) += 1;
+                    if traces_patched > 0 {
+                        stats.cases_with_patches += 1;
+                        stats.traces_patched_total += traces_patched as u64;
+                    }
+                    let novel: Vec<String> =
+                        keys.iter().filter(|k| !seen.contains(*k)).cloned().collect();
+                    for k in &keys {
+                        seen.insert(k.clone());
+                    }
+                    if novel.is_empty() {
+                        continue;
+                    }
+                    stats.new_key_events += 1;
+                    let spec = minimize_entry(&planned.spec, &novel, cfg, &mut coord);
+                    persist_entry(cfg, &spec);
+                    let energy = novel.len() as u64;
+                    corpus.push(CorpusEntry { spec, novel_keys: novel, energy });
+                    stats.corpus_added += 1;
+                }
+                CaseResult::Inconclusive { .. } => stats.inconclusive += 1,
+                CaseResult::Undecided(_) => stats.undecided += 1,
+                CaseResult::Mismatch(m) => {
+                    let spec = shrink(&planned.spec, &cfg.diff);
+                    stats.mismatches.push(CampaignMismatch {
+                        case_seed: planned.case_seed,
+                        stage: m.stage,
+                        detail: m.detail,
+                        spec,
+                    });
+                }
+            }
+        }
+    }
+
+    stats.machine_builds += coord.builds;
+    stats.machine_resets += coord.resets;
+    stats.corpus = corpus;
+    stats
+}
+
+/// Minimizes an admitted entry while it still agrees and still
+/// produces every novel key that earned its admission.
+fn minimize_entry(
+    spec: &ProgSpec,
+    novel: &[String],
+    cfg: &CampaignConfig,
+    runner: &mut CaseRunner,
+) -> ProgSpec {
+    if cfg.minimize_evals == 0 {
+        return spec.clone();
+    }
+    let (min, _used) = shrink_with(spec, cfg.minimize_evals, |candidate| {
+        let (result, run_cov) = check_case(candidate, &cfg.diff, runner);
+        if !matches!(result, CaseResult::Agree { .. }) {
+            return false;
+        }
+        let mut keys = feat_keys(&static_coverage(candidate));
+        keys.extend(run_cov.keys);
+        novel.iter().all(|k| keys.contains(k))
+    });
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(jobs: usize) -> CampaignConfig {
+        CampaignConfig {
+            rounds: 2,
+            batch: 5,
+            seed: 42,
+            jobs,
+            // No corpus minimization: keeps the test fast; the
+            // minimizer itself is covered in `diff::tests`.
+            minimize_evals: 0,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_worker_counts() {
+        let a = run_campaign(&small_cfg(1));
+        let b = run_campaign(&small_cfg(4));
+        assert_eq!(a.cases, 10);
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.coverage, b.coverage, "coverage map must not depend on jobs");
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.origins, b.origins);
+        assert_eq!(a.mutations, b.mutations);
+        assert_eq!(a.new_key_events, b.new_key_events);
+        assert_eq!(
+            a.corpus.iter().map(|e| &e.spec).collect::<Vec<_>>(),
+            b.corpus.iter().map(|e| &e.spec).collect::<Vec<_>>(),
+            "corpus must not depend on jobs"
+        );
+        assert!(a.mismatches.is_empty(), "seed 42 smoke corpus must agree");
+        assert!(a.machine_resets > 0, "snapshot path must actually be exercised");
+        assert!(!a.coverage.is_empty());
+    }
+
+    #[test]
+    fn corpus_growth_schedules_mutations() {
+        let cfg = CampaignConfig { rounds: 3, ..small_cfg(2) };
+        let stats = run_campaign(&cfg);
+        assert!(stats.corpus_added > 0, "some case must light up novel coverage");
+        assert!(
+            stats.origins.get("mutate").copied().unwrap_or(0) > 0,
+            "later rounds must derive cases from the corpus"
+        );
+    }
+
+    #[test]
+    fn corpus_dir_round_trips_entries() {
+        let dir = std::env::temp_dir().join(format!("adore-campaign-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CampaignConfig { corpus_dir: Some(dir.clone()), ..small_cfg(1) };
+        let first = run_campaign(&cfg);
+        assert!(first.corpus_added > 0);
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files as u64, first.corpus_added, "one file per admitted entry");
+
+        // A second run imports what the first persisted.
+        let second = run_campaign(&cfg);
+        assert_eq!(second.corpus_imported, first.corpus_added);
+        assert!(
+            second.origins.get("import").copied().unwrap_or(0) >= first.corpus_added,
+            "imports must be scheduled as cases"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -85,8 +85,6 @@ pub enum CaseOutcome {
     },
     /// `br.ret` with an empty return stack.
     RetFault,
-    /// Fuel or cycle budget exhausted — no verdict possible.
-    TimedOut,
 }
 
 impl CaseOutcome {
@@ -107,7 +105,6 @@ impl CaseOutcome {
             CaseOutcome::LoadFault { .. } => "load_fault",
             CaseOutcome::StoreFault { .. } => "store_fault",
             CaseOutcome::RetFault => "ret_fault",
-            CaseOutcome::TimedOut => "timed_out",
         }
     }
 }
@@ -155,9 +152,21 @@ pub enum CaseResult {
         /// Instrumented loads promoted to real prefetch streams.
         promoted: usize,
     },
-    /// No verdict: the case could not be compared (reference ran out of
-    /// fuel, a simulation hit the cycle cap, or a shrink candidate
-    /// failed to assemble).
+    /// A hang-safety budget ran out before the case could be compared:
+    /// the reference interpreter exhausted its fuel, or a simulated leg
+    /// hit the cycle cap. A capped run says **nothing** about semantics
+    /// — it is a typed non-verdict with its own counter in
+    /// `results/fuzz.json`, never a mismatch and never silently folded
+    /// into one.
+    Inconclusive {
+        /// Which leg hit its budget: `"reference"`, `"plain"` or
+        /// `"adore"`.
+        leg: &'static str,
+        /// Which budget ran out.
+        why: String,
+    },
+    /// No verdict for a structural reason: the spec failed to assemble
+    /// (e.g. a shrink or mutation candidate that broke a label).
     Undecided(String),
     /// Semantic divergence — the bug class this crate exists to catch.
     Mismatch(Box<Mismatch>),
@@ -168,6 +177,70 @@ impl CaseResult {
     pub fn is_mismatch(&self) -> bool {
         matches!(self, CaseResult::Mismatch(_))
     }
+
+    /// True when the result is a [`CaseResult::Inconclusive`].
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, CaseResult::Inconclusive { .. })
+    }
+}
+
+/// Runtime coverage signals harvested from one case — the labels the
+/// campaign's coverage-guided scheduler feeds on. Static generator
+/// features say what a program *contains*; these say what the ADORE
+/// runtime actually *did* with it: which pipeline passes ran and
+/// accepted work, which rejection-taxonomy labels fired, what trace
+/// shapes were deployed, and how the case terminated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunCoverage {
+    /// Sorted, deduplicated coverage keys (`outcome:`, `pass:`,
+    /// `rej:`, `shape:`, `adore:` prefixes). Empty when the case
+    /// reached no verdict.
+    pub keys: Vec<String>,
+}
+
+fn run_coverage(outcome: CaseOutcome, report: &adore::RunReport) -> RunCoverage {
+    let mut keys = vec![format!("outcome:{}", outcome.label())];
+    for (kind, ledger) in report.ledger.entries() {
+        if ledger.invocations > 0 {
+            keys.push(format!("pass:{}", kind.name()));
+        }
+        if ledger.accepted > 0 {
+            keys.push(format!("pass:{}:accept", kind.name()));
+        }
+        for (label, n) in &ledger.rejections {
+            if *n > 0 {
+                keys.push(format!("rej:{label}"));
+            }
+        }
+    }
+    for event in &report.events {
+        for (_start, is_loop, bundles, delinq, _stats) in &event.traces {
+            // Bucket the shape so the key space stays small enough to
+            // saturate: trace kind x bundle-count bucket x
+            // delinquent-load bucket.
+            keys.push(format!(
+                "shape:{}_b{}_d{}",
+                if *is_loop { "loop" } else { "line" },
+                (*bundles).min(8),
+                (*delinq).min(4),
+            ));
+        }
+    }
+    if report.traces_patched > 0 {
+        keys.push("adore:patched".into());
+    }
+    if report.traces_unpatched > 0 {
+        keys.push("adore:unpatched".into());
+    }
+    if report.instrumented > 0 {
+        keys.push("adore:instrumented".into());
+    }
+    if report.promoted > 0 {
+        keys.push("adore:promoted".into());
+    }
+    keys.sort();
+    keys.dedup();
+    RunCoverage { keys }
 }
 
 /// The shrunken cache geometry used for fuzzing: small enough that the
@@ -306,12 +379,79 @@ fn first_difference(reference: &FinalState, observed: &FinalState) -> Option<Str
     None
 }
 
+/// Reusable per-worker execution state: one pre-built [`Machine`] per
+/// simulated leg, re-armed in place via [`Machine::reset`] between
+/// cases (snapshot/restore) instead of being reallocated. The
+/// code-store generation tags keep counting up across resets, so a
+/// decoded bundle from a previous case can never alias the current
+/// program. A machine is only reused while the case geometry
+/// (memory capacity and execution path) matches; otherwise it is
+/// rebuilt from scratch and the counters record which happened.
+#[derive(Debug, Default)]
+pub struct CaseRunner {
+    plain: Option<Machine>,
+    adore: Option<Machine>,
+    /// Machines constructed from scratch (first case, or geometry
+    /// change).
+    pub builds: u64,
+    /// Machines re-armed in place.
+    pub resets: u64,
+}
+
+impl CaseRunner {
+    /// An empty runner; machines are built lazily on first use.
+    pub fn new() -> CaseRunner {
+        CaseRunner::default()
+    }
+
+    /// Leases a machine for one leg: resets the cached one when the
+    /// geometry matches, rebuilds otherwise. Only `sampling` may vary
+    /// between cases that share a machine — the cache/TLB geometry is
+    /// fixed by the fuzz harness and the remaining config fields are
+    /// checked here.
+    fn lease<'a>(
+        slot: &'a mut Option<Machine>,
+        builds: &mut u64,
+        resets: &mut u64,
+        program: isa::Program,
+        config: MachineConfig,
+    ) -> &'a mut Machine {
+        match slot {
+            Some(m)
+                if m.mem().capacity() == config.mem_capacity
+                    && m.exec_path() == config.exec_path =>
+            {
+                *resets += 1;
+                m.reset(program, config.sampling);
+            }
+            _ => {
+                *builds += 1;
+                *slot = Some(Machine::new(program, config));
+            }
+        }
+        slot.as_mut().expect("machine leased")
+    }
+}
+
 /// Runs one case through all three executions and compares final
-/// states.
+/// states, building fresh machines. Prefer [`check_case`] with a
+/// long-lived [`CaseRunner`] when running many cases.
 pub fn check(spec: &ProgSpec, cfg: &DiffConfig) -> CaseResult {
+    check_case(spec, cfg, &mut CaseRunner::new()).0
+}
+
+/// Runs one case through all three executions and compares final
+/// states, reusing `runner`'s pre-built machines where possible, and
+/// returns the verdict together with the runtime coverage the ADORE
+/// leg produced (empty unless the case reached agreement).
+pub fn check_case(
+    spec: &ProgSpec,
+    cfg: &DiffConfig,
+    runner: &mut CaseRunner,
+) -> (CaseResult, RunCoverage) {
     let program = match spec.assemble() {
         Ok(p) => p,
-        Err(e) => return CaseResult::Undecided(format!("assemble: {e}")),
+        Err(e) => return (CaseResult::Undecided(format!("assemble: {e}")), RunCoverage::default()),
     };
 
     // Reference interpreter.
@@ -322,27 +462,50 @@ pub fn check(spec: &ProgSpec, cfg: &DiffConfig) -> CaseResult {
         Outcome::Halted => CaseOutcome::Halted,
         Outcome::Faulted(f) => CaseOutcome::from_fault(f),
         Outcome::OutOfFuel => {
-            return CaseResult::Undecided("reference out of fuel".into());
+            return (
+                CaseResult::Inconclusive {
+                    leg: "reference",
+                    why: format!("interpreter fuel exhausted ({} insns)", cfg.fuel),
+                },
+                RunCoverage::default(),
+            );
         }
     };
     let reference = interp_state(&interp, ref_outcome);
 
     // Plain machine: full timing model, no sampling, no ADORE.
-    let mut plain = Machine::new(program.clone(), base_machine_config(spec, cfg));
+    let plain = CaseRunner::lease(
+        &mut runner.plain,
+        &mut runner.builds,
+        &mut runner.resets,
+        program.clone(),
+        base_machine_config(spec, cfg),
+    );
     spec.init_memory(plain.mem_mut());
     let plain_outcome = match plain.run(cfg.cycle_limit) {
         StopReason::Halted => CaseOutcome::Halted,
         StopReason::Faulted(f) => CaseOutcome::from_fault(f),
-        _ => return CaseResult::Undecided("plain machine hit cycle limit".into()),
+        _ => {
+            return (
+                CaseResult::Inconclusive {
+                    leg: "plain",
+                    why: format!("cycle cap hit ({} cycles)", cfg.cycle_limit),
+                },
+                RunCoverage::default(),
+            );
+        }
     };
-    let plain_state = machine_state(&plain, plain_outcome);
+    let plain_state = machine_state(plain, plain_outcome);
     if let Some(detail) = first_difference(&reference, &plain_state) {
-        return CaseResult::Mismatch(Box::new(Mismatch {
-            stage: "plain",
-            detail,
-            reference,
-            observed: plain_state,
-        }));
+        return (
+            CaseResult::Mismatch(Box::new(Mismatch {
+                stage: "plain",
+                detail,
+                reference,
+                observed: plain_state,
+            })),
+            RunCoverage::default(),
+        );
     }
 
     // ADORE machine: sampling on, aggressive optimizer.
@@ -350,46 +513,85 @@ pub fn check(spec: &ProgSpec, cfg: &DiffConfig) -> CaseResult {
     if let Some(p) = &cfg.pipeline {
         adore_config.pipeline = p.clone();
     }
-    let mut opt =
-        Machine::new(program, adore_config.machine_config(base_machine_config(spec, cfg)));
+    let opt = CaseRunner::lease(
+        &mut runner.adore,
+        &mut runner.builds,
+        &mut runner.resets,
+        program,
+        adore_config.machine_config(base_machine_config(spec, cfg)),
+    );
     spec.init_memory(opt.mem_mut());
-    let report = adore::run_with_limit(&mut opt, &adore_config, cfg.cycle_limit);
+    let report = adore::run_with_limit(opt, &adore_config, cfg.cycle_limit);
     let opt_outcome = if let Some(f) = opt.fault() {
         CaseOutcome::from_fault(f)
     } else if opt.is_halted() {
         CaseOutcome::Halted
     } else {
-        return CaseResult::Undecided("adore machine hit cycle limit".into());
+        return (
+            CaseResult::Inconclusive {
+                leg: "adore",
+                why: format!("cycle cap hit ({} cycles)", cfg.cycle_limit),
+            },
+            RunCoverage::default(),
+        );
     };
-    let opt_state = machine_state(&opt, opt_outcome);
+    let opt_state = machine_state(opt, opt_outcome);
     if let Some(detail) = first_difference(&reference, &opt_state) {
-        return CaseResult::Mismatch(Box::new(Mismatch {
-            stage: "adore",
-            detail,
-            reference,
-            observed: opt_state,
-        }));
+        return (
+            CaseResult::Mismatch(Box::new(Mismatch {
+                stage: "adore",
+                detail,
+                reference,
+                observed: opt_state,
+            })),
+            RunCoverage::default(),
+        );
     }
 
-    CaseResult::Agree {
-        outcome: ref_outcome,
-        traces_patched: report.traces_patched,
-        instrumented: report.instrumented,
-        promoted: report.promoted,
-    }
+    (
+        CaseResult::Agree {
+            outcome: ref_outcome,
+            traces_patched: report.traces_patched,
+            instrumented: report.instrumented,
+            promoted: report.promoted,
+        },
+        run_coverage(ref_outcome, &report),
+    )
 }
 
 /// Minimizes a mismatching spec: repeatedly drops item ranges
 /// (ddmin-style, halving chunk sizes) and halves `movl` immediates
 /// (trip counts), keeping a candidate only when it still mismatches.
 /// The result is the smallest still-failing program found within
-/// `cfg.shrink_evals` harness evaluations.
+/// `cfg.shrink_evals` harness evaluations — the hard budget is pinned
+/// by `shrink_never_exceeds_its_eval_budget`.
 pub fn shrink(spec: &ProgSpec, cfg: &DiffConfig) -> ProgSpec {
+    // One runner for the whole minimization: shrink candidates share
+    // the original's geometry, so every evaluation after the first two
+    // is a machine reset, not a rebuild.
+    let mut runner = CaseRunner::new();
+    shrink_with(spec, cfg.shrink_evals, |candidate| {
+        check_case(candidate, cfg, &mut runner).0.is_mismatch()
+    })
+    .0
+}
+
+/// The generalized minimizer behind [`shrink`]: keeps a candidate only
+/// while `keep` holds, spending at most `max_evals` predicate
+/// evaluations, and returns the best spec plus the evaluations
+/// actually spent. The campaign uses it with a coverage-preservation
+/// predicate to minimize corpus entries; [`shrink`] uses it with
+/// "still mismatches".
+pub fn shrink_with(
+    spec: &ProgSpec,
+    max_evals: usize,
+    mut keep: impl FnMut(&ProgSpec) -> bool,
+) -> (ProgSpec, usize) {
     let mut best = spec.clone();
     let mut evals = 0usize;
-    let still_fails = |candidate: &ProgSpec, evals: &mut usize| -> bool {
+    let mut keep = |candidate: &ProgSpec, evals: &mut usize| -> bool {
         *evals += 1;
-        check(candidate, cfg).is_mismatch()
+        keep(candidate)
     };
 
     loop {
@@ -400,12 +602,12 @@ pub fn shrink(spec: &ProgSpec, cfg: &DiffConfig) -> ProgSpec {
         loop {
             let mut lo = 0;
             while lo < best.items.len() {
-                if evals >= cfg.shrink_evals {
-                    return best;
+                if evals >= max_evals {
+                    return (best, evals);
                 }
                 let candidate = best.without_items(lo, lo + chunk);
                 if candidate.items.len() < best.items.len()
-                    && still_fails(&candidate, &mut evals)
+                    && keep(&candidate, &mut evals)
                 {
                     best = candidate;
                     improved = true;
@@ -423,10 +625,10 @@ pub fn shrink(spec: &ProgSpec, cfg: &DiffConfig) -> ProgSpec {
         // Pass 2: halve movl immediates (trip counts, addresses).
         for idx in 0..best.items.len() {
             while let Some(candidate) = best.with_halved_movl(idx) {
-                if evals >= cfg.shrink_evals {
-                    return best;
+                if evals >= max_evals {
+                    return (best, evals);
                 }
-                if still_fails(&candidate, &mut evals) {
+                if keep(&candidate, &mut evals) {
                     best = candidate;
                     improved = true;
                 } else {
@@ -436,7 +638,7 @@ pub fn shrink(spec: &ProgSpec, cfg: &DiffConfig) -> ProgSpec {
         }
 
         if !improved {
-            return best;
+            return (best, evals);
         }
     }
 }
@@ -457,6 +659,9 @@ mod tests {
             let (spec, _) = generate(seed, &gen_cfg);
             match check(&spec, &cfg) {
                 CaseResult::Agree { traces_patched, .. } => patched += traces_patched,
+                CaseResult::Inconclusive { leg, why } => {
+                    panic!("seed {seed} inconclusive on {leg}: {why}")
+                }
                 CaseResult::Undecided(why) => panic!("seed {seed} undecided: {why}"),
                 CaseResult::Mismatch(m) => {
                     panic!("seed {seed} diverged at {}: {}", m.stage, m.detail)
@@ -477,10 +682,7 @@ mod tests {
             let (spec, _) = generate(seed, &gen_cfg);
             match check(&spec, &cfg) {
                 CaseResult::Agree { .. } => {}
-                CaseResult::Undecided(why) => panic!("seed {seed} undecided: {why}"),
-                CaseResult::Mismatch(m) => {
-                    panic!("seed {seed} diverged at {}: {}", m.stage, m.detail)
-                }
+                other => panic!("seed {seed}: expected agreement, got {other:?}"),
             }
         }
     }
@@ -521,6 +723,172 @@ mod tests {
         let cfg = DiffConfig { shrink_evals: 10, ..DiffConfig::default() };
         let out = shrink(&spec, &cfg);
         assert_eq!(out.items.len(), spec.items.len());
+    }
+
+    /// A counted spin loop of `trips` iterations touching no memory.
+    fn spin_spec(trips: i64) -> ProgSpec {
+        ProgSpec {
+            seed: 0,
+            arena_bytes: 4096,
+            mem_seed: 1,
+            items: vec![
+                Item::Insn(Insn::new(Op::MovL { d: isa::Gr(21), imm: trips })),
+                Item::Label("spin".into()),
+                Item::Insn(Insn::new(Op::AddI { d: isa::Gr(21), a: isa::Gr(21), imm: -1 })),
+                Item::Insn(Insn::new(Op::CmpI {
+                    op: CmpOp::Gt,
+                    pt: isa::Pr(7),
+                    pf: isa::Pr(8),
+                    a: isa::Gr(21),
+                    imm: 0,
+                })),
+                Item::Branch { qp: Some(isa::Pr(7)), kind: BranchKind::Cond, label: "spin".into() },
+                Item::Insn(Insn::new(Op::Halt)),
+            ],
+        }
+    }
+
+    #[test]
+    fn cycle_cap_is_inconclusive_not_mismatch() {
+        // A loop the machine cannot finish under a tiny cycle cap must
+        // come back as a typed Inconclusive naming the capped leg —
+        // before the fix this collapsed into the stringly Undecided
+        // bucket, one refactor away from being misread as a mismatch.
+        let spec = spin_spec(100_000);
+        let cfg = DiffConfig { cycle_limit: 1_000, ..DiffConfig::default() };
+        match check(&spec, &cfg) {
+            CaseResult::Inconclusive { leg, why } => {
+                assert_eq!(leg, "plain", "the plain leg runs first and hits the cap first");
+                assert!(why.contains("cycle cap"), "why must name the budget: {why}");
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+        assert!(check(&spec, &cfg).is_inconclusive());
+        assert!(!check(&spec, &cfg).is_mismatch(), "a capped run is never a mismatch");
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_inconclusive_on_the_reference_leg() {
+        let spec = spin_spec(100_000);
+        let cfg = DiffConfig { fuel: 1_000, ..DiffConfig::default() };
+        match check(&spec, &cfg) {
+            CaseResult::Inconclusive { leg, why } => {
+                assert_eq!(leg, "reference");
+                assert!(why.contains("fuel"), "why must name the budget: {why}");
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runner_reuse_matches_fresh_machines() {
+        // The snapshot/restore path must be invisible: a runner that
+        // re-arms its machines across cases (including revisiting an
+        // earlier spec) has to produce the same verdicts, coverage and
+        // patch counts as fresh machines every time.
+        let cfg = DiffConfig::default();
+        let (a, _) = generate(5, &GenConfig::default());
+        let (b, _) = generate(3, &GenConfig::default());
+        let mut runner = CaseRunner::new();
+        for (tag, spec) in [("a", &a), ("b", &b), ("a again", &a)] {
+            let fresh = check(spec, &cfg);
+            let (reused, cov) = check_case(spec, &cfg, &mut runner);
+            assert_eq!(
+                format!("{reused:?}"),
+                format!("{fresh:?}"),
+                "case {tag}: reused machines changed the verdict"
+            );
+            if matches!(reused, CaseResult::Agree { .. }) {
+                assert!(
+                    cov.keys.iter().any(|k| k.starts_with("outcome:")),
+                    "case {tag}: agreement must report runtime coverage"
+                );
+            }
+        }
+        assert_eq!(runner.builds, 2, "one plain + one adore machine, built once each");
+        assert_eq!(runner.resets, 4, "the remaining two cases reuse both machines");
+    }
+
+    #[test]
+    fn shrink_never_exceeds_its_eval_budget() {
+        // An always-keep predicate makes the minimizer as greedy as it
+        // can ever be; the budget must still be a hard ceiling, and the
+        // reported spend must match the predicate's own count.
+        let (spec, _) = generate(1, &GenConfig::default());
+        for budget in [0, 1, 37] {
+            let mut evals = 0usize;
+            let (min, used) = shrink_with(&spec, budget, |_| {
+                evals += 1;
+                true
+            });
+            assert_eq!(evals, used, "reported spend must match actual evaluations");
+            assert!(evals <= budget, "budget {budget} exceeded: {evals} evals");
+            assert!(min.items.len() <= spec.items.len());
+        }
+    }
+
+    #[test]
+    fn shrunken_reproducer_fails_identically_on_both_exec_paths() {
+        // A small program whose "failure" is a wild store at 0x40,
+        // buried behind a loop and padding. Shrinking with the
+        // property "still reaches that exact fault" must stay within
+        // budget, actually shrink, and classify identically under both
+        // simulator execution paths.
+        let mut items = vec![
+            Item::Insn(Insn::new(Op::MovL { d: isa::Gr(21), imm: 200 })),
+            Item::Label("spin".into()),
+            Item::Insn(Insn::new(Op::AddI { d: isa::Gr(10), a: isa::Gr(10), imm: 7 })),
+            Item::Insn(Insn::new(Op::AddI { d: isa::Gr(21), a: isa::Gr(21), imm: -1 })),
+            Item::Insn(Insn::new(Op::CmpI {
+                op: CmpOp::Gt,
+                pt: isa::Pr(7),
+                pf: isa::Pr(8),
+                a: isa::Gr(21),
+                imm: 0,
+            })),
+            Item::Branch { qp: Some(isa::Pr(7)), kind: BranchKind::Cond, label: "spin".into() },
+        ];
+        for k in 0..8 {
+            items.push(Item::Insn(Insn::new(Op::AddI {
+                d: isa::Gr(11),
+                a: isa::Gr(11),
+                imm: k,
+            })));
+        }
+        items.push(Item::Insn(Insn::new(Op::MovL { d: isa::Gr(8), imm: 0x40 })));
+        items.push(Item::Insn(Insn::new(Op::St {
+            s: isa::Gr(8),
+            base: isa::Gr(8),
+            post_inc: 0,
+            size: isa::AccessSize::U8,
+        })));
+        items.push(Item::Insn(Insn::new(Op::Halt)));
+        let spec = ProgSpec { seed: 0, arena_bytes: 4096, mem_seed: 3, items };
+
+        let fails = |spec: &ProgSpec, path: ExecPath| -> bool {
+            let cfg = DiffConfig { exec_path: path, ..DiffConfig::default() };
+            matches!(
+                check(spec, &cfg),
+                CaseResult::Agree { outcome: CaseOutcome::StoreFault { addr: 0x40, len: 8 }, .. }
+            )
+        };
+        assert!(fails(&spec, ExecPath::Fast), "the unshrunk reproducer must fail");
+
+        let budget = 64;
+        let mut evals = 0usize;
+        let (min, used) = shrink_with(&spec, budget, |c| {
+            evals += 1;
+            fails(c, ExecPath::Fast)
+        });
+        assert!(used <= budget && evals == used);
+        assert!(
+            min.items.len() < spec.items.len(),
+            "nothing shrank: {} items", min.items.len()
+        );
+        // The minimized reproducer still fails, identically, on both
+        // execution paths.
+        assert!(fails(&min, ExecPath::Fast));
+        assert!(fails(&min, ExecPath::Reference));
     }
 
     #[test]

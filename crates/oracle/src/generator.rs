@@ -30,11 +30,12 @@ use workloads::Rng64;
 
 use crate::spec::{BranchKind, Item, ProgSpec};
 
-/// Address registers, one per arena region.
-const ADDR_REGS: [Gr; 4] = [Gr(4), Gr(5), Gr(6), Gr(7)];
+/// Address registers, one per arena region (shared with the mutation
+/// engine, whose safety predicate protects the same registers).
+pub(crate) const ADDR_REGS: [Gr; 4] = [Gr(4), Gr(5), Gr(6), Gr(7)];
 /// Inner / outer loop counters.
-const INNER_COUNTER: Gr = Gr(21);
-const OUTER_COUNTER: Gr = Gr(22);
+pub(crate) const INNER_COUNTER: Gr = Gr(21);
+pub(crate) const OUTER_COUNTER: Gr = Gr(22);
 
 /// Generator tuning knobs.
 #[derive(Debug, Clone)]
@@ -189,6 +190,128 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> (ProgSpec, Coverage) {
         items: g.items,
     };
     (spec, g.cov)
+}
+
+/// Recomputes an approximate static feature [`Coverage`] for an
+/// arbitrary spec by scanning its items — the uniform feature
+/// extractor for programs whose generation-time counters don't exist
+/// (mutated children, imported corpus reproducers). Structural
+/// features are reconstructed from the item stream: a backward branch
+/// is a loop (one targeting a `hot_outer` label a hot loop), a forward
+/// conditional branch a skip block, `(p0)` on one an always-taken
+/// edge. Deliberately static: it counts what the program *contains*,
+/// mirroring the counters the generator bumps while emitting.
+pub fn static_coverage(spec: &ProgSpec) -> Coverage {
+    let mut cov = Coverage::default();
+    let mut defined = std::collections::HashMap::new();
+    for (i, item) in spec.items.iter().enumerate() {
+        if let Item::Label(name) = item {
+            defined.entry(name.as_str()).or_insert(i);
+        }
+    }
+    let count_size = |cov: &mut Coverage, s: AccessSize, store: bool| {
+        let slot = match (s, store) {
+            (AccessSize::U1, false) => &mut cov.ld1,
+            (AccessSize::U2, false) => &mut cov.ld2,
+            (AccessSize::U4, false) => &mut cov.ld4,
+            (AccessSize::U8, false) => &mut cov.ld8,
+            (AccessSize::U1, true) => &mut cov.st1,
+            (AccessSize::U2, true) => &mut cov.st2,
+            (AccessSize::U4, true) => &mut cov.st4,
+            (AccessSize::U8, true) => &mut cov.st8,
+        };
+        *slot += 1;
+    };
+    let mut seen_halt = false;
+    for (i, item) in spec.items.iter().enumerate() {
+        match item {
+            Item::Flush => cov.flushes += 1,
+            Item::Label(_) => {}
+            Item::Branch { qp, kind, label } => {
+                let backward = defined.get(label.as_str()).is_some_and(|&d| d < i);
+                match kind {
+                    BranchKind::Call => cov.calls += 1,
+                    _ if backward => {
+                        cov.loops += 1;
+                        if label.starts_with("hot_outer") {
+                            cov.hot_loops += 1;
+                        }
+                    }
+                    BranchKind::Cond => {
+                        cov.skip_blocks += 1;
+                        if *qp == Some(Pr(0)) {
+                            cov.always_taken += 1;
+                        }
+                    }
+                    BranchKind::Uncond => {}
+                }
+            }
+            Item::Insn(insn) => {
+                if insn.qp.is_some() {
+                    cov.predicated += 1;
+                }
+                match insn.op {
+                    Op::Ld { d, base, size, spec: speculative, .. } => {
+                        if speculative {
+                            cov.spec_ld += 1;
+                            if d == base {
+                                cov.spec_ld_alias += 1;
+                            }
+                        } else {
+                            count_size(&mut cov, size, false);
+                            if !ADDR_REGS.contains(&base) {
+                                cov.wild_mem += 1;
+                            }
+                        }
+                    }
+                    Op::St { base, size, .. } => {
+                        count_size(&mut cov, size, true);
+                        if !ADDR_REGS.contains(&base) {
+                            cov.wild_mem += 1;
+                        }
+                    }
+                    Op::Ldf { .. } => cov.ldf += 1,
+                    Op::Stf { .. } => cov.stf += 1,
+                    Op::Lfetch { .. } => cov.lfetch += 1,
+                    Op::Fma { .. } | Op::Fadd { .. } | Op::Fmul { .. } => cov.fp_arith += 1,
+                    Op::Getf { .. } | Op::Setf { .. } => cov.xfer += 1,
+                    Op::MovL { d, .. } if ADDR_REGS.contains(&d) => cov.rebases += 1,
+                    // A `ret` in the main body (before the terminating
+                    // halt) is a bare return; in a sub body it is the
+                    // normal epilogue.
+                    Op::BrRet if !seen_halt => cov.bare_ret += 1,
+                    Op::Halt => seen_halt = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    cov
+}
+
+/// Emits `n` random discipline-safe items from a stream derived off
+/// `rng` (one draw) — the mutation engine's source of replacement and
+/// insertion material. Reuses the generator's own op tables, so
+/// mutated programs stay inside the register-discipline contract;
+/// never emits labels, branches or `halt`. `heavy` additionally allows
+/// in-region memory ops through the pinned address registers.
+pub(crate) fn random_safe_items(rng: &mut Rng64, cfg: &GenConfig, n: usize, heavy: bool) -> Vec<Item> {
+    let mut g = Gen {
+        rng: Rng64::new(rng.next_u64()),
+        cfg: cfg.clone(),
+        items: Vec::new(),
+        cov: Coverage::default(),
+        next_label: 0,
+        subs: Vec::new(),
+    };
+    for _ in 0..n {
+        if heavy {
+            g.random_op(false);
+        } else {
+            g.random_light_op();
+        }
+    }
+    g.items
 }
 
 struct Gen {

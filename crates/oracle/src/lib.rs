@@ -17,18 +17,33 @@
 //!   final architectural states must agree bit-for-bit;
 //! * [`spec`] / [`text`] — the symbolic program form the shrinker
 //!   minimizes and the line-based reproducer format replayed from
-//!   `tests/corpus/`.
+//!   `tests/corpus/`;
+//! * [`mutate`] — bundle-level mutation of corpus programs (havoc,
+//!   splice, immediate tweaks) inside the generator's
+//!   register-discipline contract;
+//! * [`campaign`] — the coverage-guided campaign engine: a persistent
+//!   corpus scheduled by coverage novelty, evaluated on snapshot-reset
+//!   machines, minimized by the shrinker.
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod diff;
 pub mod generator;
 pub mod interp;
+pub mod mutate;
 pub mod spec;
 pub mod text;
 
-pub use diff::{check, shrink, CaseOutcome, CaseResult, DiffConfig, FinalState, Mismatch};
-pub use generator::{generate, Coverage, GenConfig};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignMismatch, CampaignStats, CorpusEntry,
+};
+pub use diff::{
+    check, check_case, shrink, shrink_with, CaseOutcome, CaseResult, CaseRunner, DiffConfig,
+    FinalState, Mismatch, RunCoverage,
+};
+pub use generator::{generate, static_coverage, Coverage, GenConfig};
 pub use interp::{Interp, Outcome};
+pub use mutate::{mutate, MutateConfig};
 pub use spec::{BranchKind, Item, ProgSpec};
 pub use text::{parse_repro, serialize_repro, ParseError};

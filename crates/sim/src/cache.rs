@@ -60,6 +60,17 @@ impl Cache {
         }
     }
 
+    /// Restores the just-constructed state in place — every way empty,
+    /// all stamps and statistics zero — without touching the tag/stamp
+    /// allocations (the snapshot-reset fast path between fuzz cases).
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// Line size in bytes.
     pub fn line_bytes(&self) -> u64 {
         self.line_bytes
@@ -364,6 +375,24 @@ impl Hierarchy {
             lfetch_issued: 0,
             lfetch_dropped: 0,
         }
+    }
+
+    /// Restores the just-constructed state in place: all four caches
+    /// emptied, in-flight misses and pending prefetch fills dropped,
+    /// memo and statistics cleared. Equivalent to
+    /// `Hierarchy::new(self.config().clone())` but reuses every
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.l1d.reset();
+        self.l1i.reset();
+        self.l2.reset();
+        self.l3.reset();
+        self.inflight.clear();
+        self.pending_fills.clear();
+        self.mem_next_free = 0;
+        self.last_ifetch_line = u64::MAX;
+        self.lfetch_issued = 0;
+        self.lfetch_dropped = 0;
     }
 
     /// The configuration in use.

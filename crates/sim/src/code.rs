@@ -160,6 +160,23 @@ impl CodeStore {
         }
     }
 
+    /// Re-targets the store at a fresh `program`, reusing the static
+    /// arena's allocation and emptying the trace pool. A reset counts
+    /// as a mutation: the generation keeps increasing rather than
+    /// restarting at 0, so decoded entries cached for the previous
+    /// program can never be mistaken for entries of the new one — the
+    /// same tag discipline that keeps live patching coherent keeps
+    /// machine reuse coherent.
+    pub fn reset(&mut self, program: &Program) {
+        self.generation += 1;
+        let generation = self.generation;
+        self.code_base = program.code_base();
+        self.static_bundles.clear();
+        self.static_bundles
+            .extend(program.bundles().iter().map(|b| DecodedBundle::decode(b, generation)));
+        self.pool.clear();
+    }
+
     /// Current store generation; bumped by every mutation.
     pub fn generation(&self) -> u64 {
         self.generation
@@ -340,5 +357,24 @@ mod tests {
 
         assert!(!store.replace(Addr(CODE_BASE + 0x1000), &halt));
         assert_eq!(store.generation(), 2, "failed replace must not bump");
+    }
+
+    #[test]
+    fn reset_retargets_and_keeps_generation_monotone() {
+        let mut store = CodeStore::new(&prog(vec![nop_bundle()]));
+        store.install_pool(&[nop_bundle()]);
+        let before = store.generation();
+
+        let halt = Bundle::branch_only(Insn::new(Op::Halt));
+        store.reset(&prog(vec![halt, nop_bundle(), nop_bundle()]));
+        assert!(
+            store.generation() > before,
+            "reset is a mutation: stale decoded entries must never share a tag with fresh ones"
+        );
+        assert_eq!(store.locate(Addr(TRACE_POOL_BASE)), None, "pool emptied");
+        let loc = store.locate(Addr(CODE_BASE)).unwrap();
+        assert_eq!(store.decoded(loc).generation, store.generation());
+        assert!(matches!(store.slot(loc, 2).insn.op, Op::Halt));
+        assert!(store.locate(Addr(CODE_BASE + 32)).is_some(), "new program fully decoded");
     }
 }

@@ -329,6 +329,55 @@ impl Machine {
         }
     }
 
+    /// Re-arms the machine to power-on state for a fresh run of
+    /// `program`, keeping the data arena's allocation and the code
+    /// store's decoded-bundle buffers instead of reallocating them —
+    /// the per-case setup cost the fuzzing campaign's snapshot/restore
+    /// path avoids. `sampling` replaces the sampling configuration
+    /// (each fuzz case derives its own PMU seed); every other config
+    /// field — cache geometry, memory capacity, execution path —
+    /// stays as constructed, so a reset machine is only valid for
+    /// programs that fit the same geometry.
+    ///
+    /// Equivalent, cycle for cycle and bit for bit, to building a
+    /// fresh `Machine::new(program, config)` with the swapped sampling
+    /// — pinned by `reset_machine_is_bit_identical_to_fresh_machine` —
+    /// with one deliberate exception: the code-store generation keeps
+    /// counting up across resets (it never restarts at 0), so decoded
+    /// entries from a previous program can never alias entries of the
+    /// new one.
+    pub fn reset(&mut self, program: Program, sampling: Option<SamplingConfig>) {
+        self.config.sampling = sampling;
+        self.mem.reset();
+        self.caches.reset();
+        self.tlb.reset();
+        self.pmu = Pmu::new();
+        self.gr = [0; 128];
+        self.fr = [0.0; 128];
+        self.fr[1] = 1.0;
+        self.pr = [false; 64];
+        self.pr[0] = true;
+        self.gr_ready = [0; 128];
+        self.fr_ready = [0; 128];
+        self.gr_source = [StallSource::None; 128];
+        self.fr_source = [StallSource::None; 128];
+        self.ip = program.entry();
+        self.ret_stack.clear();
+        self.cycle = 0;
+        self.half_bundle = false;
+        self.halted = false;
+        self.fault = None;
+        self.samples = self.config.sampling.as_ref().map(|s| SampleState {
+            next_at: s.interval_cycles,
+            index: 0,
+            buffer: Vec::with_capacity(s.buffer_capacity),
+            rng: s.seed,
+        });
+        self.pool.clear();
+        self.store.reset(&program);
+        self.program = program;
+    }
+
     // ---- accessors -------------------------------------------------
 
     /// Current cycle count.
@@ -1565,6 +1614,93 @@ mod tests {
         let c0 = m.cycles();
         m.charge_cycles(5000);
         assert_eq!(m.cycles(), c0 + 5000);
+    }
+
+    #[test]
+    fn reset_machine_is_bit_identical_to_fresh_machine() {
+        // Warm-up program: a short loop with memory traffic, plus a
+        // live patch and an installed trace so the code store, pool,
+        // caches, TLB, PMU, sampler and return stack all leave their
+        // power-on state before the reset.
+        let warm = {
+            let mut a = Asm::new();
+            a.movl(Gr(10), crate::DATA_BASE as i64);
+            a.movl(Gr(21), 40);
+            a.label("spin");
+            a.ld(AccessSize::U8, Gr(11), Gr(10), 8);
+            a.st(AccessSize::U8, Gr(10), Gr(11), 0);
+            a.addi(Gr(21), Gr(21), -1);
+            a.cmpi(CmpOp::Gt, Pr(7), Pr(8), Gr(21), 0);
+            a.br_cond(Pr(7), "spin");
+            a.halt();
+            a.finish(CODE_BASE).unwrap()
+        };
+        let target = {
+            let mut a = Asm::new();
+            a.movl(Gr(12), 9);
+            a.movl(Gr(13), crate::DATA_BASE as i64 + 64);
+            a.ld(AccessSize::U8, Gr(14), Gr(13), 0);
+            a.ldf(Fr(4), Gr(13), 0);
+            a.fma(Fr(5), Fr(4), Fr(4), Fr(1));
+            a.halt();
+            a.finish(CODE_BASE).unwrap()
+        };
+        let sampling = |seed| SamplingConfig {
+            interval_cycles: 16,
+            buffer_capacity: 64,
+            per_sample_cost: 0,
+            jitter: 0.25,
+            seed,
+        };
+        let config = MachineConfig {
+            mem_capacity: 4096,
+            sampling: Some(sampling(3)),
+            ..MachineConfig::default()
+        };
+
+        let mut reused = Machine::new(warm, config.clone());
+        reused.mem_mut().alloc(128, 64);
+        assert_eq!(reused.run(u64::MAX), StopReason::Halted);
+        reused
+            .install_trace(vec![Bundle::branch_only(isa::Insn::new(Op::BrRet))])
+            .unwrap();
+        reused
+            .replace_bundle(Addr(CODE_BASE), Bundle::branch_only(isa::Insn::new(Op::Halt)))
+            .unwrap();
+        let gen_before = reused.code_generation();
+
+        // Re-arm for `target` (with a different sampling seed, as every
+        // fuzz case supplies its own) and compare against a from-scratch
+        // machine on every observable.
+        reused.reset(target.clone(), Some(sampling(11)));
+        assert!(
+            reused.code_generation() > gen_before,
+            "reset keeps the code-store generation counting up"
+        );
+        let mut fresh = Machine::new(
+            target,
+            MachineConfig { sampling: Some(sampling(11)), ..config },
+        );
+        assert_eq!(reused.run(u64::MAX), fresh.run(u64::MAX));
+        assert_eq!(reused.cycles(), fresh.cycles(), "cycle-exact across reset reuse");
+        assert_eq!(reused.pmu().counters, fresh.pmu().counters);
+        assert_eq!(reused.gr, fresh.gr);
+        assert_eq!(reused.pr, fresh.pr);
+        assert!(reused
+            .fr
+            .iter()
+            .zip(fresh.fr.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        for addr in (0..4096u64).step_by(8) {
+            assert_eq!(
+                reused.mem().read(crate::DATA_BASE + addr, 8),
+                fresh.mem().read(crate::DATA_BASE + addr, 8),
+                "memory differs at +{addr}"
+            );
+        }
+        let a: Vec<_> = reused.drain_samples();
+        let b: Vec<_> = fresh.drain_samples();
+        assert_eq!(a.len(), b.len(), "sampler state must be rebuilt from the new seed");
     }
 
     #[test]

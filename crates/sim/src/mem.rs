@@ -85,6 +85,15 @@ impl Memory {
         addr
     }
 
+    /// Returns the arena to its freshly-constructed state — every byte
+    /// zero, nothing allocated — without giving up the backing
+    /// allocation. The fuzzing campaign re-arms one arena per worker
+    /// between cases instead of reallocating hundreds of KiB each time.
+    pub fn reset(&mut self) {
+        self.data.fill(0);
+        self.brk = self.base;
+    }
+
     /// True if `[addr, addr+len)` lies inside the arena.
     pub fn contains(&self, addr: u64, len: u64) -> bool {
         addr >= self.base && addr.saturating_add(len) <= self.base + self.data.len() as u64

@@ -74,6 +74,17 @@ impl Tlb {
         }
     }
 
+    /// Restores the just-constructed state in place — no mapped pages,
+    /// no memo, zeroed statistics — while keeping the entry allocation
+    /// (the snapshot-reset fast path between fuzz cases).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.last_page = u64::MAX;
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &TlbConfig {
         &self.config

@@ -76,8 +76,16 @@ impl Rng64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// True with probability `p` (clamped to `[0, 1]`).
+    /// True with probability `p`, clamped to `[0, 1]`: `p <= 0` and
+    /// NaN never fire, `p >= 1` always fires. Exactly one draw is
+    /// consumed for every call regardless of `p`, so an out-of-range
+    /// probability in one config knob can neither misbehave nor shift
+    /// the stream seen by later draws.
     pub fn chance(&mut self, p: f64) -> bool {
+        // NaN fails both clamp comparisons, so map it explicitly to 0
+        // (never fire) rather than letting `f64() < NaN` decide.
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        // f64() is in [0, 1), so p == 1.0 always fires.
         self.f64() < p
     }
 
@@ -151,6 +159,32 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..256).collect::<Vec<u64>>());
         assert_ne!(v, sorted, "a 256-element shuffle virtually never yields identity");
+    }
+
+    #[test]
+    fn chance_clamps_p_and_defines_nan() {
+        let mut r = Rng64::new(11);
+        for _ in 0..64 {
+            assert!(r.chance(1.0), "p >= 1 must always fire (f64() is in [0, 1))");
+            assert!(r.chance(2.5), "p above the clamp range behaves like 1");
+            assert!(!r.chance(0.0), "p <= 0 must never fire");
+            assert!(!r.chance(-3.0), "p below the clamp range behaves like 0");
+            assert!(!r.chance(f64::NAN), "NaN is defined as never-fire");
+        }
+    }
+
+    #[test]
+    fn chance_consumes_exactly_one_draw_regardless_of_p() {
+        // Out-of-range probabilities must not desynchronize the
+        // stream: a generator that took a shortcut for p <= 0 or
+        // p >= 1 would shift every draw after the call.
+        let mut a = Rng64::new(77);
+        let mut b = Rng64::new(77);
+        for p in [0.5, -1.0, 0.0, 1.0, 9.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let _ = a.chance(p);
+            let _ = b.f64();
+            assert_eq!(a.next_u64(), b.next_u64(), "chance({p}) must consume one draw");
+        }
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! live here. Every file is replayed once per simulator [`ExecPath`],
 //! so the corpus guards both execution engines. An empty (or absent)
 //! corpus passes vacuously.
+//!
+//! Files whose name starts with `expect_inconclusive` pin the harness's
+//! budget handling instead: replayed under a deliberately small cycle
+//! cap, they must produce the typed [`CaseResult::Inconclusive`]
+//! non-verdict — never a mismatch, and never silent agreement. This is
+//! the regression fence for the bug where a capped simulator leg was
+//! compared as if it had finished, reporting a bogus divergence.
 
 use oracle::{check, parse_repro, CaseResult, DiffConfig};
 use sim::ExecPath;
@@ -26,19 +33,45 @@ fn corpus_replays_without_mismatch() {
         if path.extension().and_then(|e| e.to_str()) != Some("txt") {
             continue;
         }
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let spec =
             parse_repro(&text).unwrap_or_else(|e| panic!("{}: parse: {e}", path.display()));
+        let expect_inconclusive = stem.starts_with("expect_inconclusive");
         for exec_path in [ExecPath::Fast, ExecPath::Reference] {
-            let cfg = DiffConfig { exec_path, ..DiffConfig::default() };
+            let cfg = if expect_inconclusive {
+                // Small enough that the program cannot finish, large
+                // enough that a fault would have surfaced first.
+                DiffConfig { exec_path, cycle_limit: 100_000, ..DiffConfig::default() }
+            } else {
+                DiffConfig { exec_path, ..DiffConfig::default() }
+            };
             match check(&spec, &cfg) {
                 CaseResult::Agree { outcome, traces_patched, .. } => {
+                    if expect_inconclusive {
+                        panic!(
+                            "{} [{exec_path}]: agreed under the reduced cycle cap — the \
+                             reproducer no longer exercises the budget path",
+                            path.display()
+                        );
+                    }
                     eprintln!(
                         "{} [{exec_path}]: agree ({}, {traces_patched} traces patched)",
                         path.display(),
                         outcome.label()
                     );
+                }
+                CaseResult::Inconclusive { leg, why } => {
+                    if !expect_inconclusive {
+                        panic!(
+                            "{} [{exec_path}]: {leg} leg ran out of budget ({why}) — corpus \
+                             entries must finish under the default limits",
+                            path.display()
+                        );
+                    }
+                    eprintln!("{} [{exec_path}]: inconclusive as expected ({leg}: {why})",
+                        path.display());
                 }
                 CaseResult::Undecided(why) => panic!(
                     "{} [{exec_path}]: no verdict (corpus entries must terminate): {why}",

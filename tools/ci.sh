@@ -16,8 +16,15 @@
 #      (modulo the envelope timestamp); wall-clocks of both are logged
 #   5. differential fuzz smoke: 512 fixed-seed cases through the
 #      three-way oracle, once per simulator execution path
-#      (--exec-path=fast, then reference); any semantic mismatch or
-#      undecided case fails the gate
+#      (--exec-path=fast, then reference); any semantic mismatch,
+#      undecided or budget-capped (inconclusive) case fails the gate
+#   5b. coverage-guided campaign smoke: a fixed-seed campaign (mutation
+#      and coverage scheduling on) run at --jobs 1 and --jobs 4 must
+#      produce byte-identical reports and corpus directories; the
+#      campaign report schema (coverage keys, mutation/origin ledgers,
+#      inconclusive counter) is validated, and the snapshot path is
+#      A/B-timed against --campaign-no-snapshot. ADORE_NIGHTLY=1
+#      additionally runs a >=100k-case campaign sweep.
 #   6. per-pass ablation smoke: every optimizer pass disabled once on
 #      one workload, then schema validation of the per-pass overhead
 #      ledger, rejection taxonomy and event stream in
@@ -82,9 +89,11 @@ doc = json.load(open("results/fuzz.json"))
 assert doc["schema_version"] == 1, "schema_version must be 1"
 assert doc["tool"] == "fuzz", "tool must be fuzz"
 assert doc["exec_path"] == sys.argv[1], "report must record the exec path under test"
+assert doc["mode"] == "fuzz", "classic smoke must run in classic mode"
 assert doc["cases"] >= 512, "CI smoke must run at least 512 cases"
 assert doc["mismatches"] == 0, "semantic mismatch: ADORE changed program behavior"
 assert doc["undecided"] == 0, "every smoke case must reach a verdict"
+assert doc["inconclusive"] == 0, "no smoke case may exhaust a hang-safety budget"
 assert doc["cases_with_patches"] > 0, "no case was patched: the oracle tested nothing"
 assert sum(doc["outcomes"].values()) == doc["cases"], "outcome counts must cover all cases"
 cov = doc["coverage"]
@@ -96,6 +105,103 @@ print(f"  ok: {doc['cases']} cases on the {doc['exec_path']} path, 0 mismatches,
       f" ({doc['traces_patched_total']} traces)")
 EOF
 done
+
+echo "== smoke: coverage-guided campaign, --jobs 1 vs --jobs 4 =="
+campaign_args=(--campaign --rounds=3 --batch=48 --seed=11 --minimize-evals=8)
+cdir1=$(mktemp -d) cdir2=$(mktemp -d)
+t0=$(date +%s%N)
+ADORE_CAMPAIGN_DIR="$cdir1" cargo run --release -q -p adore-bench --bin fuzz -- \
+    "${campaign_args[@]}" --jobs 1
+campaign1_ms=$(ms_since "$t0")
+cp results/fuzz.json results/fuzz.campaign.jobs1.json
+t0=$(date +%s%N)
+ADORE_CAMPAIGN_DIR="$cdir2" cargo run --release -q -p adore-bench --bin fuzz -- \
+    "${campaign_args[@]}" --jobs 4
+campaign4_ms=$(ms_since "$t0")
+echo "wall-clock: campaign jobs=1 ${campaign1_ms}ms, jobs=4 ${campaign4_ms}ms"
+
+echo "== determinism: campaign report byte-identical across --jobs =="
+python3 - <<'EOF'
+import json
+a = json.load(open("results/fuzz.campaign.jobs1.json"))
+b = json.load(open("results/fuzz.json"))
+a["generated_unix_s"] = b["generated_unix_s"] = 0
+sa, sb = (json.dumps(x, indent=1) for x in (a, b))
+assert sa == sb, "campaign report differs between --jobs 1 and --jobs 4"
+print(f"  ok: {len(sa)} canonical bytes identical across --jobs")
+EOF
+diff -r "$cdir1" "$cdir2" \
+    || { echo "campaign corpus directories differ across --jobs" >&2; exit 1; }
+echo "  ok: corpus directories identical ($(ls "$cdir1" | wc -l) minimized entries)"
+rm -f results/fuzz.campaign.jobs1.json
+
+echo "== validate campaign report schema =="
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/fuzz.json"))
+assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["tool"] == "fuzz", "tool must be fuzz"
+assert doc["mode"] == "campaign", "campaign smoke must record campaign mode"
+assert doc["mismatches"] == 0, "semantic mismatch: ADORE changed program behavior"
+assert doc["undecided"] == 0, "every campaign case must assemble"
+assert doc["inconclusive"] >= 0, "inconclusive counter must be present"
+assert sum(doc["outcomes"].values()) + doc["inconclusive"] + doc["undecided"] \
+    + doc["mismatches"] == doc["cases"], "verdict counts must cover all cases"
+c = doc["campaign"]
+for key in ("rounds", "batch", "snapshot", "corpus_imported", "corpus_added",
+            "corpus_len", "new_key_events", "coverage_keys", "coverage_hits",
+            "mutations", "origins"):
+    assert key in c, f"campaign section missing {key!r}"
+assert c["rounds"] == 3 and c["batch"] == 48, "campaign geometry must match the flags"
+assert c["corpus_added"] > 0, "no case earned corpus admission: coverage is dead"
+assert c["corpus_len"] == c["corpus_added"] + c["corpus_imported"]
+assert c["coverage_keys"] >= 20, f"coverage key space too small: {c['coverage_keys']}"
+assert c["coverage_keys"] == len(c["coverage_hits"])
+hits = c["coverage_hits"]
+for prefix in ("feat:", "outcome:", "pass:"):
+    assert any(k.startswith(prefix) for k in hits), f"no {prefix}* coverage key observed"
+assert c["origins"].get("gen", 0) > 0, "fresh generation must contribute cases"
+assert c["origins"].get("mutate", 0) > 0, "corpus mutation must contribute cases"
+assert sum(c["origins"].values()) == doc["cases"]
+assert sum(c["mutations"].values()) > 0, "no mutation operator ever applied"
+print(f"  ok: {doc['cases']} campaign cases, corpus +{c['corpus_added']},"
+      f" {c['coverage_keys']} coverage keys,"
+      f" origins {dict(c['origins'])}, {doc['inconclusive']} inconclusive")
+EOF
+rm -rf "$cdir1" "$cdir2"
+
+echo "== A/B: snapshot-reset machines vs fresh machines per case =="
+cdir3=$(mktemp -d)
+t0=$(date +%s%N)
+ADORE_CAMPAIGN_DIR="$cdir3" cargo run --release -q -p adore-bench --bin fuzz -- \
+    --campaign --rounds=2 --batch=32 --seed=11 --minimize-evals=0 --jobs 2 \
+    --campaign-no-snapshot
+nosnap_ms=$(ms_since "$t0")
+rm -rf "$cdir3"; cdir3=$(mktemp -d)
+t0=$(date +%s%N)
+ADORE_CAMPAIGN_DIR="$cdir3" cargo run --release -q -p adore-bench --bin fuzz -- \
+    --campaign --rounds=2 --batch=32 --seed=11 --minimize-evals=0 --jobs 2
+snap_ms=$(ms_since "$t0")
+rm -rf "$cdir3"
+echo "wall-clock: fresh-machines ${nosnap_ms}ms, snapshot-reset ${snap_ms}ms" \
+     "(ratio $(python3 -c "print(f'{$nosnap_ms/max($snap_ms,1):.2f}x')"))"
+
+if [ "${ADORE_NIGHTLY:-0}" = "1" ]; then
+    echo "== nightly: campaign sweep (>=100k cases) =="
+    cdirn=$(mktemp -d)
+    t0=$(date +%s%N)
+    ADORE_CAMPAIGN_DIR="$cdirn" cargo run --release -q -p adore-bench --bin fuzz -- \
+        --campaign --rounds=128 --batch=800 --seed=1 --minimize-evals=8 --jobs "$(nproc)"
+    echo "wall-clock: nightly campaign $(ms_since "$t0")ms"
+    python3 - <<'EOF'
+import json
+doc = json.load(open("results/fuzz.json"))
+assert doc["cases"] >= 100_000, f"nightly sweep ran only {doc['cases']} cases"
+assert doc["mismatches"] == 0, "semantic mismatch in the nightly sweep"
+print(f"  ok: {doc['cases']} nightly cases, 0 mismatches")
+EOF
+    rm -rf "$cdirn"
+fi
 
 echo "== smoke: per-pass ablation (each pass disabled once) =="
 t0=$(date +%s%N)
