@@ -1,0 +1,5 @@
+//! The `lab` multiplexed experiment binary — see `bench_harness::lab`.
+
+fn main() {
+    bench_harness::lab::main();
+}

@@ -4,28 +4,40 @@
 //! (workload × [`CompileOptions`] × [`AdoreConfig`]) point measured in
 //! a particular way. An [`ExperimentSpec`] declares the grid — sections
 //! of cells plus which report columns each cell emits — and
-//! [`ExperimentSpec::run`] executes it on a pool of scoped worker
-//! threads:
+//! [`ExperimentSpec::run`] executes it on the work-stealing shard pool
+//! from [`obs::pool`]:
 //!
-//! * **work distribution** — an atomic cursor over the flattened cell
-//!   list; workers pull the next index until the grid is drained;
+//! * **work distribution** — cells are fed through per-shard deques
+//!   ([`obs::pool::service_scope`]); an idle worker steals from the
+//!   back of a busy shard, so one slow cell cannot strand a backlog;
 //! * **determinism** — each cell's sampling seed derives from its
 //!   identity (tool/section/workload), never from thread or timing
-//!   state, and results land in submission-indexed slots, so the merged
-//!   report is byte-identical for any `--jobs` value (the envelope
-//!   timestamp is the single exception);
+//!   state, and rows are emitted in strict submission order by the
+//!   pool's reorder buffer, so the merged report is byte-identical for
+//!   any `--jobs` value (the envelope timestamp and the volatile
+//!   `engine.scheduling` / `engine.baseline_store` observability
+//!   subsections are the exceptions);
+//! * **streaming** — [`ExperimentSpec::run_streaming`] hands each row
+//!   to a sink the moment it and all its predecessors are done, so
+//!   partial results survive interruption (`lab serve` pipes them out
+//!   as JSON lines);
 //! * **baseline cache** — the no-prefetch run of each
 //!   (workload, options, machine) triple is memoized behind a per-key
 //!   [`OnceLock`], so a baseline shared by many cells (every ablation
-//!   variant, the overhead and comparison measures) executes once;
+//!   variant, the overhead and comparison measures) executes once; a
+//!   persistent content-addressed store ([`crate::store`]) extends the
+//!   memo across processes, skipping the simulation (but not the cheap
+//!   recompile) on a disk hit;
 //! * **failure isolation** — a cell that fails to compile produces an
 //!   `error` row and the rest of the grid completes (previously one bad
 //!   workload panicked the whole binary);
 //! * **observability** — per-cell timing goes to stderr through
 //!   [`obs::Progress`] while the deterministic cell labels and cache
-//!   statistics are embedded in the report's `engine` section.
+//!   statistics are embedded in the report's `engine` section,
+//!   alongside the volatile scheduling and store counters.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -37,6 +49,7 @@ use sim::{Counters, MachineConfig, SamplingConfig};
 use workloads::Workload;
 
 use crate::cli::Cli;
+use crate::store::{resolve_default_dir, BaselineStore, StoredBaseline};
 use crate::{experiment_report_with, machine_stats_json, speedup_pct};
 
 // ---------------------------------------------------------------------
@@ -131,6 +144,17 @@ pub struct ExperimentSpec {
     machine: MachineConfig,
     sections: Vec<Section>,
     extra_workloads: Vec<Workload>,
+    baseline: BaselineChoice,
+}
+
+/// Where persistent baselines live for one run.
+enum BaselineChoice {
+    /// Environment-resolved ([`resolve_default_dir`]).
+    Default,
+    /// No on-disk store (hermetic tests, `--no-baseline-store`).
+    Disabled,
+    /// An explicit directory.
+    Dir(PathBuf),
 }
 
 impl ExperimentSpec {
@@ -168,6 +192,7 @@ impl ExperimentSpec {
             machine: ExperimentSpec::paper_machine_config(),
             sections: Vec::new(),
             extra_workloads: Vec::new(),
+            baseline: BaselineChoice::Default,
         }
     }
 
@@ -205,6 +230,18 @@ impl ExperimentSpec {
     /// Adds a workload that is not part of the standard suite.
     pub fn with_workload(mut self, w: Workload) -> ExperimentSpec {
         self.extra_workloads.push(w);
+        self
+    }
+
+    /// Overrides where persistent baselines live: `Some(dir)` uses
+    /// `dir`, `None` disables the on-disk store entirely (hermetic
+    /// tests). Without an override the store resolves from the
+    /// environment — see [`resolve_default_dir`].
+    pub fn baseline_dir(mut self, dir: Option<PathBuf>) -> ExperimentSpec {
+        self.baseline = match dir {
+            Some(d) => BaselineChoice::Dir(d),
+            None => BaselineChoice::Disabled,
+        };
         self
     }
 
@@ -254,6 +291,15 @@ impl ExperimentSpec {
 
     /// Executes the grid and returns the merged result.
     pub fn run(self) -> EngineResult {
+        self.run_streaming(|_, _, _| {})
+    }
+
+    /// Executes the grid, handing each finished row to `on_row` as
+    /// `(cell index, section key, row)` the moment it and all earlier
+    /// cells are complete — strict submission order, incrementally, so
+    /// a consumer sees a stable prefix even if the process dies
+    /// mid-grid. `on_row` runs on the calling thread.
+    pub fn run_streaming(self, mut on_row: impl FnMut(usize, &str, &Json)) -> EngineResult {
         let mut suite = workloads::suite(self.scale);
         suite.extend(self.extra_workloads.iter().cloned());
 
@@ -270,39 +316,46 @@ impl ExperimentSpec {
 
         let n = cells.len();
         let progress = Progress::new(&self.tool, n);
-        let cache = BaselineCache::new();
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<Json>> = (0..n).map(|_| OnceLock::new()).collect();
+        let store = self.open_store();
+        let cache = BaselineCache::with_store(store.clone());
         let jobs = self.jobs.clamp(1, n.max(1));
 
-        std::thread::scope(|s| {
-            for _ in 0..jobs {
-                s.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::SeqCst);
-                    if i >= n {
-                        break;
-                    }
-                    let (si, cell) = &cells[i];
-                    let t = Instant::now();
-                    let row = match run_cell(cell, &suite, &cache) {
-                        Ok(row) => row,
-                        Err(e) => Json::object()
-                            .with("bench", cell.workload)
-                            .with("error", e.to_string()),
-                    };
-                    let row = merge_extra(row, &cell.extra);
-                    let label = format!("{}/{}", self.sections[*si].key, cell.workload);
-                    progress.item_done(i, &label, t.elapsed());
-                    slots[i].set(row).expect("each slot written once");
-                });
-            }
-        });
+        let mut ordered: Vec<Json> = Vec::with_capacity(n);
+        let (cells_ref, suite_ref, cache_ref) = (&cells, &suite, &cache);
+        let (sections_ref, progress_ref) = (&self.sections, &progress);
+        let (_, pool_stats) = obs::pool::service_scope(
+            jobs,
+            |_| (),
+            |_: &mut (), i: usize, (): ()| {
+                let (si, cell) = &cells_ref[i];
+                let t = Instant::now();
+                let row = match run_cell(cell, suite_ref, cache_ref) {
+                    Ok(row) => row,
+                    Err(e) => Json::object()
+                        .with("bench", cell.workload)
+                        .with("error", e.to_string()),
+                };
+                let row = merge_extra(row, &cell.extra);
+                let label = format!("{}/{}", sections_ref[*si].key, cell.workload);
+                progress_ref.item_done(i, &label, t.elapsed());
+                row
+            },
+            |sub| {
+                for _ in 0..n {
+                    sub.push(());
+                }
+            },
+            |i, row| {
+                let (si, _) = &cells_ref[i];
+                on_row(i, &sections_ref[*si].key, &row);
+                ordered.push(row);
+            },
+        );
 
         // Ordered merge: rows in spec order, untouched by scheduling.
         let mut rows: Vec<Vec<Json>> = self.sections.iter().map(|_| Vec::new()).collect();
         let mut failed = 0usize;
-        for ((si, _), slot) in cells.iter().zip(&slots) {
-            let row = slot.get().cloned().expect("all cells completed");
+        for ((si, _), row) in cells.iter().zip(ordered) {
             if row.get("error").is_some() {
                 failed += 1;
             }
@@ -321,6 +374,20 @@ impl ExperimentSpec {
             report.set(&section.key, rows.as_slice());
             sections_out.push((section.key.clone(), rows));
         }
+        let (store_hits, store_misses) = store.as_ref().map(|s| s.stats()).unwrap_or((0, 0));
+        // Deterministic keys first (byte-identical to schema v1), then
+        // the volatile observability subsections new in schema v2:
+        // `baseline_store` depends on what prior processes left on
+        // disk, `scheduling` on thread timing. Jobs-invariance diffs
+        // canonicalize both away.
+        let store_json = match &store {
+            Some(s) => Json::object()
+                .with("enabled", true)
+                .with("dir", s.dir().display().to_string())
+                .with("hits", store_hits)
+                .with("misses", store_misses),
+            None => Json::object().with("enabled", false),
+        };
         report.set(
             "engine",
             Json::object()
@@ -333,24 +400,54 @@ impl ExperimentSpec {
                         .with("lookups", lookups)
                         .with("computes", computes)
                         .with("hits", lookups - computes),
+                )
+                .with("baseline_store", store_json)
+                .with(
+                    "scheduling",
+                    Json::object()
+                        .with("shards", pool_stats.shards)
+                        .with("stolen_tasks", pool_stats.stolen)
+                        .with("queue_depth_hwm", pool_stats.queue_hwm),
                 ),
         );
 
         let wall = progress.wall();
         eprintln!(
-            "[{}] {} cells in {}ms (jobs={}, baseline cache {} hits / {} lookups)",
+            "[{}] {} cells in {}ms (jobs={}, baseline cache {} hits / {} lookups, store {} hits / {} misses)",
             self.tool,
             n,
             wall.as_millis(),
             jobs,
             lookups - computes,
-            lookups
+            lookups,
+            store_hits,
+            store_misses
         );
         EngineResult {
             report,
             sections: sections_out,
             wall,
             failed,
+            store_hits,
+            store_misses,
+        }
+    }
+
+    /// Opens the persistent baseline store per the spec's
+    /// [`BaselineChoice`]; open failures disable the store (with a
+    /// stderr note) rather than failing the run.
+    fn open_store(&self) -> Option<Arc<BaselineStore>> {
+        let dir = match &self.baseline {
+            BaselineChoice::Disabled => return None,
+            BaselineChoice::Dir(d) => d.clone(),
+            BaselineChoice::Default => resolve_default_dir()?,
+        };
+        match BaselineStore::open(dir) {
+            Ok(s) => Some(Arc::new(s)),
+            Err(e) => {
+                eprintln!("[{}] baseline store disabled: {e}", self.tool);
+                None
+            }
         }
     }
 }
@@ -363,6 +460,11 @@ pub struct EngineResult {
     pub wall: Duration,
     /// Number of cells that produced an `error` row.
     pub failed: usize,
+    /// Baselines served from the persistent store (0 when disabled).
+    pub store_hits: usize,
+    /// Baselines the persistent store had to recompute (0 when
+    /// disabled).
+    pub store_misses: usize,
 }
 
 impl EngineResult {
@@ -451,10 +553,18 @@ type BaselineSlot = Arc<OnceLock<Result<Baseline, String>>>;
 /// (workload, compile options, machine config). Each key is computed
 /// exactly once — concurrent requesters block on the key's `OnceLock` —
 /// so hit counts are deterministic for a given grid.
+///
+/// An optional persistent [`BaselineStore`] sits *behind* the memo: a
+/// key's single in-process compute first consults the store and, on a
+/// disk hit, only recompiles the binary (cheap) instead of simulating
+/// the run (expensive). The in-memory `lookups`/`computes` statistics
+/// are unaffected by the store and stay deterministic for a fixed
+/// grid; disk hit/miss counts live on the store itself.
 pub struct BaselineCache {
     map: Mutex<HashMap<String, BaselineSlot>>,
     lookups: AtomicUsize,
     computes: AtomicUsize,
+    store: Option<Arc<BaselineStore>>,
 }
 
 impl Default for BaselineCache {
@@ -464,12 +574,19 @@ impl Default for BaselineCache {
 }
 
 impl BaselineCache {
-    /// An empty cache.
+    /// An empty cache with no persistent store behind it.
     pub fn new() -> BaselineCache {
+        BaselineCache::with_store(None)
+    }
+
+    /// An empty cache backed by `store` (when `Some`): misses fall
+    /// through to disk before simulating.
+    pub fn with_store(store: Option<Arc<BaselineStore>>) -> BaselineCache {
         BaselineCache {
             map: Mutex::new(HashMap::new()),
             lookups: AtomicUsize::new(0),
             computes: AtomicUsize::new(0),
+            store,
         }
     }
 
@@ -493,6 +610,23 @@ impl BaselineCache {
                 Ok(bin) => bin,
                 Err(e) => return Err(e.to_string()),
             };
+            if let Some(store) = &self.store {
+                let disk_key = BaselineStore::key(w, opts, machine);
+                if let Some(hit) = store.load(disk_key) {
+                    return Ok(Baseline {
+                        cycles: hit.cycles,
+                        counters: hit.counters,
+                        stats: hit.stats,
+                        bin,
+                    });
+                }
+                let mut m = w.prepare(&bin, machine.clone());
+                let cycles = m.run_to_halt();
+                let counters = m.pmu().counters;
+                let stats = machine_stats_json(&m);
+                store.save(disk_key, &StoredBaseline { cycles, counters, stats: stats.clone() });
+                return Ok(Baseline { cycles, counters, stats, bin });
+            }
             let mut m = w.prepare(&bin, machine.clone());
             let cycles = m.run_to_halt();
             Ok(Baseline {
@@ -519,8 +653,9 @@ impl BaselineCache {
 }
 
 /// Deterministic key for compile options (the `Debug` form of the
-/// filter set would depend on hash order).
-fn opts_key(o: &CompileOptions) -> String {
+/// filter set would depend on hash order). Shared with the persistent
+/// store's content hash, so the two layers agree on identity.
+pub(crate) fn opts_key(o: &CompileOptions) -> String {
     let filter = o.prefetch_filter.as_ref().map(|s| {
         let mut v: Vec<&str> = s.iter().map(String::as_str).collect();
         v.sort_unstable();
@@ -533,8 +668,9 @@ fn opts_key(o: &CompileOptions) -> String {
 }
 
 /// FNV-1a over the cell identity, finalized splitmix-style: stable
-/// across runs, platforms and scheduling.
-fn cell_seed(parts: &[&str]) -> u64 {
+/// across runs, platforms and scheduling. `lab serve` uses the same
+/// derivation so a streamed cell's rows byte-match the batch engine's.
+pub(crate) fn cell_seed(parts: &[&str]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for p in parts {
         for b in p.bytes() {
@@ -564,7 +700,11 @@ fn merge_extra(mut row: Json, extra: &Json) -> Json {
 // Measures
 // ---------------------------------------------------------------------
 
-fn run_cell(cell: &Cell, suite: &[Workload], cache: &BaselineCache) -> Result<Json, CellError> {
+pub(crate) fn run_cell(
+    cell: &Cell,
+    suite: &[Workload],
+    cache: &BaselineCache,
+) -> Result<Json, CellError> {
     let w = suite
         .iter()
         .find(|w| w.name == cell.workload)

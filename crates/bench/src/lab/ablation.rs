@@ -1,25 +1,27 @@
-//! Ablation study over the design choices DESIGN.md calls out: what
-//! happens to representative benchmarks when individual mechanisms are
-//! switched off (or, for the §6 instrumentation extension, on) — and,
-//! since the optimizer became a pass pipeline, what happens when any
-//! single *pass* is disabled.
+//! `lab ablation` — ablation study over the design choices DESIGN.md
+//! calls out: what happens to representative benchmarks when
+//! individual mechanisms are switched off (or, for the §6
+//! instrumentation extension, on) — and, since the optimizer became a
+//! pass pipeline, what happens when any single *pass* is disabled.
 //!
 //! Emits `results/ablation.json` alongside the printed table: one
 //! report section of pipeline-comparison rows per variant, keyed by
 //! variant. Every row carries the per-pass overhead ledger and
 //! rejection counts (unified `Rejection` taxonomy).
-//!
-//! Usage:
-//! `ablation [--quick] [--jobs N] [--pass-smoke] [--disable-pass=NAME ...]`
-//!
-//! * `--pass-smoke` — run *only* the per-pass sections: each pipeline
-//!   pass disabled once on one workload (the CI smoke).
-//! * `--disable-pass=NAME` — add a section with pass NAME disabled on
-//!   every benchmark (repeatable; see `adore::PassKind` for names).
 
 use adore::{PassKind, PipelineConfig};
-use bench_harness::*;
 use compiler::CompileOptions;
+
+use crate::cli::{Cli, Registry};
+use crate::{jf, Cell, ExperimentSpec, Measure};
+
+pub(crate) const ABOUT: &str = "mechanism and per-pass ablations on representative benchmarks";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("ablation", ABOUT)
+        .flag("pass-smoke", "run only the per-pass sections, one workload each (the CI smoke)")
+        .repeated("disable-pass", "add a section with the named pass disabled on every benchmark")
+}
 
 const BENCHES: [&str; 4] = ["mcf", "art", "swim", "lucas"];
 
@@ -30,21 +32,11 @@ const SMOKE_BENCH: [&str; 1] = ["art"];
 
 const VARIANTS: [(&str, &str, fn(&mut Cell)); 7] = [
     ("full", "full system", |_| {}),
-    ("no_jitter", "no sampling-period jitter", |c| {
-        c.adore.sampling.jitter = 0.0
-    }),
-    ("no_pointer", "no pointer-chase prefetching", |c| {
-        c.adore.prefetch.enable_pointer = false
-    }),
-    ("no_indirect", "no indirect prefetching", |c| {
-        c.adore.prefetch.enable_indirect = false
-    }),
-    ("no_direct", "no direct prefetching", |c| {
-        c.adore.prefetch.enable_direct = false
-    }),
-    ("no_bw_cap", "no memory-bandwidth cap", |c| {
-        c.machine.cache.mem_service_interval = 0
-    }),
+    ("no_jitter", "no sampling-period jitter", |c| c.adore.sampling.jitter = 0.0),
+    ("no_pointer", "no pointer-chase prefetching", |c| c.adore.prefetch.enable_pointer = false),
+    ("no_indirect", "no indirect prefetching", |c| c.adore.prefetch.enable_indirect = false),
+    ("no_direct", "no direct prefetching", |c| c.adore.prefetch.enable_direct = false),
+    ("no_bw_cap", "no memory-bandwidth cap", |c| c.machine.cache.mem_service_interval = 0),
     ("instrumentation", "+ runtime instrumentation (§6)", |c| {
         c.adore.instrument_unanalyzable = true
     }),
@@ -54,9 +46,8 @@ fn pass_section_key(kind: PassKind) -> String {
     format!("pass_off_{}", kind.name())
 }
 
-fn main() {
-    let cli = cli::parse();
-    let pass_smoke = cli.flag("--pass-smoke");
+pub(crate) fn run(cli: Cli) {
+    let pass_smoke = cli.flag("pass-smoke");
     let disabled: Vec<PassKind> = cli
         .flag_values("disable-pass")
         .map(|name| name.parse().unwrap_or_else(|e| panic!("--disable-pass: {e}")))
@@ -98,20 +89,10 @@ fn main() {
 
     if !pass_smoke {
         println!("== Ablation of design choices (speedup % under O2 + ADORE) ==\n");
-        println!(
-            "{:<34} {:>8} {:>8} {:>8} {:>8}",
-            "configuration", "mcf", "art", "swim", "lucas"
-        );
+        println!("{:<34} {:>8} {:>8} {:>8} {:>8}", "configuration", "mcf", "art", "swim", "lucas");
         for (key, label, _) in VARIANTS {
-            let v: Vec<f64> = result
-                .rows(key)
-                .iter()
-                .map(|r| jf(r, "speedup_pct"))
-                .collect();
-            println!(
-                "{label:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
-                v[0], v[1], v[2], v[3]
-            );
+            let v: Vec<f64> = result.rows(key).iter().map(|r| jf(r, "speedup_pct")).collect();
+            println!("{label:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%", v[0], v[1], v[2], v[3]);
         }
         for &kind in &disabled {
             let v: Vec<f64> = result
@@ -120,10 +101,7 @@ fn main() {
                 .map(|r| jf(r, "speedup_pct"))
                 .collect();
             let label = format!("pass `{kind}` disabled");
-            println!(
-                "{label:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
-                v[0], v[1], v[2], v[3]
-            );
+            println!("{label:<34} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%", v[0], v[1], v[2], v[3]);
         }
     } else {
         println!("== Per-pass ablation smoke ({}) ==\n", SMOKE_BENCH[0]);

@@ -1,15 +1,22 @@
-//! Workload characterization — the paper's first PMU usage model
-//! (§2.1): the overall runtime cycle breakdown per benchmark, before
-//! and after runtime prefetching. Memory stalls are exactly what the
-//! optimizer converts into busy (or at least shorter) time.
+//! `lab breakdown` — workload characterization, the paper's first PMU
+//! usage model (§2.1): the overall runtime cycle breakdown per
+//! benchmark, before and after runtime prefetching. Memory stalls are
+//! exactly what the optimizer converts into busy (or at least shorter)
+//! time.
 //!
 //! Emits `results/breakdown.json` alongside the printed table.
-//!
-//! Usage: `breakdown [--quick] [--jobs N]`
 
-use bench_harness::*;
 use compiler::CompileOptions;
 use obs::Json;
+
+use crate::cli::{Cli, Registry};
+use crate::{jf, je, js, ju, ExperimentSpec, Measure, PAPER_ORDER};
+
+pub(crate) const ABOUT: &str = "cycle-accounting breakdown before and after ADORE (§2.1)";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("breakdown", ABOUT)
+}
 
 fn print_side(label: &str, s: &Json) {
     println!(
@@ -19,15 +26,9 @@ fn print_side(label: &str, s: &Json) {
     );
 }
 
-fn main() {
-    let cli = cli::parse();
+pub(crate) fn run(cli: Cli) {
     let result = ExperimentSpec::paper_defaults("breakdown", &cli)
-        .section(
-            "rows",
-            &PAPER_ORDER,
-            CompileOptions::o2(),
-            Measure::Breakdown,
-        )
+        .section("rows", &PAPER_ORDER, CompileOptions::o2(), Measure::Breakdown)
         .run();
     println!("== Cycle breakdown (workload characterization, §2.1) ==");
     for r in result.rows("rows") {

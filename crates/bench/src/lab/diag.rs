@@ -1,0 +1,63 @@
+//! `lab diag` — diagnostic: per-workload phase-detection and
+//! optimization trace.
+//!
+//! Emits `results/diag.json` alongside the printed trace.
+
+use compiler::CompileOptions;
+use obs::Json;
+
+use crate::cli::{Cli, Registry};
+use crate::{je, ju, ExperimentSpec, Measure, PAPER_ORDER};
+
+pub(crate) const ABOUT: &str = "per-workload phase-detection and optimization trace";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("diag", ABOUT)
+        .picks("workload names — subset to trace (default: all)")
+        .flag("profile", "also collect an aggregate miss profile")
+        .flag("adore", "also run ADORE and record its decisions")
+        .flag("no-pointer", "disable pointer-chase prefetching")
+        .flag("no-direct", "disable direct prefetching")
+}
+
+fn print_lines(r: &Json, key: &str) {
+    for l in r.get(key).and_then(Json::as_array).unwrap_or(&[]) {
+        println!("{}", l.as_str().unwrap_or(""));
+    }
+}
+
+pub(crate) fn run(cli: Cli) {
+    let names: Vec<&'static str> = PAPER_ORDER
+        .iter()
+        .copied()
+        .filter(|n| cli.picks.is_empty() || cli.picks.iter().any(|p| p == n))
+        .collect();
+    let measure = Measure::Diag { profile: cli.flag("profile"), adore: cli.flag("adore") };
+    let (no_ptr, no_dir) = (cli.flag("no-pointer"), cli.flag("no-direct"));
+    let result = ExperimentSpec::paper_defaults("diag", &cli)
+        .section_with("workloads", &names, CompileOptions::o2(), measure, move |c| {
+            c.adore.prefetch.enable_pointer &= !no_ptr;
+            c.adore.prefetch.enable_direct &= !no_dir;
+        })
+        .run();
+    for r in result.rows("workloads") {
+        let name = r.get("workload").or_else(|| r.get("bench")).and_then(Json::as_str);
+        println!("=== {} ===", name.unwrap_or("?"));
+        if let Some(e) = je(r) {
+            println!("ERROR: {e}");
+            continue;
+        }
+        println!("cycles={} windows={}", ju(r, "cycles"), ju(r, "windows"));
+        print_lines(r, "lines");
+        if let Some(p) = r.get("profile") {
+            println!(
+                "miss profile: {} entries, total latency {}",
+                p.get("entries").and_then(Json::as_array).map(<[Json]>::len).unwrap_or(0),
+                ju(p, "total_latency")
+            );
+            print_lines(r, "profile_lines");
+        }
+        print_lines(r, "adore_lines");
+    }
+    result.save().expect("write results/diag.json");
+}

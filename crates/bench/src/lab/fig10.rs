@@ -1,17 +1,22 @@
-//! Fig. 10: the cost of the restricted compilation — original `O2`
-//! (software pipelining on, no registers reserved) versus the
-//! restricted `O2` used for runtime prefetching (SWP off, `r27`–`r30`
-//! and `p6` reserved).
+//! `lab fig10` — Fig. 10: the cost of the restricted compilation —
+//! original `O2` (software pipelining on, no registers reserved)
+//! versus the restricted `O2` used for runtime prefetching (SWP off,
+//! `r27`–`r30` and `p6` reserved).
 //!
 //! Emits `results/fig10.json` alongside the printed table.
-//!
-//! Usage: `fig10 [--quick] [--jobs N]`
 
-use bench_harness::*;
 use compiler::CompileOptions;
 
-fn main() {
-    let cli = cli::parse();
+use crate::cli::{Cli, Registry};
+use crate::{jf, je, js, ju, ExperimentSpec, Measure, PAPER_ORDER};
+
+pub(crate) const ABOUT: &str = "compilation cost: original O2 vs the restricted O2";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("fig10", ABOUT)
+}
+
+pub(crate) fn run(cli: Cli) {
     let result = ExperimentSpec::paper_defaults("fig10", &cli)
         .section(
             "rows",

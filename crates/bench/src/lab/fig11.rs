@@ -1,23 +1,24 @@
-//! Fig. 11: the overhead of the ADORE machinery — execution time of the
-//! O2 binary alone versus O2 + runtime system with prefetch *insertion
-//! disabled* (sampling, phase detection and trace selection still run).
+//! `lab fig11` — Fig. 11: the overhead of the ADORE machinery —
+//! execution time of the O2 binary alone versus O2 + runtime system
+//! with prefetch *insertion disabled* (sampling, phase detection and
+//! trace selection still run).
 //!
 //! Emits `results/fig11.json` alongside the printed table.
-//!
-//! Usage: `fig11 [--quick] [--jobs N]`
 
-use bench_harness::*;
 use compiler::CompileOptions;
 
-fn main() {
-    let cli = cli::parse();
+use crate::cli::{Cli, Registry};
+use crate::{jf, je, js, ju, ExperimentSpec, Measure, PAPER_ORDER};
+
+pub(crate) const ABOUT: &str = "runtime-system overhead with prefetch insertion disabled";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("fig11", ABOUT)
+}
+
+pub(crate) fn run(cli: Cli) {
     let result = ExperimentSpec::paper_defaults("fig11", &cli)
-        .section(
-            "rows",
-            &PAPER_ORDER,
-            CompileOptions::o2(),
-            Measure::Overhead,
-        )
+        .section("rows", &PAPER_ORDER, CompileOptions::o2(), Measure::Overhead)
         .run();
     println!("== Fig. 11: overhead of runtime machinery without prefetch insertion ==");
     println!(

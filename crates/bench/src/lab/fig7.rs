@@ -1,15 +1,20 @@
-//! Fig. 7: performance of runtime prefetching over `O2` (a) and `O3`
-//! (b) binaries, all 17 benchmarks.
+//! `lab fig7` — Fig. 7: performance of runtime prefetching over `O2`
+//! (a) and `O3` (b) binaries, all 17 benchmarks.
 //!
 //! Emits `results/fig7.json` alongside the printed table.
-//!
-//! Usage: `fig7 [a|b|both] [--quick] [--jobs N]`
 
-use bench_harness::*;
 use compiler::CompileOptions;
 
-fn main() {
-    let cli = cli::parse();
+use crate::cli::{Cli, Registry};
+use crate::{jf, je, js, ju, paper_fig7a, paper_fig7b, ExperimentSpec, Measure, PAPER_ORDER};
+
+pub(crate) const ABOUT: &str = "runtime prefetching speedups over O2 (a) and O3 (b) binaries";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("fig7", ABOUT).picks("a | b | both — which part to run (default: both)")
+}
+
+pub(crate) fn run(cli: Cli) {
     let part = cli.pick().unwrap_or("both").to_string();
     let mut spec = ExperimentSpec::paper_defaults("fig7", &cli);
     if part != "b" {

@@ -1,14 +1,22 @@
-//! Fig. 8 (179.art) and Fig. 9 (181.mcf): runtime CPI and
-//! DEAR-qualifying misses per 1000 instructions over execution time,
-//! with and without runtime prefetching.
+//! `lab fig8_9` — Fig. 8 (179.art) and Fig. 9 (181.mcf): runtime CPI
+//! and DEAR-qualifying misses per 1000 instructions over execution
+//! time, with and without runtime prefetching.
 //!
 //! Emits `results/fig8_9.json` with both series per workload.
-//!
-//! Usage: `fig8_9 [art|mcf|both] [--quick] [--csv] [--jobs N]`
 
-use bench_harness::*;
 use compiler::CompileOptions;
 use obs::Json;
+
+use crate::cli::{Cli, Registry};
+use crate::{jf, je, js, ju, ExperimentSpec, Measure};
+
+pub(crate) const ABOUT: &str = "CPI and miss-rate timelines for art (Fig. 8) and mcf (Fig. 9)";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("fig8_9", ABOUT)
+        .picks("art | mcf | both — which series to run (default: both)")
+        .flag("csv", "emit the series as CSV instead of tables")
+}
 
 fn series<'a>(r: &'a Json, key: &str) -> &'a [Json] {
     r.get(key).and_then(Json::as_array).unwrap_or(&[])
@@ -16,11 +24,7 @@ fn series<'a>(r: &'a Json, key: &str) -> &'a [Json] {
 
 fn print_table(r: &Json) {
     let name = js(r, "bench");
-    let figure = if name == "art" {
-        "Fig. 8 (179.art)"
-    } else {
-        "Fig. 9 (181.mcf)"
-    };
+    let figure = if name == "art" { "Fig. 8 (179.art)" } else { "Fig. 9 (181.mcf)" };
     println!("== {figure}: CPI and DEAR_CACHE_LAT8/1000-instructions over time ==");
     for (label, key) in [("no", "baseline"), ("with", "adore")] {
         println!("-- {label} runtime prefetching --");
@@ -63,9 +67,8 @@ fn print_csv(r: &Json) {
     }
 }
 
-fn main() {
-    let cli = cli::parse();
-    let csv = cli.flag("--csv");
+pub(crate) fn run(cli: Cli) {
+    let csv = cli.flag("csv");
     let picks: &[&'static str] = match cli.pick() {
         Some("art") => &["art"],
         Some("mcf") => &["mcf"],

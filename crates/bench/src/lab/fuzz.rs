@@ -1,12 +1,14 @@
-//! Differential fuzzing driver: proves ADORE preserves program
-//! semantics (see `crates/oracle` and DESIGN.md §"Differential
+//! `lab fuzz` — differential fuzzing driver: proves ADORE preserves
+//! program semantics (see `crates/oracle` and DESIGN.md §"Differential
 //! oracle").
 //!
 //! Two modes share the three-way oracle (reference interpreter, plain
 //! machine, ADORE machine) and the `results/fuzz.json` report:
 //!
 //! * **classic** (default): generates `--cases` independent seeded
-//!   programs and checks each once;
+//!   programs and checks each once, fanned out over
+//!   [`obs::pool::run_indexed`] with one snapshot-reset
+//!   [`CaseRunner`] per worker shard;
 //! * **campaign** (`--campaign`): the coverage-guided engine from
 //!   `oracle::campaign` — corpus scheduling, bundle-level mutation,
 //!   snapshot-reset machines, and a persistent minimized corpus
@@ -15,11 +17,6 @@
 //! Either way, any architectural divergence fails the run (exit 1);
 //! mismatching cases are shrunk and written to `tests/corpus/`, where
 //! the `corpus_replay` test re-checks them on every `cargo test`.
-//!
-//! Usage: `fuzz [--cases=N] [--seed=N] [--quick] [--jobs N]
-//! [--exec-path=fast|reference] [--pass=NAME]
-//! [--campaign] [--rounds=N] [--batch=N] [--minimize-evals=N]
-//! [--campaign-dir=PATH] [--campaign-no-snapshot] [--progress]`
 //!
 //! `--pass=NAME` restricts the ADORE leg to a pipeline with that single
 //! pass active (see `adore::PassKind` for names) — a targeted probe
@@ -33,35 +30,38 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
-use bench_harness::cli;
 use obs::{Json, Report};
 use oracle::{
     check_case, generate, run_campaign, shrink, CampaignConfig, CaseResult, CaseRunner, Coverage,
     DiffConfig, GenConfig,
 };
 
-/// Value of a numeric `--name=value` flag.
-fn flag_value(flags: &[String], name: &str) -> Option<u64> {
-    let prefix = format!("--{name}=");
-    flags
-        .iter()
-        .find_map(|f| f.strip_prefix(&prefix))
-        .and_then(|v| v.parse().ok())
-}
+use crate::cli::{Cli, Registry};
+use crate::lab::workspace_path;
 
-/// Value of a string `--name=value` flag.
-fn str_flag(flags: &[String], name: &str) -> Option<String> {
-    let prefix = format!("--{name}=");
-    flags.iter().find_map(|f| f.strip_prefix(&prefix)).map(str::to_string)
+pub(crate) const ABOUT: &str = "differential fuzzing of ADORE semantics (classic or campaign)";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("fuzz", ABOUT)
+        .uint("cases", None, "classic mode: case count (default: 512, or 128 with --quick)")
+        .uint("seed", Some("1"), "base RNG seed")
+        .value("exec-path", Some("fast"), "simulator execution path: fast | reference")
+        .value("pass", None, "restrict the ADORE leg to this single pipeline pass")
+        .flag("campaign", "run the coverage-guided campaign instead of classic mode")
+        .uint("rounds", None, "campaign: mutation rounds")
+        .uint("batch", None, "campaign: cases per round")
+        .uint("minimize-evals", None, "campaign: shrink budget per mismatch")
+        .value("campaign-dir", None, "campaign: corpus directory (env ADORE_CAMPAIGN_DIR)")
+        .flag("campaign-no-snapshot", "campaign: rebuild machines instead of snapshot-reset")
+        .flag("progress", "campaign: per-round progress on stderr")
 }
 
 /// Simulator execution path selected by `--exec-path=fast|reference`
 /// (default: fast, the path normal runs use).
-fn exec_path_flag(flags: &[String]) -> sim::ExecPath {
-    match flags.iter().find_map(|f| f.strip_prefix("--exec-path=")) {
+fn exec_path_flag(cli: &Cli) -> sim::ExecPath {
+    match cli.flag_value("exec-path") {
         None => sim::ExecPath::Fast,
         Some(v) => v.parse().unwrap_or_else(|e: String| {
             eprintln!("fuzz: {e}");
@@ -71,29 +71,13 @@ fn exec_path_flag(flags: &[String]) -> sim::ExecPath {
 }
 
 /// `--pass=NAME` pipeline restriction for the ADORE leg.
-fn only_pass_flag(flags: &[String]) -> Option<adore::PassKind> {
-    flags.iter().find_map(|f| f.strip_prefix("--pass=")).map(|name| {
+fn only_pass_flag(cli: &Cli) -> Option<adore::PassKind> {
+    cli.flag_value("pass").map(|name| {
         name.parse().unwrap_or_else(|e: String| {
             eprintln!("fuzz: --pass: {e}");
             std::process::exit(2);
         })
     })
-}
-
-/// `rel` under the workspace root (the directory holding `Cargo.lock`),
-/// falling back to a relative path when no root is found.
-fn workspace_path(rel: &str) -> PathBuf {
-    if let Ok(mut at) = std::env::current_dir() {
-        loop {
-            if at.join("Cargo.lock").is_file() {
-                return at.join(rel);
-            }
-            if !at.pop() {
-                break;
-            }
-        }
-    }
-    PathBuf::from(rel)
 }
 
 /// `tests/corpus/` (mismatch reproducers), overridable with
@@ -116,28 +100,14 @@ fn write_reproducer(spec: &oracle::ProgSpec, case_seed: u64) -> (PathBuf, usize)
 }
 
 enum CaseReport {
-    Agree {
-        outcome_label: &'static str,
-        traces_patched: usize,
-    },
-    Inconclusive {
-        leg: &'static str,
-        why: String,
-    },
-    Undecided {
-        why: String,
-    },
-    Mismatch {
-        stage: &'static str,
-        detail: String,
-        shrunk_items: usize,
-        file: PathBuf,
-    },
+    Agree { outcome_label: &'static str, traces_patched: usize },
+    Inconclusive { leg: &'static str, why: String },
+    Undecided { why: String },
+    Mismatch { stage: &'static str, detail: String, shrunk_items: usize, file: PathBuf },
 }
 
-fn main() {
-    let cli = cli::parse();
-    if cli.flag("--campaign") {
+pub(crate) fn run(cli: Cli) {
+    if cli.flag("campaign") {
         campaign_main(&cli);
         return;
     }
@@ -145,18 +115,19 @@ fn main() {
 }
 
 /// The coverage-guided campaign mode (`--campaign`).
-fn campaign_main(cli: &cli::Cli) {
-    let exec_path = exec_path_flag(&cli.flags);
-    let only_pass = only_pass_flag(&cli.flags);
-    let campaign_dir = str_flag(&cli.flags, "campaign-dir")
+fn campaign_main(cli: &Cli) {
+    let exec_path = exec_path_flag(cli);
+    let only_pass = only_pass_flag(cli);
+    let campaign_dir = cli
+        .flag_value("campaign-dir")
         .map(PathBuf::from)
         .or_else(|| std::env::var_os("ADORE_CAMPAIGN_DIR").map(PathBuf::from))
         .unwrap_or_else(|| workspace_path("corpus/campaign"));
     let defaults = CampaignConfig::default();
     let cfg = CampaignConfig {
-        rounds: flag_value(&cli.flags, "rounds").unwrap_or(defaults.rounds as u64) as usize,
-        batch: flag_value(&cli.flags, "batch").unwrap_or(defaults.batch as u64) as usize,
-        seed: flag_value(&cli.flags, "seed").unwrap_or(1),
+        rounds: cli.flag_uint("rounds").unwrap_or(defaults.rounds as u64) as usize,
+        batch: cli.flag_uint("batch").unwrap_or(defaults.batch as u64) as usize,
+        seed: cli.flag_uint("seed").unwrap_or(1),
         jobs: cli.jobs.max(1),
         diff: DiffConfig {
             exec_path,
@@ -164,10 +135,11 @@ fn campaign_main(cli: &cli::Cli) {
             ..DiffConfig::default()
         },
         corpus_dir: Some(campaign_dir),
-        reuse_machines: !cli.flag("--campaign-no-snapshot"),
-        minimize_evals: flag_value(&cli.flags, "minimize-evals")
+        reuse_machines: !cli.flag("campaign-no-snapshot"),
+        minimize_evals: cli
+            .flag_uint("minimize-evals")
             .unwrap_or(defaults.minimize_evals as u64) as usize,
-        progress: cli.flag("--progress"),
+        progress: cli.flag("progress"),
         ..defaults
     };
 
@@ -276,15 +248,15 @@ fn campaign_main(cli: &cli::Cli) {
 }
 
 /// The classic fixed-case mode: independent seeded cases, one check
-/// each. Workers still lease snapshot-reset machines from a
-/// per-worker [`CaseRunner`].
-fn classic_main(cli: &cli::Cli) {
+/// each, fanned out over the shared work-stealing pool. Each worker
+/// shard leases snapshot-reset machines from its own [`CaseRunner`]
+/// state, harvested at the end for the build/reset totals.
+fn classic_main(cli: &Cli) {
     let cases =
-        flag_value(&cli.flags, "cases").unwrap_or(if cli.flag("--quick") { 128 } else { 512 })
-            as usize;
-    let base_seed = flag_value(&cli.flags, "seed").unwrap_or(1);
-    let exec_path = exec_path_flag(&cli.flags);
-    let only_pass = only_pass_flag(&cli.flags);
+        cli.flag_uint("cases").unwrap_or(if cli.flag("quick") { 128 } else { 512 }) as usize;
+    let base_seed = cli.flag_uint("seed").unwrap_or(1);
+    let exec_path = exec_path_flag(cli);
+    let only_pass = only_pass_flag(cli);
     let gen_cfg = GenConfig::default();
     let diff_cfg = DiffConfig {
         exec_path,
@@ -292,67 +264,40 @@ fn classic_main(cli: &cli::Cli) {
         ..DiffConfig::default()
     };
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, u64, Coverage, CaseReport)>> =
-        Mutex::new(Vec::with_capacity(cases));
     let done = AtomicUsize::new(0);
-    let machines = Mutex::new((0u64, 0u64));
-
-    std::thread::scope(|scope| {
-        for _ in 0..cli.jobs.max(1) {
-            scope.spawn(|| {
-                let mut runner = CaseRunner::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cases {
-                        break;
-                    }
-                    let case_seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                    let (spec, cov) = generate(case_seed, &gen_cfg);
-                    let report = match check_case(&spec, &diff_cfg, &mut runner).0 {
-                        CaseResult::Agree {
-                            outcome,
-                            traces_patched,
-                            ..
-                        } => CaseReport::Agree {
-                            outcome_label: outcome.label(),
-                            traces_patched,
-                        },
-                        CaseResult::Inconclusive { leg, why } => {
-                            CaseReport::Inconclusive { leg, why }
-                        }
-                        CaseResult::Undecided(why) => CaseReport::Undecided { why },
-                        CaseResult::Mismatch(m) => {
-                            eprintln!(
-                                "[fuzz] MISMATCH seed {case_seed:#x} at {}: {} — shrinking",
-                                m.stage, m.detail
-                            );
-                            let small = shrink(&spec, &diff_cfg);
-                            let (file, shrunk_items) = write_reproducer(&small, case_seed);
-                            CaseReport::Mismatch {
-                                stage: m.stage,
-                                detail: m.detail,
-                                shrunk_items,
-                                file,
-                            }
-                        }
-                    };
-                    results.lock().unwrap().push((i, case_seed, cov, report));
-                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if d % 64 == 0 || d == cases {
-                        eprintln!("[fuzz] {d}/{cases} cases");
-                    }
+    let (results, runners, _stats) = obs::pool::run_indexed(
+        cli.jobs.max(1),
+        (0..cases).collect(),
+        |_| CaseRunner::new(),
+        |runner: &mut CaseRunner, _i, case: usize| {
+            let case_seed = base_seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let (spec, cov) = generate(case_seed, &gen_cfg);
+            let report = match check_case(&spec, &diff_cfg, runner).0 {
+                CaseResult::Agree { outcome, traces_patched, .. } => {
+                    CaseReport::Agree { outcome_label: outcome.label(), traces_patched }
                 }
-                let mut m = machines.lock().unwrap();
-                m.0 += runner.builds;
-                m.1 += runner.resets;
-            });
-        }
-    });
-
-    let mut results = results.into_inner().unwrap();
-    results.sort_by_key(|(i, ..)| *i);
-    let (builds, resets) = machines.into_inner().unwrap();
+                CaseResult::Inconclusive { leg, why } => CaseReport::Inconclusive { leg, why },
+                CaseResult::Undecided(why) => CaseReport::Undecided { why },
+                CaseResult::Mismatch(m) => {
+                    eprintln!(
+                        "[fuzz] MISMATCH seed {case_seed:#x} at {}: {} — shrinking",
+                        m.stage, m.detail
+                    );
+                    let small = shrink(&spec, &diff_cfg);
+                    let (file, shrunk_items) = write_reproducer(&small, case_seed);
+                    CaseReport::Mismatch { stage: m.stage, detail: m.detail, shrunk_items, file }
+                }
+            };
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if d % 64 == 0 || d == cases {
+                eprintln!("[fuzz] {d}/{cases} cases");
+            }
+            (case_seed, cov, report)
+        },
+    );
+    let (builds, resets) = runners
+        .iter()
+        .fold((0u64, 0u64), |(b, r), runner| (b + runner.builds, r + runner.resets));
 
     let mut coverage = Coverage::default();
     let mut outcomes: BTreeMap<&'static str, u64> = BTreeMap::new();
@@ -362,13 +307,10 @@ fn classic_main(cli: &cli::Cli) {
     let mut cases_with_patches = 0u64;
     let mut traces_patched_total = 0u64;
     let mut mismatch_rows = Json::array();
-    for (_, case_seed, cov, report) in &results {
+    for (case_seed, cov, report) in &results {
         coverage.absorb(cov);
         match report {
-            CaseReport::Agree {
-                outcome_label,
-                traces_patched,
-            } => {
+            CaseReport::Agree { outcome_label, traces_patched } => {
                 *outcomes.entry(outcome_label).or_insert(0) += 1;
                 if *traces_patched > 0 {
                     cases_with_patches += 1;
@@ -383,12 +325,7 @@ fn classic_main(cli: &cli::Cli) {
                 undecided += 1;
                 eprintln!("[fuzz] undecided seed {case_seed:#x}: {why}");
             }
-            CaseReport::Mismatch {
-                stage,
-                detail,
-                shrunk_items,
-                file,
-            } => {
+            CaseReport::Mismatch { stage, detail, shrunk_items, file } => {
                 mismatches += 1;
                 mismatch_rows.push(
                     Json::object()

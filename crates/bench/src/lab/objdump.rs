@@ -1,14 +1,21 @@
-//! Minimal object-file tool for the toolchain's binary format: compile
-//! a workload (or micro-kernel), save it with `isa::encode_program`,
-//! reload it, and print the disassembly listing.
-//!
-//! Usage: `objdump <workload-name|matmul|daxpy> [path.adore]`
+//! `lab objdump` — minimal object-file tool for the toolchain's binary
+//! format: compile a workload (or micro-kernel), save it with
+//! `isa::encode_program`, reload it, and print the disassembly
+//! listing.
 
 use compiler::{compile, CompileOptions};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map(String::as_str).unwrap_or("daxpy");
+use crate::cli::{Cli, Registry};
+
+pub(crate) const ABOUT: &str = "compile a workload and dump its encoded binary listing";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("objdump", ABOUT)
+        .picks("<workload|matmul|daxpy|memcpy> [output path] (default: daxpy)")
+}
+
+pub(crate) fn run(cli: Cli) {
+    let name = cli.pick().unwrap_or("daxpy");
 
     let kernel = match name {
         "matmul" => workloads::micro::matrix_multiply(64, 2).kernel,
@@ -25,7 +32,7 @@ fn main() {
     let bin = compile(&kernel, &CompileOptions::o3()).expect("compiles");
 
     let bytes = isa::encode_program(&bin.program);
-    if let Some(path) = args.get(1) {
+    if let Some(path) = cli.picks.get(1) {
         std::fs::write(path, &bytes).expect("write object file");
         eprintln!("wrote {} bytes to {path}", bytes.len());
     }
@@ -46,11 +53,7 @@ fn main() {
             info.head,
             info.end,
             info.trip,
-            if info.has_static_prefetch {
-                " +prefetch"
-            } else {
-                ""
-            }
+            if info.has_static_prefetch { " +prefetch" } else { "" }
         );
     }
     print!("{program}");

@@ -1,4 +1,4 @@
-//! Table 1: profile-guided static prefetching.
+//! `lab table1` — Table 1: profile-guided static prefetching.
 //!
 //! For each benchmark: compile at `O3` (every analyzable loop gets
 //! prefetches), collect a sampling miss profile from a training run,
@@ -8,15 +8,20 @@
 //! column groups of the paper's Table 1.
 //!
 //! Emits `results/table1.json` alongside the printed table.
-//!
-//! Usage: `table1 [--quick] [--jobs N]`
 
-use bench_harness::*;
 use compiler::CompileOptions;
 use obs::Json;
 
-fn main() {
-    let cli = cli::parse();
+use crate::cli::{Cli, Registry};
+use crate::{jf, je, js, ju, paper_table1, ExperimentSpec, Measure, PAPER_ORDER};
+
+pub(crate) const ABOUT: &str = "profile-guided static prefetching (Table 1)";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("table1", ABOUT)
+}
+
+pub(crate) fn run(cli: Cli) {
     let result = ExperimentSpec::paper_defaults("table1", &cli)
         .section_with(
             "rows",

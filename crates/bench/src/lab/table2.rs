@@ -1,18 +1,23 @@
-//! Table 2: runtime prefetching data analysis — the number of inserted
-//! prefetch streams by reference pattern (direct / indirect / pointer
-//! chasing) and the number of optimized phases, per benchmark (O2
-//! binaries).
+//! `lab table2` — Table 2: runtime prefetching data analysis — the
+//! number of inserted prefetch streams by reference pattern (direct /
+//! indirect / pointer chasing) and the number of optimized phases, per
+//! benchmark (O2 binaries).
 //!
 //! Emits `results/table2.json` alongside the printed table.
-//!
-//! Usage: `table2 [--quick] [--jobs N]`
 
-use bench_harness::*;
 use compiler::CompileOptions;
 use obs::Json;
 
-fn main() {
-    let cli = cli::parse();
+use crate::cli::{Cli, Registry};
+use crate::{je, js, ju, paper_table2, ExperimentSpec, Measure, PAPER_ORDER};
+
+pub(crate) const ABOUT: &str = "inserted prefetch streams by pattern (Table 2)";
+
+pub(crate) fn registry() -> Registry {
+    Registry::new("table2", ABOUT)
+}
+
+pub(crate) fn run(cli: Cli) {
     let result = ExperimentSpec::paper_defaults("table2", &cli)
         .section_with(
             "rows",

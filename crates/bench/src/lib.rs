@@ -13,9 +13,12 @@
 
 pub mod cli;
 pub mod engine;
+pub mod lab;
+pub mod store;
 
 pub use cli::Cli;
 pub use engine::{BaselineCache, Cell, CellError, EngineResult, ExperimentSpec, Measure};
+pub use store::{BaselineStore, StoredBaseline, STORE_VERSION};
 
 use adore::{AdoreConfig, RunReport};
 use compiler::{CompileOptions, CompiledBinary};

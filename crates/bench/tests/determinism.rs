@@ -8,17 +8,17 @@ use compiler::CompileOptions;
 use obs::Json;
 
 fn cli(scale: f64, jobs: usize) -> Cli {
-    Cli {
-        scale,
-        jobs,
-        picks: vec![],
-        flags: vec![],
-        report_args: vec!["--unit".into()],
-    }
+    let mut c = Cli::fixed(scale, jobs);
+    c.report_args = vec!["--unit".into()];
+    c
 }
 
 fn spec(jobs: usize) -> ExperimentSpec {
+    // `baseline_dir(None)` keeps the test hermetic: no on-disk store,
+    // so a previous run (or a workspace-level cache) cannot change the
+    // in-memory cache arithmetic asserted below.
     ExperimentSpec::paper_defaults("unit", &cli(0.05, jobs))
+        .baseline_dir(None)
         .section(
             "comparison",
             &["swim", "art"],
@@ -33,11 +33,18 @@ fn spec(jobs: usize) -> ExperimentSpec {
         )
 }
 
-/// The report with its only volatile field (the envelope timestamp)
-/// zeroed — everything else must be reproducible.
+/// The report with its volatile fields zeroed — everything else must
+/// be reproducible. Volatile: the envelope timestamp, plus the
+/// `engine.scheduling` and `engine.baseline_store` subsections, which
+/// describe *how* the run executed (shard count, steal counts, disk
+/// state) and legitimately vary with `--jobs` and the environment.
 fn canonical(result: &EngineResult) -> String {
     let mut j = result.report().json().clone();
     j.set("generated_unix_s", 0u64);
+    let mut engine = j.get("engine").expect("engine section").clone();
+    engine.set("scheduling", Json::object());
+    engine.set("baseline_store", Json::object());
+    j.set("engine", engine);
     j.pretty()
 }
 
@@ -105,6 +112,7 @@ fn compile_failure_fails_only_its_row() {
     bad.name = "badloop";
     bad.kernel.loops[0].trip = 0;
     let result = ExperimentSpec::paper_defaults("unit_bad", &cli(0.05, 2))
+        .baseline_dir(None)
         .with_workload(bad)
         .section(
             "rows",

@@ -21,17 +21,24 @@
 //! * [`progress`] — ordered merge of concurrently produced progress
 //!   rows: live (out-of-order) stderr lines plus a deterministic,
 //!   submission-ordered view for report embedding.
+//! * [`pool`] — a work-stealing shard pool over `std::thread::scope`:
+//!   the resident-service primitive ([`pool::service_scope`]) that
+//!   feeds jobs through per-shard deques and emits results in strict
+//!   submission order, plus a batch wrapper ([`pool::run_indexed`])
+//!   used by the experiment engine and the fuzzing campaign.
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod events;
 pub mod json;
+pub mod pool;
 pub mod progress;
 pub mod report;
 
 pub use bench::{BenchConfig, BenchResult, BenchSuite};
 pub use events::EventStream;
 pub use json::{Json, ToJson};
+pub use pool::{run_indexed, service_scope, PoolStats, Submitter};
 pub use progress::{Progress, ProgressEntry};
 pub use report::{Report, SCHEMA_VERSION};

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,       // bumped on incompatible layout changes
+//!   "schema_version": 2,       // bumped on incompatible layout changes
 //!   "tool": "fig7",            // the emitting binary / bench suite
 //!   "generated_unix_s": 1754...,// wall-clock stamp (0 if unavailable)
 //!   ...tool-specific keys...
@@ -25,7 +25,11 @@ use crate::json::{Json, ToJson};
 
 /// Current report schema version. Bump on incompatible changes and
 /// record the migration in `DESIGN.md`.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the engine's `engine` section gained `baseline_store` and
+/// `scheduling` subsections (persistent-store hits/misses, shard
+/// count, queue depth high-water mark, stolen-task count).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A report under construction: the standard envelope plus whatever
 /// keys the tool adds via [`Report::set`].

@@ -28,8 +28,6 @@
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use workloads::Rng64;
@@ -236,70 +234,45 @@ fn plan_round(round: usize, corpus: &[CorpusEntry], cfg: &CampaignConfig) -> Vec
     plan
 }
 
-/// Evaluates a round's plan, possibly in parallel. Results come back
-/// indexed by plan position, so the serial merge that follows is
-/// independent of worker scheduling.
+/// Evaluates a round's plan on the shared work-stealing service pool
+/// ([`obs::pool::run_indexed`]). Results come back indexed by plan
+/// position, so the serial merge that follows is independent of worker
+/// scheduling; each shard leases one [`CaseRunner`] for its lifetime.
 fn evaluate_batch(
     plan: &[Planned],
     cfg: &CampaignConfig,
     stats: &mut CampaignStats,
 ) -> Vec<(CaseResult, crate::diff::RunCoverage)> {
-    let slots: Vec<Mutex<Option<(CaseResult, crate::diff::RunCoverage)>>> =
-        (0..plan.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = cfg.jobs.max(1).min(plan.len().max(1));
-    let counters = Mutex::new((0u64, 0u64));
     let progress = cfg.progress.then(|| obs::Progress::new("campaign", plan.len()));
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut runner = CaseRunner::new();
-                let (mut builds, mut resets) = (0u64, 0u64);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= plan.len() {
-                        break;
-                    }
-                    let started = Instant::now();
-                    let result = if cfg.reuse_machines {
-                        check_case(&plan[i].spec, &cfg.diff, &mut runner)
-                    } else {
-                        // A/B baseline: fresh machines per case.
-                        let mut fresh = CaseRunner::new();
-                        let r = check_case(&plan[i].spec, &cfg.diff, &mut fresh);
-                        builds += fresh.builds;
-                        r
-                    };
-                    if let Some(p) = &progress {
-                        let label =
-                            format!("{} {:#018x}", plan[i].origin, plan[i].case_seed);
-                        p.item_done(i, &label, started.elapsed());
-                    }
-                    *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
-                        Some(result);
-                }
-                builds += runner.builds;
-                resets += runner.resets;
-                let mut c = counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                c.0 += builds;
-                c.1 += resets;
-            });
-        }
-    });
+    let (results, runners, _pool) = obs::pool::run_indexed(
+        cfg.jobs.max(1),
+        (0..plan.len()).collect(),
+        |_| (CaseRunner::new(), 0u64),
+        |(runner, fresh_builds): &mut (CaseRunner, u64), _shard, i: usize| {
+            let started = Instant::now();
+            let result = if cfg.reuse_machines {
+                check_case(&plan[i].spec, &cfg.diff, runner)
+            } else {
+                // A/B baseline: fresh machines per case.
+                let mut fresh = CaseRunner::new();
+                let r = check_case(&plan[i].spec, &cfg.diff, &mut fresh);
+                *fresh_builds += fresh.builds;
+                r
+            };
+            if let Some(p) = &progress {
+                let label = format!("{} {:#018x}", plan[i].origin, plan[i].case_seed);
+                p.item_done(i, &label, started.elapsed());
+            }
+            result
+        },
+    );
 
-    let (builds, resets) =
-        counters.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
-    stats.machine_builds += builds;
-    stats.machine_resets += resets;
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every planned case evaluated")
-        })
-        .collect()
+    for (runner, fresh_builds) in runners {
+        stats.machine_builds += runner.builds + fresh_builds;
+        stats.machine_resets += runner.resets;
+    }
+    results
 }
 
 /// Imports sorted `*.txt` reproducers from the corpus directory.

@@ -11,9 +11,18 @@
 #   3. release run of the ignored slow tiers: the quick-scale golden
 #      cycle-exactness pass and the full-scale (ADORE_FULL_E2E=1)
 #      end-to-end tier
-#   4. smoke experiments through the parallel engine: fig7 --quick at
-#      --jobs 1 and --jobs 2 must produce byte-identical reports
-#      (modulo the envelope timestamp); wall-clocks of both are logged
+#   4. smoke experiments through the sharded service engine: the same
+#      `lab fig7 --quick` grid twice against one persistent baseline
+#      store — cold at --jobs 1, warm at --jobs 2 — must produce
+#      byte-identical reports (modulo the timestamp and the volatile
+#      engine.scheduling / engine.baseline_store subsections); the warm
+#      run must hit the store for every baseline (zero recomputes) and
+#      beat the cold run's wall-clock (both are logged)
+#   4b. resident-service smoke: two spec cells piped into `lab serve`
+#      must stream byte-identical responses at --jobs 1 and --jobs 4,
+#      and each streamed row must equal the batch engine's row for the
+#      same (tool, section, workload) cell, modulo the batch grid's
+#      paper_speedup_pct merge extra
 #   5. differential fuzz smoke: 512 fixed-seed cases through the
 #      three-way oracle, once per simulator execution path
 #      (--exec-path=fast, then reference); any semantic mismatch,
@@ -54,39 +63,94 @@ t0=$(date +%s%N)
 ADORE_FULL_E2E=1 cargo test --release -q --test golden_cycles --test end_to_end -- --ignored
 echo "wall-clock: release ignored tiers $(ms_since "$t0")ms"
 
-echo "== smoke: fig7 --quick --jobs 1 vs --jobs 2 =="
+echo "== smoke: lab fig7 --quick, same grid twice against one baseline store =="
+store_dir=$(mktemp -d)
 t0=$(date +%s%N)
-cargo run --release -q -p adore-bench --bin fig7 -- --quick --jobs 1
-serial_ms=$(ms_since "$t0")
-cp results/fig7.json results/fig7.jobs1.json
+ADORE_BASELINE_DIR="$store_dir" cargo run --release -q -p adore-bench --bin lab -- \
+    fig7 --quick --jobs 1
+cold_ms=$(ms_since "$t0")
+cp results/fig7.json results/fig7.cold.json
 t0=$(date +%s%N)
-cargo run --release -q -p adore-bench --bin fig7 -- --quick --jobs 2
-parallel_ms=$(ms_since "$t0")
-echo "wall-clock: jobs=1 ${serial_ms}ms, jobs=2 ${parallel_ms}ms" \
-     "(speedup $(python3 -c "print(f'{$serial_ms/max($parallel_ms,1):.2f}x')") on $(nproc) cores)"
+ADORE_BASELINE_DIR="$store_dir" cargo run --release -q -p adore-bench --bin lab -- \
+    fig7 --quick --jobs 2
+warm_ms=$(ms_since "$t0")
+echo "wall-clock: cold store + jobs=1 ${cold_ms}ms, warm store + jobs=2 ${warm_ms}ms" \
+     "(speedup $(python3 -c "print(f'{$cold_ms/max($warm_ms,1):.2f}x')") on $(nproc) cores)"
 
-echo "== determinism: reports byte-identical modulo timestamp =="
+echo "== determinism + store reuse: reports byte-identical modulo volatile fields =="
+python3 - "$cold_ms" "$warm_ms" <<'EOF'
+import json, sys
+a = json.load(open("results/fig7.cold.json"))
+b = json.load(open("results/fig7.json"))
+# The warm run must have resolved every baseline from the persistent
+# store: zero recomputes, and strictly faster than the cold run.
+sa_store, sb_store = a["engine"]["baseline_store"], b["engine"]["baseline_store"]
+assert sa_store["enabled"] and sb_store["enabled"], "smoke must exercise the store"
+assert sa_store["hits"] == 0 and sa_store["misses"] > 0, "first run must start cold"
+assert sb_store["misses"] == 0, "warm run recomputed a baseline the store held"
+assert sb_store["hits"] == sa_store["misses"], "warm run must hit every stored baseline"
+cold_ms, warm_ms = int(sys.argv[1]), int(sys.argv[2])
+assert warm_ms < cold_ms, f"store reuse did not pay off: cold {cold_ms}ms, warm {warm_ms}ms"
+# Everything else is byte-identical once the volatile fields are
+# zeroed: the timestamp, plus the scheduling / store subsections that
+# describe how (not what) the engine executed.
+for doc in (a, b):
+    doc["generated_unix_s"] = 0
+    doc["engine"]["scheduling"] = {}
+    doc["engine"]["baseline_store"] = {}
+sa, sb = (json.dumps(x, indent=1) for x in (a, b))
+assert sa == sb, "warm/parallel report differs from cold/serial report"
+print(f"  ok: {len(sa)} canonical bytes identical across --jobs and store state;"
+      f" {sb_store['hits']} baselines served from the store")
+EOF
+rm -f results/fig7.cold.json
+rm -rf "$store_dir"
+
+echo "== smoke: lab serve, two cells streamed at --jobs 1 vs --jobs 4 =="
+serve_req='{"workload":"mcf","tool":"fig7","section":"part_a","opts":"o2","measure":"comparison"}
+{"workload":"art","tool":"fig7","section":"part_a","opts":"o2","measure":"comparison"}'
+t0=$(date +%s%N)
+printf '%s\n' "$serve_req" | cargo run --release -q -p adore-bench --bin lab -- \
+    serve --quick --jobs 1 --no-baseline-store > results/serve.jobs1.jsonl
+serve1_ms=$(ms_since "$t0")
+t0=$(date +%s%N)
+printf '%s\n' "$serve_req" | cargo run --release -q -p adore-bench --bin lab -- \
+    serve --quick --jobs 4 --no-baseline-store > results/serve.jobs4.jsonl
+serve4_ms=$(ms_since "$t0")
+echo "wall-clock: serve jobs=1 ${serve1_ms}ms, jobs=4 ${serve4_ms}ms"
+cmp results/serve.jobs1.jsonl results/serve.jobs4.jsonl \
+    || { echo "serve streams differ across --jobs" >&2; exit 1; }
+echo "  ok: serve stream byte-identical across --jobs ($(wc -c < results/serve.jobs1.jsonl) bytes)"
+
+echo "== serve rows match the batch engine's rows =="
 python3 - <<'EOF'
 import json
-a = json.load(open("results/fig7.jobs1.json"))
-b = json.load(open("results/fig7.json"))
-a["generated_unix_s"] = b["generated_unix_s"] = 0
-sa, sb = (json.dumps(x, indent=1) for x in (a, b))
-assert sa == sb, "parallel report differs from serial report"
-print(f"  ok: {len(sa)} canonical bytes identical across --jobs")
+# results/fig7.json is the warm engine run above; the serve cells name
+# the same (tool=fig7, section=part_a, workload) identities, so their
+# rows must be equal except for the grid-only paper_speedup_pct extra.
+batch = {r["bench"]: r for r in json.load(open("results/fig7.json"))["part_a"]}
+served = [json.loads(line) for line in open("results/serve.jobs1.jsonl")]
+assert [s["index"] for s in served] == [0, 1], "stream must be in submission order"
+for s in served:
+    assert s["section"] == "part_a"
+    row = s["row"]
+    want = dict(batch[row["bench"]])
+    del want["paper_speedup_pct"]
+    assert row == want, f"serve row for {row['bench']} differs from the batch engine row"
+print(f"  ok: {len(served)} streamed rows identical to batch engine rows")
 EOF
-rm -f results/fig7.jobs1.json
+rm -f results/serve.jobs1.jsonl results/serve.jobs4.jsonl
 
 for path in fast reference; do
     echo "== smoke: differential fuzz oracle, 512 cases, exec-path=$path =="
-    cargo run --release -q -p adore-bench --bin fuzz -- \
+    cargo run --release -q -p adore-bench --bin lab -- fuzz \
         --cases=512 --seed=1 "--exec-path=$path"
 
     echo "== validate fuzz report ($path) =="
     python3 - "$path" <<'EOF'
 import json, sys
 doc = json.load(open("results/fuzz.json"))
-assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["schema_version"] == 2, "schema_version must be 2"
 assert doc["tool"] == "fuzz", "tool must be fuzz"
 assert doc["exec_path"] == sys.argv[1], "report must record the exec path under test"
 assert doc["mode"] == "fuzz", "classic smoke must run in classic mode"
@@ -110,12 +174,12 @@ echo "== smoke: coverage-guided campaign, --jobs 1 vs --jobs 4 =="
 campaign_args=(--campaign --rounds=3 --batch=48 --seed=11 --minimize-evals=8)
 cdir1=$(mktemp -d) cdir2=$(mktemp -d)
 t0=$(date +%s%N)
-ADORE_CAMPAIGN_DIR="$cdir1" cargo run --release -q -p adore-bench --bin fuzz -- \
+ADORE_CAMPAIGN_DIR="$cdir1" cargo run --release -q -p adore-bench --bin lab -- fuzz \
     "${campaign_args[@]}" --jobs 1
 campaign1_ms=$(ms_since "$t0")
 cp results/fuzz.json results/fuzz.campaign.jobs1.json
 t0=$(date +%s%N)
-ADORE_CAMPAIGN_DIR="$cdir2" cargo run --release -q -p adore-bench --bin fuzz -- \
+ADORE_CAMPAIGN_DIR="$cdir2" cargo run --release -q -p adore-bench --bin lab -- fuzz \
     "${campaign_args[@]}" --jobs 4
 campaign4_ms=$(ms_since "$t0")
 echo "wall-clock: campaign jobs=1 ${campaign1_ms}ms, jobs=4 ${campaign4_ms}ms"
@@ -139,7 +203,7 @@ echo "== validate campaign report schema =="
 python3 - <<'EOF'
 import json
 doc = json.load(open("results/fuzz.json"))
-assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["schema_version"] == 2, "schema_version must be 2"
 assert doc["tool"] == "fuzz", "tool must be fuzz"
 assert doc["mode"] == "campaign", "campaign smoke must record campaign mode"
 assert doc["mismatches"] == 0, "semantic mismatch: ADORE changed program behavior"
@@ -173,13 +237,13 @@ rm -rf "$cdir1" "$cdir2"
 echo "== A/B: snapshot-reset machines vs fresh machines per case =="
 cdir3=$(mktemp -d)
 t0=$(date +%s%N)
-ADORE_CAMPAIGN_DIR="$cdir3" cargo run --release -q -p adore-bench --bin fuzz -- \
+ADORE_CAMPAIGN_DIR="$cdir3" cargo run --release -q -p adore-bench --bin lab -- fuzz \
     --campaign --rounds=2 --batch=32 --seed=11 --minimize-evals=0 --jobs 2 \
     --campaign-no-snapshot
 nosnap_ms=$(ms_since "$t0")
 rm -rf "$cdir3"; cdir3=$(mktemp -d)
 t0=$(date +%s%N)
-ADORE_CAMPAIGN_DIR="$cdir3" cargo run --release -q -p adore-bench --bin fuzz -- \
+ADORE_CAMPAIGN_DIR="$cdir3" cargo run --release -q -p adore-bench --bin lab -- fuzz \
     --campaign --rounds=2 --batch=32 --seed=11 --minimize-evals=0 --jobs 2
 snap_ms=$(ms_since "$t0")
 rm -rf "$cdir3"
@@ -190,7 +254,7 @@ if [ "${ADORE_NIGHTLY:-0}" = "1" ]; then
     echo "== nightly: campaign sweep (>=100k cases) =="
     cdirn=$(mktemp -d)
     t0=$(date +%s%N)
-    ADORE_CAMPAIGN_DIR="$cdirn" cargo run --release -q -p adore-bench --bin fuzz -- \
+    ADORE_CAMPAIGN_DIR="$cdirn" cargo run --release -q -p adore-bench --bin lab -- fuzz \
         --campaign --rounds=128 --batch=800 --seed=1 --minimize-evals=8 --jobs "$(nproc)"
     echo "wall-clock: nightly campaign $(ms_since "$t0")ms"
     python3 - <<'EOF'
@@ -205,14 +269,14 @@ fi
 
 echo "== smoke: per-pass ablation (each pass disabled once) =="
 t0=$(date +%s%N)
-cargo run --release -q -p adore-bench --bin ablation -- --quick --jobs 2 --pass-smoke
+cargo run --release -q -p adore-bench --bin lab -- ablation --quick --jobs 2 --pass-smoke
 echo "wall-clock: pass-smoke ablation $(ms_since "$t0")ms"
 
 echo "== validate pass-pipeline ledger schema (results/ablation.json) =="
 python3 - <<'EOF'
 import json
 doc = json.load(open("results/ablation.json"))
-assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["schema_version"] == 2, "schema_version must be 2"
 assert doc["tool"] == "ablation", "tool must be ablation"
 ALL_PASSES = ["instr_promote", "phase_gate", "unpatch_monitor", "reopt_gate",
               "trace_select", "delinq_filter", "pattern_analyze",
@@ -270,7 +334,7 @@ for f in results/fig7.json results/bench_simulator.json; do
     python3 - "$f" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema_version"] == 1, "schema_version must be 1"
+assert doc["schema_version"] == 2, "schema_version must be 2"
 assert "tool" in doc and "generated_unix_s" in doc, "missing envelope keys"
 if doc["tool"] == "fig7":  # engine-merged report: check grid metadata
     eng = doc["engine"]
