@@ -234,7 +234,7 @@ pub fn promote(
         back_edge,
         start: trace.start,
         fall_through_exit: trace.fall_through_exit,
-        stats: InsertionStats { direct: 1, indirect: 0, pointer: 0 },
+        stats: InsertionStats { direct: 1, indirect: 0, pointer: 0, jump: 0 },
     })
 }
 

@@ -64,6 +64,26 @@ pub enum Pattern {
         /// Trace position of the load that updates the pointer.
         update_pos: (usize, u8),
     },
+    /// Jump-pointer (dependence-based) reference: the delinquent load's
+    /// address is produced by an intermediate *jump load* that itself
+    /// hangs off the recurrent pointer — `v = [[p + jump_offset] +
+    /// payload_offset]` while `p = [p + …]` advances the chase. The
+    /// Pointer-Chase Prefetcher scheme extrapolates `p`, speculatively
+    /// dereferences the jump field at the extrapolated node, and
+    /// prefetches the payload it names.
+    JumpPointer {
+        /// The recurrent pointer register.
+        recurrent: Gr,
+        /// Trace position of the load that updates the pointer.
+        update_pos: (usize, u8),
+        /// Trace position of the intermediate (jump) load.
+        jump_pos: (usize, u8),
+        /// Byte offset of the jump field from the recurrent pointer.
+        jump_offset: i64,
+        /// Byte offset of the delinquent load from the jumped-to
+        /// pointer.
+        payload_offset: i64,
+    },
 }
 
 /// Linearized view of the trace body with (bundle, slot) positions.
@@ -198,10 +218,25 @@ pub fn classify(trace: &Trace, pos: (usize, u8)) -> Result<Pattern, Rejection> {
         return Ok(Pattern::Direct { stride, fp, base });
     }
 
-    // 2. Pointer chasing: a recurrent pointer feeds this address.
+    // 2. Pointer chasing: a recurrent pointer feeds this address. A
+    //    dependence path that passes through an *intermediate* load off
+    //    the recurrent pointer is the jump-pointer shape; a path that
+    //    reaches the pointer-update load directly is a plain chase.
     if let Some((recurrent, update_pos)) = find_recurrent_pointer(&body) {
+        if update_pos == pos {
+            return Ok(Pattern::PointerChase { recurrent, update_pos });
+        }
+        if let Some(j) = resolve_jump(&body, base, pos, update_pos) {
+            return Ok(Pattern::JumpPointer {
+                recurrent,
+                update_pos,
+                jump_pos: j.jump_pos,
+                jump_offset: j.jump_offset,
+                payload_offset: j.payload_offset,
+            });
+        }
         let mut visited = HashSet::new();
-        if update_pos == pos || depends_on_load(&body, base, pos, update_pos, &mut visited) {
+        if depends_on_load(&body, base, pos, update_pos, &mut visited) {
             return Ok(Pattern::PointerChase { recurrent, update_pos });
         }
     }
@@ -231,6 +266,91 @@ pub fn classify(trace: &Trace, pos: (usize, u8)) -> Result<Pattern, Rejection> {
         }
         None => Err(Rejection::UnanalyzableSlice),
     }
+}
+
+/// A resolved jump-pointer slice: the delinquent address is
+/// `jump_load + payload_offset` where the jump load reads
+/// `[recurrent + jump_offset]`.
+struct Jump {
+    jump_pos: (usize, u8),
+    jump_offset: i64,
+    payload_offset: i64,
+}
+
+/// Resolves `base` (as observed at `before`) to an intermediate load
+/// whose own address roots at the recurrent pointer value produced at
+/// `update_pos`. Follows only exact `mov`/`adds` links (plus
+/// post-increment pass-throughs) so the two offsets stay precise enough
+/// for the scheduler to reconstruct the access; fuzzier dependence
+/// paths fall back to the plain pointer-chase classification.
+fn resolve_jump(
+    body: &Body<'_>,
+    base: Gr,
+    before: (usize, u8),
+    update_pos: (usize, u8),
+) -> Option<Jump> {
+    // Leg 1: base → the intermediate (jump) load, folding constant
+    // address offsets into payload_offset.
+    let mut payload_offset = 0i64;
+    let mut cur = base;
+    let mut cur_pos = before;
+    let mut jump = None;
+    for _ in 0..16 {
+        let (p, def) = defining_write(body, cur, cur_pos)?;
+        if def.gr_post_inc_write().map(|(r, _)| r) == Some(cur) && def.gr_write() != Some(cur) {
+            cur_pos = p; // post-increment: the value flows through
+            continue;
+        }
+        match *def {
+            Op::Ld { .. } => {
+                if p == update_pos || p == before {
+                    return None; // plain chase / self-reference
+                }
+                jump = Some((p, def));
+                break;
+            }
+            Op::Mov { s, .. } => {
+                cur = s;
+                cur_pos = p;
+            }
+            Op::AddI { a, imm, .. } => {
+                payload_offset += imm;
+                cur = a;
+                cur_pos = p;
+            }
+            _ => return None,
+        }
+    }
+    let (jump_pos, jump_op) = jump?;
+    let Op::Ld { base: jbase, .. } = *jump_op else { return None };
+    // Leg 2: the jump load's own base → the recurrent pointer value
+    // written at update_pos, folding offsets into jump_offset.
+    let mut jump_offset = 0i64;
+    let mut cur = jbase;
+    let mut cur_pos = jump_pos;
+    for _ in 0..16 {
+        let (p, def) = defining_write(body, cur, cur_pos)?;
+        if p == update_pos {
+            return Some(Jump { jump_pos, jump_offset, payload_offset });
+        }
+        if def.gr_post_inc_write().map(|(r, _)| r) == Some(cur) && def.gr_write() != Some(cur) {
+            cur_pos = p;
+            continue;
+        }
+        match *def {
+            Op::Mov { s, .. } => {
+                cur = s;
+                cur_pos = p;
+            }
+            Op::AddI { a, imm, .. } => {
+                jump_offset += imm;
+                cur = a;
+                cur_pos = p;
+            }
+            _ => return None,
+        }
+    }
+    None
 }
 
 /// An address that is affine in the value of one load:
@@ -490,6 +610,57 @@ mod tests {
         match classify(&t, nth_load(&t, 1)) {
             Ok(Pattern::PointerChase { recurrent, .. }) => assert_eq!(recurrent, Gr(41)),
             other => panic!("expected chase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jump_pointer_through_intermediate_load() {
+        // v = [[p + 8] + 16] while p = [p] advances: the jump-pointer
+        // shape — the payload address is itself loaded from the node.
+        let t = trace_from(|a| {
+            a.addi(Gr(42), Gr(41), 8);
+            a.ld(AccessSize::U8, Gr(43), Gr(42), 0); // q = p->jump
+            a.addi(Gr(44), Gr(43), 16);
+            a.ld(AccessSize::U8, Gr(45), Gr(44), 0); // v = q->payload
+            a.add(Gr(46), Gr(45), Gr(46));
+            a.ld(AccessSize::U8, Gr(41), Gr(41), 0); // p = p->next
+        });
+        match classify(&t, nth_load(&t, 1)) {
+            Ok(Pattern::JumpPointer { recurrent, jump_offset, payload_offset, .. }) => {
+                assert_eq!(recurrent, Gr(41));
+                assert_eq!(jump_offset, 8);
+                assert_eq!(payload_offset, 16);
+            }
+            other => panic!("expected jump pointer, got {other:?}"),
+        }
+        // The jump load itself (address = recurrent + 8) and the
+        // pointer-update load stay plain chases.
+        for n in [0, 2] {
+            match classify(&t, nth_load(&t, n)) {
+                Ok(Pattern::PointerChase { recurrent, .. }) => assert_eq!(recurrent, Gr(41)),
+                other => panic!("load {n}: expected chase, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn jump_pointer_with_zero_offsets() {
+        // v = [[p]] with p advanced through a separate next field: both
+        // offsets fold to zero.
+        let t = trace_from(|a| {
+            a.ld(AccessSize::U8, Gr(43), Gr(41), 0); // q = *p
+            a.ld(AccessSize::U8, Gr(45), Gr(43), 0); // v = *q
+            a.add(Gr(46), Gr(45), Gr(46));
+            a.addi(Gr(42), Gr(41), 24);
+            a.ld(AccessSize::U8, Gr(41), Gr(42), 0); // p = p->next
+        });
+        match classify(&t, nth_load(&t, 1)) {
+            Ok(Pattern::JumpPointer { recurrent, jump_offset, payload_offset, .. }) => {
+                assert_eq!(recurrent, Gr(41));
+                assert_eq!(jump_offset, 0);
+                assert_eq!(payload_offset, 0);
+            }
+            other => panic!("expected jump pointer, got {other:?}"),
         }
     }
 

@@ -23,7 +23,7 @@
 
 use std::collections::HashSet;
 
-use isa::{Addr, Bundle, Gr, Insn, Op, Pc, SlotKind};
+use isa::{AccessSize, Addr, Bundle, Gr, Insn, Op, Pc, SlotKind};
 
 use crate::delinq::DelinquentLoad;
 use crate::pattern::{classify, Pattern};
@@ -45,6 +45,8 @@ pub struct PrefetchConfig {
     pub enable_indirect: bool,
     /// Generate induction-pointer prefetches for pointer chases.
     pub enable_pointer: bool,
+    /// Generate jump-pointer (dependence-based) prefetches.
+    pub enable_jump: bool,
 }
 
 impl Default for PrefetchConfig {
@@ -56,6 +58,7 @@ impl Default for PrefetchConfig {
             enable_direct: true,
             enable_indirect: true,
             enable_pointer: true,
+            enable_jump: true,
         }
     }
 }
@@ -69,12 +72,14 @@ pub struct InsertionStats {
     pub indirect: usize,
     /// Pointer-chasing streams.
     pub pointer: usize,
+    /// Jump-pointer (dependence-based) streams.
+    pub jump: usize,
 }
 
 impl InsertionStats {
     /// Total streams inserted.
     pub fn total(&self) -> usize {
-        self.direct + self.indirect + self.pointer
+        self.direct + self.indirect + self.pointer + self.jump
     }
 }
 
@@ -84,6 +89,7 @@ impl obs::ToJson for InsertionStats {
             .with("direct", self.direct)
             .with("indirect", self.indirect)
             .with("pointer", self.pointer)
+            .with("jump", self.jump)
             .with("total", self.total())
     }
 }
@@ -93,6 +99,7 @@ impl std::ops::AddAssign for InsertionStats {
         self.direct += rhs.direct;
         self.indirect += rhs.indirect;
         self.pointer += rhs.pointer;
+        self.jump += rhs.jump;
     }
 }
 
@@ -185,6 +192,7 @@ pub(crate) fn schedule_streams(
     let mut free_regs: Vec<Gr> = Gr::RESERVED.iter().copied().filter(|r| !used.contains(r)).collect();
     let mut streams: HashSet<(Gr, i64)> = HashSet::new();
     let mut chased: HashSet<Gr> = HashSet::new();
+    let mut jumped: HashSet<(Gr, i64)> = HashSet::new();
 
     // Loop-body cycle estimate: two bundles per cycle plus the branch.
     let body_cycles = (trace.bundles.len() as u64).div_ceil(2).max(1) + 1;
@@ -332,6 +340,62 @@ pub(crate) fn schedule_streams(
                     schedule_group(&mut body, &mut back_edge, after, None, &chain, &mut []);
                 debug_assert!(ok1 && ok2);
                 stats.pointer += 1;
+            }
+            Pattern::JumpPointer { recurrent, update_pos, jump_offset, payload_offset, .. } => {
+                if !cfg.enable_jump {
+                    skips.push((*pc, Rejection::JumpPointerDisabled));
+                    continue;
+                }
+                if !jumped.insert((*recurrent, *jump_offset)) {
+                    skips.push((*pc, Rejection::DuplicateStream));
+                    continue;
+                }
+                if free_regs.len() < 2 {
+                    skips.push((*pc, Rejection::RegistersExhausted));
+                    continue;
+                }
+                let rs = free_regs.remove(0);
+                let rj = free_regs.remove(0);
+                let k = (64 - dist_iters.leading_zeros() as u8).clamp(1, 3);
+                // Induction-pointer extrapolation of the recurrent
+                // pointer, exactly as the chase scheme…
+                let snap = [Insn::new(Op::Mov { d: rs, s: *recurrent })];
+                let mut up = *update_pos;
+                let ok1 = schedule_group(
+                    &mut body,
+                    &mut back_edge,
+                    (0, 0),
+                    Some(up),
+                    &snap,
+                    std::slice::from_mut(&mut up),
+                );
+                // …then speculatively dereference the extrapolated
+                // node's jump field and prefetch the payload it names
+                // (the ld.s can never fault, so a bad extrapolation
+                // costs only a useless prefetch).
+                let mut chain = vec![
+                    Insn::new(Op::Sub { d: rs, a: *recurrent, b: rs }),
+                    Insn::new(Op::Shladd { d: rs, a: rs, count: k, b: *recurrent }),
+                ];
+                if *jump_offset != 0 {
+                    chain.push(Insn::new(Op::AddI { d: rs, a: rs, imm: *jump_offset }));
+                }
+                chain.push(Insn::new(Op::Ld {
+                    d: rj,
+                    base: rs,
+                    post_inc: 0,
+                    size: AccessSize::U8,
+                    spec: true,
+                }));
+                if *payload_offset != 0 {
+                    chain.push(Insn::new(Op::AddI { d: rj, a: rj, imm: *payload_offset }));
+                }
+                chain.push(Insn::new(Op::Lfetch { base: rj, post_inc: 0 }));
+                let after = (up.0, up.1 + 1);
+                let ok2 =
+                    schedule_group(&mut body, &mut back_edge, after, None, &chain, &mut []);
+                debug_assert!(ok1 && ok2);
+                stats.jump += 1;
             }
         }
     }
@@ -557,7 +621,7 @@ mod tests {
         let (opt, skips) = optimize_trace(&t, &loads, &PrefetchConfig::default());
         let opt = opt.expect("prefetch inserted");
         assert!(skips.is_empty());
-        assert_eq!(opt.stats, InsertionStats { direct: 1, indirect: 0, pointer: 0 });
+        assert_eq!(opt.stats, InsertionStats { direct: 1, indirect: 0, pointer: 0, jump: 0 });
         // Exactly one lfetch, with the stride folded into a
         // post-increment (prefetch-code optimization, §3.4).
         assert_eq!(count_op(&opt.body, |o| matches!(o, Op::Lfetch { .. })), 1);
@@ -659,6 +723,69 @@ mod tests {
         let mov_pos = find_pos(&opt.body, |o| matches!(o, Op::Mov { .. }));
         let sub_pos = find_pos(&opt.body, |o| matches!(o, Op::Sub { .. }));
         assert!(mov_pos < sub_pos);
+    }
+
+    /// A loop body with the jump-pointer shape:
+    /// `v = [[p + 8] + 16]` while `p = [p]` advances the chase.
+    fn jump_loop() -> Trace {
+        loop_trace(|a| {
+            a.addi(Gr(42), Gr(41), 8);
+            a.ld(AccessSize::U8, Gr(43), Gr(42), 0);
+            a.addi(Gr(44), Gr(43), 16);
+            a.ld(AccessSize::U8, Gr(45), Gr(44), 0);
+            a.add(Gr(46), Gr(45), Gr(46));
+            a.ld(AccessSize::U8, Gr(41), Gr(41), 0);
+            a.addi(Gr(9), Gr(9), -1);
+        })
+    }
+
+    #[test]
+    fn jump_pointer_emits_speculative_jump_chain() {
+        let t = jump_loop();
+        let loads = vec![delinq_at(&t, 1, 200.0)];
+        let (opt, skips) = optimize_trace(&t, &loads, &PrefetchConfig::default());
+        let opt = opt.expect("jump prefetch inserted");
+        assert!(skips.is_empty());
+        assert_eq!(opt.stats, InsertionStats { direct: 0, indirect: 0, pointer: 0, jump: 1 });
+        // Speculative dereference of the extrapolated node's jump field
+        // plus exactly one payload lfetch.
+        assert_eq!(count_op(&opt.body, |o| matches!(o, Op::Ld { spec: true, .. })), 1);
+        assert_eq!(count_op(&opt.body, |o| matches!(o, Op::Lfetch { .. })), 1);
+        // The pointer snapshot precedes the extrapolation arithmetic.
+        let mov_pos = find_pos(&opt.body, |o| matches!(o, Op::Mov { .. }));
+        let sub_pos = find_pos(&opt.body, |o| matches!(o, Op::Sub { .. }));
+        assert!(mov_pos < sub_pos);
+    }
+
+    #[test]
+    fn disabled_jump_prefetch_is_a_labeled_rejection() {
+        let t = jump_loop();
+        let loads = vec![delinq_at(&t, 1, 200.0)];
+        let cfg = PrefetchConfig { enable_jump: false, ..PrefetchConfig::default() };
+        let (opt, skips) = optimize_trace(&t, &loads, &cfg);
+        assert!(opt.is_none());
+        assert_eq!(skips.len(), 1);
+        assert_eq!(skips[0].1, Rejection::JumpPointerDisabled);
+    }
+
+    #[test]
+    fn duplicate_jump_streams_are_merged() {
+        // Two payload loads through the same jump field: one stream.
+        let t = loop_trace(|a| {
+            a.addi(Gr(42), Gr(41), 8);
+            a.ld(AccessSize::U8, Gr(43), Gr(42), 0);
+            a.ld(AccessSize::U8, Gr(45), Gr(43), 0);
+            a.addi(Gr(44), Gr(43), 16);
+            a.ld(AccessSize::U8, Gr(46), Gr(44), 0);
+            a.add(Gr(47), Gr(45), Gr(46));
+            a.ld(AccessSize::U8, Gr(41), Gr(41), 0);
+            a.addi(Gr(9), Gr(9), -1);
+        });
+        let loads = vec![delinq_at(&t, 1, 200.0), delinq_at(&t, 2, 180.0)];
+        let (opt, skips) = optimize_trace(&t, &loads, &PrefetchConfig::default());
+        let opt = opt.unwrap();
+        assert_eq!(opt.stats.jump, 1);
+        assert!(skips.iter().any(|(_, r)| *r == Rejection::DuplicateStream));
     }
 
     fn find_pos(bundles: &[Bundle], pred: impl Fn(&Op) -> bool) -> (usize, usize) {

@@ -58,6 +58,10 @@ pub enum Rejection {
     // -- prefetch scheduling (§3.3-3.5) --
     /// The pattern class is disabled in [`crate::PrefetchConfig`].
     PatternDisabled,
+    /// Jump-pointer (dependence-based) prefetching is disabled in
+    /// [`crate::PrefetchConfig`]; distinct from [`Rejection::PatternDisabled`]
+    /// so ablations of the jump scheme stay attributable.
+    JumpPointerDisabled,
     /// No reserved register (`r27`-`r30`) left for the stream.
     RegistersExhausted,
     /// An equivalent prefetch stream was already inserted.
@@ -75,7 +79,7 @@ pub enum Rejection {
 
 impl Rejection {
     /// Every variant, in ledger/report order.
-    pub const ALL: [Rejection; 20] = [
+    pub const ALL: [Rejection; 21] = [
         Rejection::PhaseUnstable,
         Rejection::PhaseLowMissRate,
         Rejection::PhaseBelowDpi,
@@ -91,6 +95,7 @@ impl Rejection {
         Rejection::UnanalyzableSlice,
         Rejection::LoopInvariantAddress,
         Rejection::PatternDisabled,
+        Rejection::JumpPointerDisabled,
         Rejection::RegistersExhausted,
         Rejection::DuplicateStream,
         Rejection::NoDominantStride,
@@ -117,6 +122,7 @@ impl Rejection {
             Rejection::UnanalyzableSlice => "unanalyzable_slice",
             Rejection::LoopInvariantAddress => "loop_invariant_address",
             Rejection::PatternDisabled => "pattern_disabled",
+            Rejection::JumpPointerDisabled => "jump_pointer_disabled",
             Rejection::RegistersExhausted => "registers_exhausted",
             Rejection::DuplicateStream => "duplicate_stream",
             Rejection::NoDominantStride => "no_dominant_stride",

@@ -300,7 +300,7 @@ impl ExperimentSpec {
     /// a consumer sees a stable prefix even if the process dies
     /// mid-grid. `on_row` runs on the calling thread.
     pub fn run_streaming(self, mut on_row: impl FnMut(usize, &str, &Json)) -> EngineResult {
-        let mut suite = workloads::suite(self.scale);
+        let mut suite = workloads::all(self.scale);
         suite.extend(self.extra_workloads.iter().cloned());
 
         // Flatten the grid; fix each cell's sampling seed from its

@@ -30,10 +30,11 @@ const BENCHES: [&str; 4] = ["mcf", "art", "swim", "lucas"];
 /// there, so disabling a load-bearing pass visibly changes the row.
 const SMOKE_BENCH: [&str; 1] = ["art"];
 
-const VARIANTS: [(&str, &str, fn(&mut Cell)); 7] = [
+const VARIANTS: [(&str, &str, fn(&mut Cell)); 8] = [
     ("full", "full system", |_| {}),
     ("no_jitter", "no sampling-period jitter", |c| c.adore.sampling.jitter = 0.0),
     ("no_pointer", "no pointer-chase prefetching", |c| c.adore.prefetch.enable_pointer = false),
+    ("no_jump", "no jump-pointer prefetching", |c| c.adore.prefetch.enable_jump = false),
     ("no_indirect", "no indirect prefetching", |c| c.adore.prefetch.enable_indirect = false),
     ("no_direct", "no direct prefetching", |c| c.adore.prefetch.enable_direct = false),
     ("no_bw_cap", "no memory-bandwidth cap", |c| c.machine.cache.mem_service_interval = 0),

@@ -18,6 +18,7 @@
 pub mod ablation;
 pub mod breakdown;
 pub mod diag;
+pub mod families;
 pub mod fig10;
 pub mod fig11;
 pub mod fig7;
@@ -65,6 +66,12 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         about: table2::ABOUT,
         registry: table2::registry,
         run: table2::run,
+    },
+    Subcommand {
+        name: "families",
+        about: families::ABOUT,
+        registry: families::registry,
+        run: families::run,
     },
     Subcommand {
         name: "breakdown",

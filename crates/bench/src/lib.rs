@@ -107,6 +107,10 @@ pub const PAPER_ORDER: [&str; 17] = [
     "equake", "facerec", "fma3d", "lucas", "mesa", "swim",
 ];
 
+/// The pointer-rich scenario families ([`workloads::families`]) in
+/// report order — the grid `lab families` measures.
+pub const FAMILY_ORDER: [&str; 3] = ["server", "graph", "gc"];
+
 /// Paper-reported speedups (%) for Fig. 7(a), O2 + runtime prefetching,
 /// read off the published bar chart (approximate to a few percent).
 pub fn paper_fig7a(name: &str) -> f64 {

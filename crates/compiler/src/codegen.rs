@@ -88,6 +88,8 @@ pub enum RefKind {
     Indirect,
     /// Pointer-chasing traversal.
     PointerChase,
+    /// Jump-pointer traversal (payload read through a jump pointer).
+    JumpPointer,
 }
 
 /// Metadata about one compiled loop (the compiler's loop table, which
@@ -271,6 +273,12 @@ enum RefState {
         ptr: Gr,
         next_off: i64,
         payload_off: i64,
+    },
+    JumpPointer {
+        ptr: Gr,
+        next_off: i64,
+        payload_off: i64,
+        jump_off: i64,
     },
 }
 
@@ -563,6 +571,19 @@ fn prepare_loop(
                     payload_off: l.payload_offset as i64,
                 });
             }
+            RefSpec::JumpPointer { list, jump_offset } => {
+                ref_kinds.push(RefKind::JumpPointer);
+                let l = &kernel.lists[list];
+                let ptr = pool.take();
+                asm.movl(ptr, l.head as i64);
+                // Circular lists resume naturally: no wrap needed.
+                states.push(RefState::JumpPointer {
+                    ptr,
+                    next_off: l.next_offset as i64,
+                    payload_off: l.payload_offset as i64,
+                    jump_off: jump_offset as i64,
+                });
+            }
         }
     }
 
@@ -823,6 +844,23 @@ fn emit_body(asm: &mut Asm, spec: &LoopSpec, p: &mut PreparedLoop) -> (LoopInfo,
                 asm.ld(AccessSize::U8, v, u, 0);
                 asm.add(acc, v, acc);
             }
+            RefState::JumpPointer { ptr, next_off, payload_off, jump_off } => {
+                // Jump-pointer shape: the payload address comes from an
+                // intermediate load (`q = p->jump`) rather than the
+                // recurrent pointer, then `p` advances via `next`.
+                let t = int_val();
+                asm.addi(t, *ptr, *jump_off);
+                let q = int_val();
+                asm.ld(AccessSize::U8, q, t, 0);
+                let u = int_val();
+                asm.addi(u, q, *payload_off);
+                let v = int_val();
+                asm.ld(AccessSize::U8, v, u, 0);
+                asm.add(acc, v, acc);
+                let t2 = int_val();
+                asm.addi(t2, *ptr, *next_off);
+                asm.ld(AccessSize::U8, *ptr, t2, 0);
+            }
         }
 
         if frag_budget > 1 && ri + 1 < n_states {
@@ -1065,6 +1103,43 @@ mod tests {
         m.run_to_halt();
         assert!(m.is_halted());
         assert_eq!(bin.loops[0].ref_kinds, vec![RefKind::PointerChase]);
+    }
+
+    #[test]
+    fn jump_pointer_compiles_and_runs() {
+        let mut k = Kernel::new("jump");
+        let nodes = 64u64;
+        let node_bytes = 64u64;
+        let l = k.add_list(ListDecl {
+            head: 0x1000_0000,
+            node_bytes,
+            next_offset: 0,
+            payload_offset: 8,
+            nodes,
+        });
+        let lp = k.add_loop(LoopSpec::new(
+            "gc_walk",
+            500,
+            vec![RefSpec::JumpPointer { list: l, jump_offset: 16 }],
+        ));
+        k.phases.push(Phase { reps: 1, loops: vec![lp] });
+        let bin = compile(&k, &CompileOptions::o2()).unwrap();
+
+        let mut m = Machine::new(bin.program.clone(), MachineConfig::default());
+        m.mem_mut().alloc(nodes * node_bytes + 64, 64);
+        for i in 0..nodes {
+            let addr = 0x1000_0000 + i * node_bytes;
+            let next = 0x1000_0000 + ((i + 1) % nodes) * node_bytes;
+            let jump = 0x1000_0000 + ((i + 8) % nodes) * node_bytes;
+            m.mem_mut().write(addr, 8, next);
+            m.mem_mut().write(addr + 8, 8, i);
+            m.mem_mut().write(addr + 16, 8, jump);
+        }
+        m.run_to_halt();
+        assert!(m.is_halted());
+        assert_eq!(bin.loops[0].ref_kinds, vec![RefKind::JumpPointer]);
+        // Three loads per iteration: jump, payload, next.
+        assert!(m.pmu().counters.loads >= 3 * 500);
     }
 
     #[test]

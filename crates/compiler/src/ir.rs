@@ -74,6 +74,19 @@ pub enum RefSpec {
         /// Index into [`Kernel::lists`].
         list: usize,
     },
+    /// Jump-pointer traversal: each node also stores a pointer several
+    /// hops ahead in traversal order, and the payload is read through
+    /// *that* pointer (`q = p->jump; use q->payload; p = p->next`).
+    /// This is the dependence-based shape the jump-pointer prefetching
+    /// literature targets: the delinquent load's address comes from an
+    /// intermediate load rather than the recurrent pointer itself.
+    JumpPointer {
+        /// Index into [`Kernel::lists`].
+        list: usize,
+        /// Byte offset of the jump pointer within a node. Must leave
+        /// room for an 8-byte pointer inside the node.
+        jump_offset: u64,
+    },
 }
 
 /// How the address computation is expressed, which decides whether
@@ -269,6 +282,16 @@ impl Kernel {
                     RefSpec::PointerChase { list } if list >= self.lists.len() => {
                         return Err(format!("loop {i} references missing list {list}"));
                     }
+                    RefSpec::JumpPointer { list, jump_offset } => {
+                        if list >= self.lists.len() {
+                            return Err(format!("loop {i} references missing list {list}"));
+                        }
+                        if jump_offset + 8 > self.lists[list].node_bytes {
+                            return Err(format!(
+                                "loop {i}: jump offset {jump_offset} outside node"
+                            ));
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -333,6 +356,33 @@ mod tests {
         let mut k = Kernel::new("z");
         k.add_loop(LoopSpec::new("x", 0, vec![]));
         assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn jump_pointer_bounds_are_validated() {
+        let mut k = Kernel::new("jp");
+        let l = k.add_list(ListDecl {
+            head: 0x1000_0000,
+            node_bytes: 64,
+            next_offset: 0,
+            payload_offset: 8,
+            nodes: 16,
+        });
+        let good = k.add_loop(LoopSpec::new(
+            "ok",
+            10,
+            vec![RefSpec::JumpPointer { list: l, jump_offset: 16 }],
+        ));
+        k.add_phase(1, vec![good]);
+        assert!(k.validate().is_ok());
+
+        // A jump pointer that does not fit inside the node.
+        k.loops[good].refs = vec![RefSpec::JumpPointer { list: l, jump_offset: 60 }];
+        assert!(k.validate().unwrap_err().contains("jump offset"));
+
+        // A dangling list index.
+        k.loops[good].refs = vec![RefSpec::JumpPointer { list: 7, jump_offset: 16 }];
+        assert!(k.validate().unwrap_err().contains("missing list"));
     }
 
     #[test]

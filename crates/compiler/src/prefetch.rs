@@ -51,6 +51,7 @@ fn body_insn_estimate(spec: &LoopSpec) -> u64 {
             RefSpec::Direct { .. } => 2,
             RefSpec::Indirect { .. } => 4,
             RefSpec::PointerChase { .. } => 6,
+            RefSpec::JumpPointer { .. } => 7,
         };
     }
     n + spec.int_ops as u64 + spec.fp_ops as u64 + spec.code_bloat as u64 * 3

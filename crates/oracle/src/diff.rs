@@ -214,7 +214,20 @@ fn run_coverage(outcome: CaseOutcome, report: &adore::RunReport) -> RunCoverage 
         }
     }
     for event in &report.events {
-        for (_start, is_loop, bundles, delinq, _stats) in &event.traces {
+        for (_start, is_loop, bundles, delinq, stats) in &event.traces {
+            // Which prefetch schedules actually got planted — the
+            // jump-pointer key is what proves the generator's chase
+            // segments reach the dependence-based scheduling arm.
+            for (key, n) in [
+                ("prefetch:direct", stats.direct),
+                ("prefetch:indirect", stats.indirect),
+                ("prefetch:pointer", stats.pointer),
+                ("prefetch:jump", stats.jump),
+            ] {
+                if n > 0 {
+                    keys.push(key.into());
+                }
+            }
             // Bucket the shape so the key space stays small enough to
             // saturate: trace kind x bundle-count bucket x
             // delinquent-load bucket.
@@ -297,6 +310,11 @@ pub fn fuzz_adore_config(seed: u64) -> AdoreConfig {
     // Runtime stride instrumentation also claims semantic transparency;
     // fuzz it on half the cases.
     c.instrument_unanalyzable = seed % 2 == 1;
+    // Jump-pointer scheduling must be transparent both ways: most
+    // cases run with it on, every fourth with it off — the off cases
+    // drive the `rej:jump_pointer_disabled` coverage key whenever a
+    // chase actually classified as a jump pattern.
+    c.prefetch.enable_jump = seed % 4 != 2;
     c
 }
 

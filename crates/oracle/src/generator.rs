@@ -11,9 +11,15 @@
 //! Register discipline (the generator's safety contract):
 //!
 //! * **address registers** `r4`–`r7` each own one region of the arena;
-//!   they are written only by generator-issued `movl` re-bases and by
-//!   at most one bounded post-increment walker per loop, so
-//!   non-speculative memory accesses through them never fault;
+//!   they are written only by generator-issued `movl` re-bases, by
+//!   at most one bounded post-increment walker per loop, and by the
+//!   jump-chase segment below, so non-speculative memory accesses
+//!   through them never leave the arena;
+//! * a **jump-chase segment** pairs two address registers: one walks a
+//!   ring of pointer nodes the segment itself built inside its region,
+//!   the other dereferences each node's jump pointer. Every value those
+//!   registers can hold is a node address the build loop stored, so
+//!   chasing them stays in-arena (`tests/corpus/` pins the same idiom);
 //! * **data registers** (`r8`–`r20`, `r31`–`r45`) hold arbitrary
 //!   values; only speculative (`ld.s`) and `lfetch` accesses — both
 //!   non-faulting — go through them, except for deliberate rare "wild"
@@ -94,6 +100,7 @@ pub struct Coverage {
     pub flushes: u64,
     pub loops: u64,
     pub hot_loops: u64,
+    pub jump_loops: u64,
     pub skip_blocks: u64,
     pub always_taken: u64,
     pub calls: u64,
@@ -132,6 +139,7 @@ impl Coverage {
             ("flushes", self.flushes),
             ("loops", self.loops),
             ("hot_loops", self.hot_loops),
+            ("jump_loops", self.jump_loops),
             ("skip_blocks", self.skip_blocks),
             ("always_taken", self.always_taken),
             ("calls", self.calls),
@@ -162,6 +170,7 @@ impl Coverage {
             &mut self.flushes,
             &mut self.loops,
             &mut self.hot_loops,
+            &mut self.jump_loops,
             &mut self.skip_blocks,
             &mut self.always_taken,
             &mut self.calls,
@@ -197,7 +206,8 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> (ProgSpec, Coverage) {
 /// extractor for programs whose generation-time counters don't exist
 /// (mutated children, imported corpus reproducers). Structural
 /// features are reconstructed from the item stream: a backward branch
-/// is a loop (one targeting a `hot_outer` label a hot loop), a forward
+/// is a loop (one targeting a `hot_outer` label a hot loop, one
+/// targeting a `jmp_outer` label a jump-chase loop), a forward
 /// conditional branch a skip block, `(p0)` on one an always-taken
 /// edge. Deliberately static: it counts what the program *contains*,
 /// mirroring the counters the generator bumps while emitting.
@@ -235,6 +245,8 @@ pub fn static_coverage(spec: &ProgSpec) -> Coverage {
                         cov.loops += 1;
                         if label.starts_with("hot_outer") {
                             cov.hot_loops += 1;
+                        } else if label.starts_with("jmp_outer") {
+                            cov.jump_loops += 1;
                         }
                     }
                     BranchKind::Cond => {
@@ -452,10 +464,11 @@ impl Gen {
             if i == hot_at {
                 self.hot_loop();
             } else {
-                match self.rng.below(4) {
+                match self.rng.below(5) {
                     0 => self.simple_loop(),
                     1 => self.skip_block(),
                     2 if self.subs.len() < 2 => self.call_site(),
+                    3 => self.jump_chase_loop(),
                     _ => self.straight(),
                 }
             }
@@ -513,6 +526,157 @@ impl Gen {
         for _ in 0..self.rng.below(3) {
             self.random_light_op();
         }
+        self.put(Insn::new(Op::AddI { d: INNER_COUNTER, a: INNER_COUNTER, imm: -1 }), false);
+        self.put(
+            Insn::new(Op::CmpI { op: CmpOp::Gt, pt: Pr(7), pf: Pr(8), a: INNER_COUNTER, imm: 0 }),
+            false,
+        );
+        self.items.push(Item::Branch {
+            qp: Some(Pr(7)),
+            kind: BranchKind::Cond,
+            label: inner_label,
+        });
+        self.put(Insn::new(Op::AddI { d: OUTER_COUNTER, a: OUTER_COUNTER, imm: -1 }), false);
+        self.put(
+            Insn::new(Op::CmpI { op: CmpOp::Gt, pt: Pr(14), pf: Pr(15), a: OUTER_COUNTER, imm: 0 }),
+            false,
+        );
+        self.items.push(Item::Branch {
+            qp: Some(Pr(14)),
+            kind: BranchKind::Cond,
+            label: outer_label,
+        });
+    }
+
+    /// Draws `N` pairwise-distinct data registers.
+    fn distinct_data_regs<const N: usize>(&mut self) -> [Gr; N] {
+        let mut out = [Gr(0); N];
+        let mut i = 0;
+        while i < N {
+            let r = self.data_reg();
+            if !out[..i].contains(&r) {
+                out[i] = r;
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// A dependence-based jump-pointer chase: the shape behind the
+    /// ADORE analyzer's `Pattern::JumpPointer` classification. A build
+    /// loop links a power-of-two ring of 64-byte nodes inside one
+    /// region — `next` at offset 0, `jump` (the node `hops` steps ahead
+    /// in traversal order) at offset 8 — then a counted outer×inner
+    /// chase loads the jump pointer through the ring pointer, a payload
+    /// through the jump pointer, and advances via `next`. Every pointer
+    /// the chase dereferences was stored by the build loop, so all
+    /// loads stay in-arena and can be non-speculative.
+    fn jump_chase_loop(&mut self) {
+        self.cov.loops += 1; // the build loop
+        self.cov.jump_loops += 1;
+        let reg_idx = self.rng.below(ADDR_REGS.len() as u64) as usize;
+        let ring_reg = ADDR_REGS[reg_idx];
+        // The partner register dereferences jump pointers; its values
+        // are node addresses in `ring_reg`'s region, still in-arena.
+        let jump_reg = ADDR_REGS[reg_idx ^ 1];
+        let (base, size) = self.region(reg_idx);
+        // Largest power-of-two ring that leaves half the region free.
+        let mut ring = 4096u64;
+        while ring * 2 <= size / 2 {
+            ring *= 2;
+        }
+        let mask = (ring - 1) as i64;
+        let nodes = (ring / 64) as i64;
+        // Odd multiple of the node stride: coprime with the ring, so
+        // the traversal visits every node before repeating.
+        let step = 64 * (2 * self.rng.range_i64(1, 8) + 1);
+        let hops = self.rng.range_i64(2, 6);
+        let jump_step = hops * step;
+        let trips = self.rng.range_u64(700, 1600) as i64;
+        let outer = self.rng.range_u64(5, 11) as i64;
+        let [rbase, rcur, rnext, rjoff, rabs, rmask] = self.distinct_data_regs::<6>();
+
+        let build = self.fresh_label("jmp_build");
+        let outer_label = self.fresh_label("jmp_outer");
+        let inner_label = self.fresh_label("jmp_inner");
+
+        // Build loop: node.next = base + ((cur + step) & mask),
+        // node.jump = base + ((cur + hops*step) & mask).
+        self.cov.st8 += 2;
+        self.put(Insn::new(Op::MovL { d: rbase, imm: base as i64 }), false);
+        self.put(Insn::new(Op::MovL { d: rcur, imm: 0 }), false);
+        self.put(Insn::new(Op::MovL { d: rmask, imm: mask }), false);
+        self.put(Insn::new(Op::MovL { d: INNER_COUNTER, imm: nodes }), false);
+        self.items.push(Item::Label(build.clone()));
+        self.put(Insn::new(Op::Add { d: ring_reg, a: rbase, b: rcur }), false);
+        self.put(Insn::new(Op::AddI { d: rnext, a: rcur, imm: step }), false);
+        self.put(Insn::new(Op::And { d: rnext, a: rnext, b: rmask }), false);
+        self.put(Insn::new(Op::Add { d: rabs, a: rbase, b: rnext }), false);
+        self.put(
+            Insn::new(Op::St { s: rabs, base: ring_reg, post_inc: 8, size: AccessSize::U8 }),
+            false,
+        );
+        self.put(Insn::new(Op::AddI { d: rjoff, a: rcur, imm: jump_step }), false);
+        self.put(Insn::new(Op::And { d: rjoff, a: rjoff, b: rmask }), false);
+        self.put(Insn::new(Op::Add { d: rabs, a: rbase, b: rjoff }), false);
+        self.put(
+            Insn::new(Op::St { s: rabs, base: ring_reg, post_inc: 0, size: AccessSize::U8 }),
+            false,
+        );
+        self.put(Insn::new(Op::Mov { d: rcur, s: rnext }), false);
+        self.put(Insn::new(Op::AddI { d: INNER_COUNTER, a: INNER_COUNTER, imm: -1 }), false);
+        self.put(
+            Insn::new(Op::CmpI { op: CmpOp::Gt, pt: Pr(7), pf: Pr(8), a: INNER_COUNTER, imm: 0 }),
+            false,
+        );
+        self.items.push(Item::Branch { qp: Some(Pr(7)), kind: BranchKind::Cond, label: build });
+
+        // Chase loop. The payload load's base derives from the jump
+        // load, whose base derives from the recurrent ring pointer —
+        // exactly the two-leg dependence ADORE's pattern analyzer
+        // resolves to Pattern::JumpPointer.
+        let acc = rcur; // setup scratch, free after the build loop
+        let dst = rnext;
+        self.cov.ld8 += 3;
+        self.put(Insn::new(Op::MovL { d: OUTER_COUNTER, imm: outer }), false);
+        self.items.push(Item::Label(outer_label.clone()));
+        self.cov.rebases += 1;
+        self.put(Insn::new(Op::MovL { d: ring_reg, imm: base as i64 }), false);
+        self.put(Insn::new(Op::MovL { d: INNER_COUNTER, imm: trips }), false);
+        self.items.push(Item::Label(inner_label.clone()));
+        self.put(Insn::new(Op::AddI { d: jump_reg, a: ring_reg, imm: 8 }), false);
+        self.put(
+            Insn::new(Op::Ld {
+                d: jump_reg,
+                base: jump_reg,
+                post_inc: 0,
+                size: AccessSize::U8,
+                spec: false,
+            }),
+            false,
+        );
+        self.put(Insn::new(Op::AddI { d: jump_reg, a: jump_reg, imm: 16 }), false);
+        self.put(
+            Insn::new(Op::Ld {
+                d: dst,
+                base: jump_reg,
+                post_inc: 0,
+                size: AccessSize::U8,
+                spec: false,
+            }),
+            false,
+        );
+        self.put(Insn::new(Op::Add { d: acc, a: acc, b: dst }), false);
+        self.put(
+            Insn::new(Op::Ld {
+                d: ring_reg,
+                base: ring_reg,
+                post_inc: 0,
+                size: AccessSize::U8,
+                spec: false,
+            }),
+            false,
+        );
         self.put(Insn::new(Op::AddI { d: INNER_COUNTER, a: INNER_COUNTER, imm: -1 }), false);
         self.put(
             Insn::new(Op::CmpI { op: CmpOp::Gt, pt: Pr(7), pf: Pr(8), a: INNER_COUNTER, imm: 0 }),

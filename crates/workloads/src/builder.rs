@@ -8,7 +8,7 @@
 use compiler::{ArrayDecl, Kernel, ListDecl};
 use sim::{Memory, DATA_BASE};
 
-use crate::rng::Rng64;
+use crate::rng::{Rng64, Zipfian};
 
 /// A deferred memory-initialization action.
 #[derive(Debug, Clone)]
@@ -42,6 +42,46 @@ pub enum InitAction {
         node_bytes: u64,
         /// Byte offset of the `next` pointer within a node.
         next_offset: u64,
+        /// Consecutive slots per regular run.
+        run_length: u64,
+        /// Deterministic seed.
+        seed: u64,
+    },
+    /// Fill an index array with Zipfian-distributed keys scattered over
+    /// `[0, range)` (the server-family request stream: few hot keys,
+    /// long cold tail). Ranks are spread over the range by a fixed
+    /// multiplicative hash so hot keys do not share cache lines.
+    ZipfIndexArray {
+        /// Base address of the array.
+        base: u64,
+        /// Number of 4-byte entries.
+        count: u64,
+        /// Exclusive upper bound of index values.
+        range: u64,
+        /// Zipfian skew in `(0, 1)`.
+        theta: f64,
+        /// Deterministic seed.
+        seed: u64,
+    },
+    /// Lay out a circular list like [`InitAction::CircularList`] and
+    /// additionally store, in each node, a *jump pointer* to the node
+    /// `hops` positions ahead in traversal order (the jump-pointer
+    /// prefetching shape: the payload dereference goes through this
+    /// pointer, so its address never derives from the recurrent
+    /// pointer alone).
+    JumpList {
+        /// Base address of the node pool.
+        base: u64,
+        /// Number of nodes.
+        nodes: u64,
+        /// Node size in bytes.
+        node_bytes: u64,
+        /// Byte offset of the `next` pointer within a node.
+        next_offset: u64,
+        /// Byte offset of the jump pointer within a node.
+        jump_offset: u64,
+        /// Traversal-order distance of the jump pointer.
+        hops: u64,
         /// Consecutive slots per regular run.
         run_length: u64,
         /// Deterministic seed.
@@ -94,6 +134,39 @@ impl InitAction {
                     }
                 }
             }
+            InitAction::ZipfIndexArray { base, count, range, theta, seed } => {
+                let z = Zipfian::new(range.max(1), theta);
+                let mut rng = Rng64::new(seed);
+                for i in 0..count {
+                    let rank = z.next(&mut rng);
+                    // Scatter ranks over the range (odd multiplier, so
+                    // the map is a bijection modulo a power of two and
+                    // near-uniform otherwise).
+                    let key = rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) % range.max(1);
+                    mem.write(base + 4 * i, 4, key);
+                }
+            }
+            InitAction::JumpList {
+                base,
+                nodes,
+                node_bytes,
+                next_offset,
+                jump_offset,
+                hops,
+                run_length,
+                seed,
+            } => {
+                let order = list_order(nodes, run_length, seed);
+                let n = nodes as usize;
+                for i in 0..n {
+                    let node = base + order[i] * node_bytes;
+                    let next = base + order[(i + 1) % n] * node_bytes;
+                    let jump = base + order[(i + hops as usize) % n] * node_bytes;
+                    mem.write(node + next_offset, 8, next);
+                    mem.write(node + jump_offset, 8, jump);
+                    mem.write(node + 8, 8, order[i]);
+                }
+            }
         }
     }
 
@@ -102,7 +175,9 @@ impl InitAction {
     pub fn head(&self) -> u64 {
         match *self {
             InitAction::IndexArray { base, .. } => base,
-            InitAction::CircularList { base, nodes, node_bytes, run_length, seed, .. } => {
+            InitAction::ZipfIndexArray { base, .. } => base,
+            InitAction::CircularList { base, nodes, node_bytes, run_length, seed, .. }
+            | InitAction::JumpList { base, nodes, node_bytes, run_length, seed, .. } => {
                 base + list_order(nodes, run_length, seed)[0] * node_bytes
             }
         }
@@ -160,6 +235,44 @@ impl WorkloadBuilder {
             nodes,
             node_bytes,
             next_offset: 0,
+            run_length,
+            seed,
+        };
+        let head = action.head();
+        self.inits.push(action);
+        self.kernel.add_list(ListDecl {
+            head,
+            node_bytes,
+            next_offset: 0,
+            payload_offset: 8,
+            nodes,
+        })
+    }
+
+    /// Adds a 4-byte index array with Zipfian-distributed contents in
+    /// `[0, range)` (skew `theta`); returns its kernel index.
+    pub fn zipf_index_array(&mut self, len: u64, range: u64, theta: f64) -> usize {
+        let base = self.alloc(len * 4 + 256);
+        let seed = self.next_seed();
+        self.inits.push(InitAction::ZipfIndexArray { base, count: len, range, theta, seed });
+        self.kernel.add_array(ArrayDecl { base, elem_bytes: 4, len, fp: false })
+    }
+
+    /// Adds a circular list whose nodes also carry a jump pointer
+    /// `hops` nodes ahead at byte offset 16 (layout: `next` at 0,
+    /// payload at 8, jump at 16); returns its kernel index. Pair with
+    /// [`compiler::RefSpec::JumpPointer`] and `jump_offset: 16`.
+    pub fn jump_list(&mut self, nodes: u64, node_bytes: u64, run_length: u64, hops: u64) -> usize {
+        assert!(node_bytes >= 24, "jump-list nodes need next+payload+jump fields");
+        let base = self.alloc(nodes * node_bytes + 256);
+        let seed = self.next_seed();
+        let action = InitAction::JumpList {
+            base,
+            nodes,
+            node_bytes,
+            next_offset: 0,
+            jump_offset: 16,
+            hops,
             run_length,
             seed,
         };
@@ -254,6 +367,53 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..256 {
             assert!(seen.insert(p), "node visited twice");
+            p = mem.read(p + decl.next_offset, 8);
+        }
+        assert_eq!(p, decl.head, "list must be circular");
+    }
+
+    #[test]
+    fn zipf_index_array_is_skewed_and_in_range() {
+        let mut b = WorkloadBuilder::new("t", 17);
+        let a = b.zipf_index_array(4096, 1 << 16, 0.9);
+        let decl = b.kernel.arrays[a].clone();
+        let (_, inits, arena) = b.finish();
+        let mut mem = Memory::new(arena as usize);
+        for i in &inits {
+            i.apply(&mut mem);
+        }
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..4096 {
+            let v = mem.read(decl.base + 4 * i, 4);
+            assert!(v < 1 << 16);
+            *counts.entry(v).or_insert(0u64) += 1;
+        }
+        // Skew: the hottest key must appear far more often than a
+        // uniform draw over 64 K keys would allow (~1 expected).
+        let hottest = counts.values().max().copied().unwrap();
+        assert!(hottest > 100, "hottest key drawn only {hottest} times");
+    }
+
+    #[test]
+    fn jump_list_jump_pointers_land_hops_ahead() {
+        let mut b = WorkloadBuilder::new("t", 23);
+        let hops = 6u64;
+        let l = b.jump_list(256, 64, 8, hops);
+        let decl = b.kernel.lists[l].clone();
+        let (_, inits, arena) = b.finish();
+        let mut mem = Memory::new(arena as usize);
+        for i in &inits {
+            i.apply(&mut mem);
+        }
+        // Walk the next chain; each jump pointer must equal the node
+        // reached by `hops` further next-hops.
+        let mut p = decl.head;
+        for _ in 0..256 {
+            let mut q = p;
+            for _ in 0..hops {
+                q = mem.read(q + decl.next_offset, 8);
+            }
+            assert_eq!(mem.read(p + 16, 8), q, "jump pointer must land {hops} hops ahead");
             p = mem.read(p + decl.next_offset, 8);
         }
         assert_eq!(p, decl.head, "list must be circular");

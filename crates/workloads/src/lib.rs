@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod families;
 pub mod micro;
 pub mod rng;
 pub mod suite;
@@ -36,7 +37,8 @@ use compiler::Kernel;
 use sim::{Machine, MachineConfig};
 
 pub use builder::{InitAction, WorkloadBuilder};
-pub use rng::Rng64;
+pub use families::families;
+pub use rng::{Rng64, Zipfian};
 pub use suite::suite;
 
 /// Integer or floating-point benchmark (the paper groups results this
@@ -95,7 +97,15 @@ impl Workload {
     }
 }
 
-/// Looks a workload up by name at the given scale.
+/// Every workload: the 17 paper-suite kernels followed by the
+/// scenario families ([`families::families`]).
+pub fn all(scale: f64) -> Vec<Workload> {
+    let mut v = suite(scale);
+    v.extend(families(scale));
+    v
+}
+
+/// Looks a workload up by name (suite or family) at the given scale.
 pub fn by_name(name: &str, scale: f64) -> Option<Workload> {
-    suite(scale).into_iter().find(|w| w.name == name)
+    all(scale).into_iter().find(|w| w.name == name)
 }

@@ -112,6 +112,58 @@ impl Rng64 {
     }
 }
 
+/// A Zipfian (power-law) rank distribution over `[0, n)`, after the
+/// Gray et al. generator popularized by YCSB: rank 0 is the hottest
+/// key, and popularity falls off as `1/rank^theta`. The server-shaped
+/// workload family uses it to model skewed request keys; the entire
+/// stream is a pure function of the seed driving the [`Rng64`], so
+/// layouts (and golden cycle counts) cannot drift.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Builds the distribution over `[0, n)` with skew `theta` in
+    /// `(0, 1)` (0.99 ≈ YCSB's default hot-key skew; smaller is
+    /// flatter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "empty key space");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        // Sequential sum keeps the value platform-deterministic.
+        let mut zetan = 0.0f64;
+        for i in 1..=n {
+            zetan += 1.0 / (i as f64).powf(theta);
+        }
+        let zeta2 = 1.0 + 1.0 / 2f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta }
+    }
+
+    /// Draws the next rank; rank 0 is the most popular.
+    pub fn next(&self, rng: &mut Rng64) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +237,36 @@ mod tests {
             let _ = b.f64();
             assert_eq!(a.next_u64(), b.next_u64(), "chance({p}) must consume one draw");
         }
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let z = Zipfian::new(10_000, 0.9);
+        let mut rng = Rng64::new(31337);
+        let mut hot = 0usize;
+        for _ in 0..20_000 {
+            let r = z.next(&mut rng);
+            assert!(r < 10_000);
+            if r < 10 {
+                hot += 1;
+            }
+        }
+        // Under 0.9 skew the top-10 ranks draw a large share; a uniform
+        // distribution would put ~20 draws there.
+        assert!(hot > 2_000, "top-10 ranks got only {hot}/20000 draws");
+    }
+
+    #[test]
+    fn zipfian_stream_is_a_pure_function_of_the_seed() {
+        let z = Zipfian::new(1 << 16, 0.8);
+        let mut a = Rng64::new(77);
+        let mut b = Rng64::new(77);
+        let sa: Vec<u64> = (0..512).map(|_| z.next(&mut a)).collect();
+        let sb: Vec<u64> = (0..512).map(|_| z.next(&mut b)).collect();
+        assert_eq!(sa, sb);
+        let mut c = Rng64::new(78);
+        let sc: Vec<u64> = (0..512).map(|_| z.next(&mut c)).collect();
+        assert_ne!(sa, sc, "different seeds must give different streams");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! the regression fence for the bug where a capped simulator leg was
 //! compared as if it had finished, reporting a bogus divergence.
 
-use oracle::{check, parse_repro, CaseResult, DiffConfig};
+use oracle::{check, check_case, parse_repro, CaseResult, CaseRunner, DiffConfig};
 use sim::ExecPath;
 
 #[test]
@@ -90,6 +90,45 @@ fn corpus_replays_without_mismatch() {
         replayed += 1;
     }
     eprintln!("replayed {replayed} corpus reproducer(s) on both exec paths");
+}
+
+/// The jump-pointer reproducer must not just *agree* — it pins the
+/// dependence-based scheduling arm end to end: the chase loop's
+/// payload load classifies as `Pattern::JumpPointer`, a jump prefetch
+/// is actually planted (the `prefetch:jump` runtime-coverage key), and
+/// the patched code stays bit-identical to the reference — on both
+/// simulator execution paths.
+#[test]
+fn jump_pointer_reproducer_plants_a_jump_prefetch() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join("jump_pointer_hot_loop.txt");
+    let text = std::fs::read_to_string(&path).expect("read jump-pointer reproducer");
+    let spec = parse_repro(&text).expect("parse jump-pointer reproducer");
+    assert_ne!(
+        spec.seed % 4,
+        2,
+        "this seed residue disables jump scheduling in the fuzz config"
+    );
+    for exec_path in [ExecPath::Fast, ExecPath::Reference] {
+        let cfg = DiffConfig { exec_path, ..DiffConfig::default() };
+        let (result, cov) = check_case(&spec, &cfg, &mut CaseRunner::new());
+        match result {
+            CaseResult::Agree { traces_patched, .. } => {
+                assert!(
+                    traces_patched >= 1,
+                    "[{exec_path}] the chase loop was never patched"
+                );
+                assert!(
+                    cov.keys.iter().any(|k| k == "prefetch:jump"),
+                    "[{exec_path}] no jump prefetch was scheduled; coverage: {:?}",
+                    cov.keys
+                );
+            }
+            other => panic!("[{exec_path}] expected agreement, got {other:?}"),
+        }
+    }
 }
 
 /// The fp-conversion reproducer must not just *agree* — it exists to

@@ -1,6 +1,7 @@
 //! Golden cycle-exactness harness for the simulator execution paths.
 //!
-//! Every suite workload is run to completion on both [`ExecPath::Fast`]
+//! Every suite and scenario-family workload is run to completion on
+//! both [`ExecPath::Fast`]
 //! and [`ExecPath::Reference`] and the full observable timing surface —
 //! final cycle, retired count, every PMU counter, per-cache hit/miss
 //! counts and DTLB statistics — is compared (a) between the two paths
@@ -80,11 +81,12 @@ fn run_one(w: &workloads::Workload, bin: &compiler::CompiledBinary, path: ExecPa
     snapshot(&m)
 }
 
-/// Runs the whole suite at `scale` on both paths, asserting path
-/// agreement, and returns `name -> snapshot` lines in suite order.
+/// Runs the whole suite plus the scenario families at `scale` on both
+/// paths, asserting path agreement, and returns `name -> snapshot`
+/// lines in suite order.
 fn observed_lines(scale: f64) -> Vec<(String, String)> {
     let opts = CompileOptions::default();
-    workloads::suite(scale)
+    workloads::all(scale)
         .iter()
         .map(|w| {
             let bin = compile(&w.kernel, &opts).unwrap_or_else(|e| panic!("{}: {e}", w.name));

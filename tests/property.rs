@@ -285,6 +285,110 @@ fn chunked_runs_equal_uninterrupted_runs() {
     }
 }
 
+/// The chunked-run resumability contract holds for the real scenario
+/// families too, not just synthetic strided loops: running `server`,
+/// `graph` and `gc` to completion in arbitrary seeded cycle-limit
+/// chunks reaches exactly the same timing and architectural state as
+/// one uninterrupted run, on both execution paths. This is what lets
+/// ADORE's sampling windows slice family executions invisibly.
+#[test]
+fn family_chunked_runs_equal_uninterrupted_runs() {
+    use compiler::{compile, CompileOptions};
+    use sim::{ExecPath, StopReason};
+    for (wi, w) in workloads::families(0.02).iter().enumerate() {
+        let bin = compile(&w.kernel, &CompileOptions::o2())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        for path in [ExecPath::Fast, ExecPath::Reference] {
+            let build = || {
+                let mut config = MachineConfig::default();
+                config.exec_path = path;
+                w.prepare(&bin, config)
+            };
+            let mut whole = build();
+            assert_eq!(whole.run(u64::MAX), StopReason::Halted, "{} ({path})", w.name);
+
+            for case in 0..2u64 {
+                let mut rng = case_rng(0xFA01_11E5 ^ wi as u64, case);
+                let mut chunked = build();
+                let mut limit = 0u64;
+                loop {
+                    limit += rng.range_u64(500, 50_000);
+                    match chunked.run(limit) {
+                        StopReason::CycleLimit => continue,
+                        StopReason::Halted => break,
+                        other => panic!("{} case {case}: unexpected stop {other:?}", w.name),
+                    }
+                }
+                assert_eq!(whole.cycles(), chunked.cycles(), "{} case {case} ({path})", w.name);
+                assert_eq!(whole.retired(), chunked.retired(), "{} case {case} ({path})", w.name);
+                assert_eq!(
+                    whole.pmu().counters,
+                    chunked.pmu().counters,
+                    "{} case {case} ({path})",
+                    w.name
+                );
+                assert_eq!(
+                    whole.caches().cache_stats(),
+                    chunked.caches().cache_stats(),
+                    "{} case {case} ({path})",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+/// FNV-1a over every mapped word — the arena fingerprint used to
+/// compare replayed initializations.
+fn mem_digest(m: &Memory) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut addr = m.base();
+    while addr + 8 <= m.base() + m.capacity() as u64 {
+        for b in m.read(addr, 8).to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        addr += 8;
+    }
+    h
+}
+
+/// The Zipfian request generator is a pure function of its seed: equal
+/// (n, theta, seed) triples yield identical in-range key streams — and
+/// the family-level consequence, that replaying the server workload's
+/// init plan twice fills two arenas bit-identically, holds too. This
+/// is what makes the server family's skewed request streams (and so
+/// its golden snapshots) reproducible.
+#[test]
+fn zipfian_request_streams_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x21BF_5E1F, case);
+        let n = rng.range_u64(16, 1 << 20);
+        let theta = 0.30 + rng.f64() * 0.65;
+        let seed = rng.next_u64();
+        let za = workloads::Zipfian::new(n, theta);
+        let zb = workloads::Zipfian::new(n, theta);
+        let mut ra = Rng64::new(seed);
+        let mut rb = Rng64::new(seed);
+        for draw in 0..64 {
+            let ka = za.next(&mut ra);
+            assert_eq!(ka, zb.next(&mut rb), "case {case} draw {draw}");
+            assert!(ka < n, "case {case} draw {draw}: key {ka} out of range {n}");
+        }
+    }
+
+    let server = workloads::by_name("server", 0.05).expect("server family exists");
+    let fill = || {
+        let mut m = Memory::new(server.arena_bytes as usize);
+        m.alloc(server.arena_bytes, 64);
+        for init in &server.inits {
+            init.apply(&mut m);
+        }
+        mem_digest(&m)
+    };
+    assert_eq!(fill(), fill(), "server init replay must be bit-identical");
+}
+
 /// Pattern classification recovers the exact stride of any direct
 /// post-increment walk.
 #[test]

@@ -23,10 +23,17 @@
 #      and each streamed row must equal the batch engine's row for the
 #      same (tool, section, workload) cell, modulo the batch grid's
 #      paper_speedup_pct merge extra
+#   4c. scenario-family smoke: the `lab families --quick` grid (server /
+#      graph / gc) run at --jobs 1 and --jobs 2 must produce
+#      byte-identical reports modulo the volatile engine fields, and the
+#      gc family must actually plant jump-pointer prefetches
 #   5. differential fuzz smoke: 512 fixed-seed cases through the
 #      three-way oracle, once per simulator execution path
 #      (--exec-path=fast, then reference); any semantic mismatch,
-#      undecided or budget-capped (inconclusive) case fails the gate
+#      undecided or budget-capped (inconclusive) case fails the gate;
+#      then 512 more with the ADORE leg restricted to the
+#      pattern_analyze pass alone (the jump-pointer classification
+#      probe)
 #   5b. coverage-guided campaign smoke: a fixed-seed campaign (mutation
 #      and coverage scheduling on) run at --jobs 1 and --jobs 4 must
 #      produce byte-identical reports and corpus directories; the
@@ -141,6 +148,40 @@ print(f"  ok: {len(served)} streamed rows identical to batch engine rows")
 EOF
 rm -f results/serve.jobs1.jsonl results/serve.jobs4.jsonl
 
+echo "== smoke: lab families --quick, --jobs 1 vs --jobs 2 =="
+t0=$(date +%s%N)
+cargo run --release -q -p adore-bench --bin lab -- families --quick --jobs 1
+fam1_ms=$(ms_since "$t0")
+cp results/families.json results/families.jobs1.json
+t0=$(date +%s%N)
+cargo run --release -q -p adore-bench --bin lab -- families --quick --jobs 2
+fam2_ms=$(ms_since "$t0")
+echo "wall-clock: families jobs=1 ${fam1_ms}ms, jobs=2 ${fam2_ms}ms"
+python3 - <<'EOF'
+import json
+a = json.load(open("results/families.jobs1.json"))
+b = json.load(open("results/families.json"))
+for doc in (a, b):
+    doc["generated_unix_s"] = 0
+    doc["engine"]["scheduling"] = {}
+    doc["engine"]["baseline_store"] = {}
+sa, sb = (json.dumps(x, indent=1) for x in (a, b))
+assert sa == sb, "families report differs between --jobs 1 and --jobs 2"
+rows = {r["bench"]: r for r in b["families"]}
+assert set(rows) == {"server", "graph", "gc"}, f"family set changed: {sorted(rows)}"
+for name, row in rows.items():
+    assert "error" not in row, f"{name}: cell failed: {row.get('error')}"
+    assert row["traces_patched"] > 0, f"{name}: ADORE never patched a trace"
+assert rows["gc"]["streams"]["jump"] > 0, \
+    "gc family planted no jump-pointer prefetch: the dependence-based arm is dead"
+assert rows["server"]["phases_optimized"] >= 2, \
+    "server family's load spikes produced fewer than 2 optimized phases"
+print(f"  ok: {len(sa)} canonical bytes identical across --jobs;"
+      f" gc planted {rows['gc']['streams']['jump']} jump prefetches,"
+      f" server optimized {rows['server']['phases_optimized']} phases")
+EOF
+rm -f results/families.jobs1.json
+
 for path in fast reference; do
     echo "== smoke: differential fuzz oracle, 512 cases, exec-path=$path =="
     cargo run --release -q -p adore-bench --bin lab -- fuzz \
@@ -162,13 +203,33 @@ assert doc["cases_with_patches"] > 0, "no case was patched: the oracle tested no
 assert sum(doc["outcomes"].values()) == doc["cases"], "outcome counts must cover all cases"
 cov = doc["coverage"]
 for key in ("ld1", "ld2", "ld4", "ld8", "st1", "st2", "st4", "st8", "ldf", "stf",
-            "spec_ld", "lfetch", "predicated", "flushes", "hot_loops", "calls"):
+            "spec_ld", "lfetch", "predicated", "flushes", "hot_loops", "jump_loops",
+            "calls"):
     assert cov.get(key, 0) > 0, f"coverage hole: {key} never generated"
 print(f"  ok: {doc['cases']} cases on the {doc['exec_path']} path, 0 mismatches,"
       f" {doc['cases_with_patches']} cases patched"
       f" ({doc['traces_patched_total']} traces)")
 EOF
 done
+
+echo "== smoke: differential fuzz oracle, 512 cases, ADORE leg = pattern_analyze only =="
+cargo run --release -q -p adore-bench --bin lab -- fuzz \
+    --cases=512 --seed=1 --exec-path=fast --pass=pattern_analyze
+
+echo "== validate pattern_analyze-only fuzz report =="
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/fuzz.json"))
+assert doc["only_pass"] == "pattern_analyze", "report must record the pass restriction"
+assert doc["cases"] >= 512, "pass smoke must run at least 512 cases"
+assert doc["mismatches"] == 0, \
+    "semantic mismatch: pattern_analyze alone changed program behavior"
+assert doc["undecided"] == 0 and doc["inconclusive"] == 0
+assert doc["coverage"]["jump_loops"] > 0, \
+    "no jump-chase segment generated: the pass probe missed its target shape"
+print(f"  ok: {doc['cases']} pattern_analyze-only cases, 0 mismatches,"
+      f" {doc['coverage']['jump_loops']} jump-chase loops generated")
+EOF
 
 echo "== smoke: coverage-guided campaign, --jobs 1 vs --jobs 4 =="
 campaign_args=(--campaign --rounds=3 --batch=48 --seed=11 --minimize-evals=8)
@@ -265,6 +326,11 @@ assert doc["mismatches"] == 0, "semantic mismatch in the nightly sweep"
 print(f"  ok: {doc['cases']} nightly cases, 0 mismatches")
 EOF
     rm -rf "$cdirn"
+
+    echo "== nightly: scenario families at full scale =="
+    t0=$(date +%s%N)
+    cargo run --release -q -p adore-bench --bin lab -- families --jobs "$(nproc)"
+    echo "wall-clock: full-scale families $(ms_since "$t0")ms"
 fi
 
 echo "== smoke: per-pass ablation (each pass disabled once) =="
@@ -328,7 +394,7 @@ print(f"  ok: fast path {ratio:.2f}x reference"
 EOF
 
 echo "== validate JSON reports =="
-for f in results/fig7.json results/bench_simulator.json; do
+for f in results/fig7.json results/families.json results/bench_simulator.json; do
     [ -f "$f" ] || { echo "missing report: $f" >&2; exit 1; }
     python3 -m json.tool "$f" > /dev/null
     python3 - "$f" <<'EOF'
