@@ -24,6 +24,10 @@
 //! - [`pipeline`] — the optimizer decomposed into instrumented
 //!   [`pipeline::Pass`]es over a shared [`pipeline::OptContext`], with
 //!   a per-pass overhead ledger and structured event stream;
+//! - [`policy`] — adaptive per-phase policy selection: a discrete
+//!   policy space over the optimizer's tunables and a deterministic
+//!   online controller that trials, scores and commits arms per phase
+//!   (off by default — the paper's static policy);
 //! - [`runtime`] — the dynamic-optimization loop tying it together.
 //!
 //! # Example
@@ -73,6 +77,7 @@ pub mod patch;
 pub mod pattern;
 pub mod phase;
 pub mod pipeline;
+pub mod policy;
 pub mod prefetch;
 pub mod reject;
 pub mod runtime;
@@ -84,6 +89,10 @@ pub use patch::{install, unpatch, PatchedTrace};
 pub use pattern::{classify, Pattern};
 pub use phase::{PhaseConfig, PhaseDecision, PhaseDetector, PhaseSignature};
 pub use pipeline::{PassKind, PassLedger, Pipeline, PipelineConfig, PipelineLedger};
+pub use policy::{
+    AcceptTier, DistMult, LfetchTarget, Policy, PolicyConfig, PolicyController, PolicyDecision,
+    PolicyReport, TraceAggr,
+};
 pub use prefetch::{optimize_trace, InsertionStats, OptimizedTrace, PrefetchConfig};
 pub use reject::Rejection;
 pub use runtime::{run, run_with_limit, AdoreConfig, RunReport, TimePoint};

@@ -65,8 +65,10 @@ pub enum PhaseDecision {
     /// least once; may still warrant incremental re-optimization when
     /// the miss rate stayed high).
     InTracePool(PhaseSignature),
-    /// Stable, but the miss rate is too low to bother prefetching.
-    LowMissRate,
+    /// Stable, but the miss rate is too low to bother prefetching
+    /// (the signature still carries the CPI the adaptive policy
+    /// controller scores trials with).
+    LowMissRate(PhaseSignature),
 }
 
 impl PhaseDecision {
@@ -82,7 +84,7 @@ impl PhaseDecision {
             PhaseDecision::InTracePool(sig) if sig.dpi >= min_dpi => Ok(sig),
             PhaseDecision::InTracePool(_) => Err(Rejection::PhaseBelowDpi),
             PhaseDecision::Unstable => Err(Rejection::PhaseUnstable),
-            PhaseDecision::LowMissRate => Err(Rejection::PhaseLowMissRate),
+            PhaseDecision::LowMissRate(_) => Err(Rejection::PhaseLowMissRate),
         }
     }
 }
@@ -168,7 +170,7 @@ impl PhaseDetector {
             return PhaseDecision::InTracePool(sig);
         }
         if dpi_mean < self.config.min_dpi {
-            return PhaseDecision::LowMissRate;
+            return PhaseDecision::LowMissRate(sig);
         }
         PhaseDecision::Stable(sig)
     }
@@ -292,7 +294,7 @@ mod tests {
     fn low_miss_rate_is_flagged() {
         let ueb = ueb_of((0..6).map(|i| window(i, 0.5, 0.00001, 0x4000_0100 as f64)).collect());
         let mut d = PhaseDetector::new(PhaseConfig::default());
-        assert_eq!(d.evaluate(&ueb), PhaseDecision::LowMissRate);
+        assert!(matches!(d.evaluate(&ueb), PhaseDecision::LowMissRate(_)));
     }
 
     #[test]

@@ -39,7 +39,8 @@ use crate::delinq::{find_delinquent_loads, loads_for_trace, DelinquentLoad};
 use crate::instrument::{dominant_stride, instrument_trace, promote, PendingInstr};
 use crate::patch::{install, unpatch, PatchedTrace};
 use crate::pattern::Pattern;
-use crate::phase::{PhaseDetector, PhaseSignature};
+use crate::phase::{PhaseDecision, PhaseDetector, PhaseSignature};
+use crate::policy::{Policy, PolicyController};
 use crate::prefetch::{classify_loads, schedule_streams, InsertionStats, OptimizedTrace};
 use crate::reject::Rejection;
 use crate::runtime::{AdoreConfig, OptEvent, RunReport, TimePoint};
@@ -265,6 +266,9 @@ pub struct OptContext<'a> {
     pub counters: OptCounters,
     /// Per-window scratch state.
     pub scratch: WindowScratch,
+    /// The adaptive policy controller (inert unless
+    /// `config.policy.enable`).
+    pub policy: PolicyController,
 }
 
 impl<'a> OptContext<'a> {
@@ -284,12 +288,58 @@ impl<'a> OptContext<'a> {
             ledger: PipelineLedger::new(&config.pipeline.order),
             counters: OptCounters::default(),
             scratch: WindowScratch::default(),
+            policy: PolicyController::new(&config.policy),
         }
+    }
+
+    /// The policy arm governing this window's optimization work: the
+    /// paper's static policy unless the adaptive controller is enabled
+    /// and has an arm in trial or committed for the current phase.
+    pub fn active_policy(&self) -> Policy {
+        if !self.config.policy.enable {
+            return Policy::STATIC;
+        }
+        self.policy.active(self.scratch.entry_idx)
+    }
+
+    /// The optimized entry whose live patches cover a pool-side sample
+    /// center — the unpatch monitor's recognition rule, reused by the
+    /// policy controller so windows spent inside patched traces still
+    /// credit (and can re-optimize) the originating phase.
+    fn pool_phase(&self, sig: &PhaseSignature) -> Option<usize> {
+        if sig.pc_center < isa::TRACE_POOL_BASE as f64 {
+            return None;
+        }
+        self.live_patches.iter().find_map(|(idx, _, patches)| {
+            patches
+                .iter()
+                .any(|p| {
+                    let start = p.pool_addr.0 as f64;
+                    let end = start + (p.len as f64) * 16.0;
+                    sig.pc_center >= start && sig.pc_center < end
+                })
+                .then_some(*idx)
+        })
+    }
+
+    /// Running prefetch-schedule ledger accepts — the controller's
+    /// streams tie-break signal.
+    fn sched_accepted(&self) -> u64 {
+        self.ledger
+            .passes
+            .iter()
+            .find(|(k, _)| *k == PassKind::PrefetchSchedule)
+            .map(|(_, l)| l.accepted)
+            .unwrap_or(0)
     }
 
     /// Moves the accumulated results into a report (cycles, retired and
     /// window counts are the runtime's responsibility).
-    pub fn finish(self, report: &mut RunReport) {
+    pub fn finish(mut self, report: &mut RunReport) {
+        if self.config.policy.enable {
+            self.policy.finish(self.timeline.len() as u64);
+            report.policy = self.policy.report();
+        }
         report.timeline = self.timeline;
         report.phases_optimized = self.counters.phases_optimized;
         report.stats = self.counters.stats;
@@ -551,6 +601,13 @@ impl Pass for PhaseGate {
         ueb: &UserEventBuffer,
     ) -> Flow {
         let decision = ctx.detector.evaluate(ueb);
+        // A stable phase below the DPI bar still carries the CPI
+        // signal the controller scores trials with (a successful arm
+        // *lowers* DPI — the winner must not vanish unscored).
+        let quiet_sig = match &decision {
+            PhaseDecision::InTracePool(sig) | PhaseDecision::LowMissRate(sig) => Some(*sig),
+            _ => None,
+        };
         match decision.actionable(ctx.config.phase.min_dpi) {
             Ok(sig) => {
                 let detector = &ctx.detector;
@@ -560,9 +617,49 @@ impl Pass for PhaseGate {
                     .position(|(s, _, _, _)| detector.same_phase(s, &sig));
                 ctx.scratch.sig = Some(sig);
                 ctx.ledger.accept(PassKind::PhaseGate, 1);
+                // A stable window of a known phase feeds the policy
+                // controller: due trials are scored here, and the
+                // winner committed once the last arm's score lands.
+                // Execution that moved into the trace pool is mapped
+                // back to the phase whose patches it runs, so the arm
+                // walk keeps progressing after the first deploy.
+                if ctx.config.policy.enable {
+                    if ctx.scratch.entry_idx.is_none() {
+                        ctx.scratch.entry_idx = ctx.pool_phase(&sig);
+                    }
+                    if let Some(i) = ctx.scratch.entry_idx {
+                        let accepted = ctx.sched_accepted();
+                        ctx.policy.observe(i, ctx.scratch.now, sig.cpi, accepted);
+                    }
+                }
                 Flow::Continue
             }
             Err(r) => {
+                // Adaptive-policy path: map the below-DPI pool window
+                // back to its phase, score any due trial, and — while
+                // arms remain untrialed (or the winner's redeploy is
+                // pending) — let the window flow so the gate-driven
+                // arm walk can deploy the next one. Bounded by the
+                // reopt gate's per-phase attempt budget.
+                if ctx.config.policy.enable {
+                    if let Some(sig) = quiet_sig {
+                        let detector = &ctx.detector;
+                        ctx.scratch.entry_idx = ctx
+                            .optimized
+                            .iter()
+                            .position(|(s, _, _, _)| detector.same_phase(s, &sig))
+                            .or_else(|| ctx.pool_phase(&sig));
+                        if let Some(i) = ctx.scratch.entry_idx {
+                            let accepted = ctx.sched_accepted();
+                            ctx.policy.observe(i, ctx.scratch.now, sig.cpi, accepted);
+                            if ctx.policy.wants_reopt(i) {
+                                ctx.scratch.sig = Some(sig);
+                                ctx.ledger.accept(PassKind::PhaseGate, 1);
+                                return Flow::Continue;
+                            }
+                        }
+                    }
+                }
                 ctx.ledger.reject(PassKind::PhaseGate, r);
                 Flow::Stop
             }
@@ -633,6 +730,14 @@ impl Pass for UnpatchMonitor {
                         .with("cpi_before", cpi_before)
                         .with("cpi_now", sig.cpi),
                 );
+                // The brake doubles as the policy fallback: a
+                // non-static arm in trial (or committed) is abandoned
+                // and the phase re-commits the static policy.
+                if ctx.config.policy.enable
+                    && ctx.policy.on_unpatch(idx, ctx.scratch.now, cpi_before, sig.cpi)
+                {
+                    ctx.ledger.reject(PassKind::UnpatchMonitor, Rejection::PolicyRegressed);
+                }
                 return Flow::Stop;
             }
         }
@@ -663,11 +768,22 @@ impl Pass for ReoptGate {
         let cooldown = ctx.config.phase.windows_required as u64 + 1;
         if let Some(i) = ctx.scratch.entry_idx {
             let (_, attempts, exhausted, last) = ctx.optimized[i];
-            if exhausted || attempts >= 4 {
+            // The adaptive controller needs one deploy per arm plus
+            // the winner's redeploy, so while it still has trials to
+            // run it widens the attempt budget and waives the
+            // cooldown — the trial cadence itself paces the deploys
+            // (wants_reopt is false while a trial is being observed).
+            let policy_driven = ctx.config.policy.enable && ctx.policy.wants_reopt(i);
+            let max_attempts = if policy_driven {
+                (ctx.config.policy.arms.len() as u32 + 1).max(4)
+            } else {
+                4
+            };
+            if exhausted || attempts >= max_attempts {
                 ctx.ledger.reject(PassKind::ReoptGate, Rejection::PhaseExhausted);
                 return Flow::Stop; // nothing more to gain from this phase
             }
-            if now < last + cooldown {
+            if !policy_driven && now < last + cooldown {
                 ctx.ledger.reject(PassKind::ReoptGate, Rejection::PhaseCooldown);
                 return Flow::Stop; // (yet)
             }
@@ -704,8 +820,10 @@ impl Pass for TraceSelect {
         }
         // Selection reads through the machine so already-patched traces
         // in the pool can be re-selected for incremental
-        // re-optimization.
-        let (traces, drops) = select_traces_with_drops(&*m, ueb, &ctx.config.trace);
+        // re-optimization. The active policy arm sets the selection
+        // aggressiveness (identity under the static policy).
+        let tcfg = ctx.active_policy().trace_config(&ctx.config.trace);
+        let (traces, drops) = select_traces_with_drops(&*m, ueb, &tcfg);
         for (_, r) in &drops {
             ctx.ledger.reject(PassKind::TraceSelect, *r);
         }
@@ -791,12 +909,15 @@ impl Pass for PrefetchSchedule {
         _w: &ProfileWindow,
         _ueb: &UserEventBuffer,
     ) -> Flow {
+        // The active arm sets the distance multiplier, the acceptance
+        // tier and the lfetch target (identity under the static policy).
+        let pcfg = ctx.active_policy().prefetch_config(&ctx.config.prefetch);
         for (ti, trace) in ctx.scratch.traces.iter().enumerate() {
             let work = &mut ctx.scratch.work[ti];
             if !trace.is_loop || work.mine.is_empty() {
                 continue;
             }
-            let out = schedule_streams(trace, &work.classified, &ctx.config.prefetch);
+            let out = schedule_streams(trace, &work.classified, &pcfg);
             for (_, r) in &out.skips {
                 ctx.ledger.reject(PassKind::PrefetchSchedule, *r);
             }
@@ -903,6 +1024,12 @@ impl Pass for PatchDeploy {
         }
         if patched_any && ctx.scratch.entry_idx.is_none() {
             ctx.counters.phases_optimized += 1;
+        }
+        // A successful deploy opens the next arm's trial for this
+        // phase (no-op once the phase has committed or fallen back).
+        if ctx.config.policy.enable && patched_any {
+            let accepted = ctx.sched_accepted();
+            ctx.policy.on_deploy(idx, now, sig.cpi, accepted);
         }
         Flow::Continue
     }

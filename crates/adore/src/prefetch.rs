@@ -47,6 +47,20 @@ pub struct PrefetchConfig {
     pub enable_pointer: bool,
     /// Generate jump-pointer (dependence-based) prefetches.
     pub enable_jump: bool,
+    /// Prefetch-distance multiplier in percent. 100 (the default) is
+    /// the paper's §3.3 formula; the policy controller's arms scale it
+    /// (50 / 200).
+    pub distance_pct: u64,
+    /// Model the inserted `lfetch` streams as targeting L2 rather than
+    /// L1: the stream only needs to cover the memory→L2 share of the
+    /// miss latency, so the distance basis shrinks to 3/4. Policy
+    /// knob; the paper's static policy (default) targets L1.
+    pub lfetch_l2: bool,
+    /// Minimum average miss latency (cycles) a classified load must
+    /// show to earn a stream. 0 (the default) accepts every classified
+    /// load, exactly as the paper; the policy controller's strict
+    /// acceptance tier raises it.
+    pub min_stream_latency: f64,
 }
 
 impl Default for PrefetchConfig {
@@ -59,6 +73,9 @@ impl Default for PrefetchConfig {
             enable_indirect: true,
             enable_pointer: true,
             enable_jump: true,
+            distance_pct: 100,
+            lfetch_l2: false,
+            min_stream_latency: 0.0,
         }
     }
 }
@@ -198,7 +215,16 @@ pub(crate) fn schedule_streams(
     let body_cycles = (trace.bundles.len() as u64).div_ceil(2).max(1) + 1;
 
     for (pc, avg_latency, pattern) in work {
-        let dist_iters = ((*avg_latency / body_cycles as f64).ceil() as u64)
+        if *avg_latency < cfg.min_stream_latency {
+            skips.push((*pc, Rejection::PolicyBelowTier));
+            continue;
+        }
+        // An L2-targeted stream leaves the final L1 fill to the demand
+        // miss (a short L2 hit), so it only covers 3/4 of the measured
+        // latency; the distance multiplier then scales the paper's
+        // formula. Both knobs are identity under the static policy.
+        let covered = if cfg.lfetch_l2 { *avg_latency * 0.75 } else { *avg_latency };
+        let dist_iters = (((covered / body_cycles as f64).ceil() as u64) * cfg.distance_pct / 100)
             .clamp(cfg.min_distance_iters, cfg.max_distance_iters);
         match pattern {
             Pattern::Direct { stride, fp, base } => {

@@ -66,6 +66,13 @@ pub enum Rejection {
     RegistersExhausted,
     /// An equivalent prefetch stream was already inserted.
     DuplicateStream,
+    /// The load's average miss latency falls below the active policy's
+    /// acceptance tier (the adaptive controller's strict arm).
+    PolicyBelowTier,
+    // -- policy controller --
+    /// A trialed policy regressed CPI; the unpatch brake fired and the
+    /// phase fell back to the paper's static policy.
+    PolicyRegressed,
     // -- instrumentation (§6) --
     /// The recorded address stream had no dominant stride to promote.
     NoDominantStride,
@@ -79,7 +86,7 @@ pub enum Rejection {
 
 impl Rejection {
     /// Every variant, in ledger/report order.
-    pub const ALL: [Rejection; 21] = [
+    pub const ALL: [Rejection; 23] = [
         Rejection::PhaseUnstable,
         Rejection::PhaseLowMissRate,
         Rejection::PhaseBelowDpi,
@@ -98,6 +105,8 @@ impl Rejection {
         Rejection::JumpPointerDisabled,
         Rejection::RegistersExhausted,
         Rejection::DuplicateStream,
+        Rejection::PolicyBelowTier,
+        Rejection::PolicyRegressed,
         Rejection::NoDominantStride,
         Rejection::InstrumentBufferExhausted,
         Rejection::PatchFailed,
@@ -125,6 +134,8 @@ impl Rejection {
             Rejection::JumpPointerDisabled => "jump_pointer_disabled",
             Rejection::RegistersExhausted => "registers_exhausted",
             Rejection::DuplicateStream => "duplicate_stream",
+            Rejection::PolicyBelowTier => "policy_below_tier",
+            Rejection::PolicyRegressed => "policy_regressed",
             Rejection::NoDominantStride => "no_dominant_stride",
             Rejection::InstrumentBufferExhausted => "instrument_buffer_exhausted",
             Rejection::PatchFailed => "patch_failed",

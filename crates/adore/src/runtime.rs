@@ -18,6 +18,7 @@ use sim::{Machine, MachineConfig, SamplingConfig};
 use crate::instrument::InstrumentConfig;
 use crate::phase::PhaseConfig;
 use crate::pipeline::{OptContext, Pipeline, PipelineConfig, PipelineLedger};
+use crate::policy::{PolicyConfig, PolicyReport};
 use crate::prefetch::{InsertionStats, PrefetchConfig};
 use crate::reject::Rejection;
 use crate::trace::TraceConfig;
@@ -54,6 +55,9 @@ pub struct AdoreConfig {
     /// the canonical full pipeline; ablation cells disable individual
     /// passes through this.
     pub pipeline: PipelineConfig,
+    /// Adaptive per-phase policy selection. Disabled by default — the
+    /// paper's static policy — and bit-for-bit inert when off.
+    pub policy: PolicyConfig,
 }
 
 impl AdoreConfig {
@@ -134,6 +138,9 @@ pub struct RunReport {
     pub ledger: PipelineLedger,
     /// Structured deploy/instrument/promote/unpatch event stream.
     pub event_log: EventStream,
+    /// Policy-controller decision log (empty and omitted from JSON when
+    /// the controller is disabled, keeping default reports byte-stable).
+    pub policy: PolicyReport,
 }
 
 // Run state crosses thread boundaries in the parallel experiment
@@ -166,7 +173,7 @@ impl ToJson for RunReport {
                 Json::object().with("pc", pc.to_string()).with("reason", *reason)
             })
             .collect();
-        Json::object()
+        let mut j = Json::object()
             .with("cycles", self.cycles)
             .with("retired", self.retired)
             .with("phases_optimized", self.phases_optimized)
@@ -179,7 +186,13 @@ impl ToJson for RunReport {
             .with("skips", skips)
             .with("timeline", self.timeline.as_slice())
             .with("pipeline", &self.ledger)
-            .with("event_log", &self.event_log)
+            .with("event_log", &self.event_log);
+        // Only adaptive runs carry a policy section: default reports
+        // must stay byte-identical to the static-policy era.
+        if self.policy.enabled {
+            j.set("policy", self.policy.to_json());
+        }
+        j
     }
 }
 

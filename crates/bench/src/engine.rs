@@ -88,6 +88,11 @@ pub enum Measure {
     },
     /// Cycle-accounting breakdown before and after ADORE (§2.1).
     Breakdown,
+    /// Adaptive-policy evaluation: cached baseline, a static-policy
+    /// ADORE run, and an adaptive-controller ADORE run (the measure
+    /// enables `policy` itself), with the per-phase decision log
+    /// (`lab policy`).
+    Policy,
     /// Phase-detection / optimization diagnostic trace.
     Diag {
         /// Also collect an aggregate miss profile.
@@ -719,6 +724,7 @@ pub(crate) fn run_cell(
         Measure::Timeline => timeline_cell(w, cell),
         Measure::GuidedPrefetch { coverage } => guided_cell(w, cell, *coverage, cache),
         Measure::Breakdown => breakdown_cell(w, cell, cache),
+        Measure::Policy => policy_cell(w, cell, cache),
         Measure::Diag { profile, adore } => diag_cell(w, cell, *profile, *adore),
     }
 }
@@ -931,6 +937,37 @@ pub fn breakdown_side(c: &Counters, cycles: u64) -> Json {
         .with("busy_pct", pct(cycles.saturating_sub(accounted)))
 }
 
+fn policy_cell(w: &Workload, cell: &Cell, cache: &BaselineCache) -> Result<Json, CellError> {
+    let base = cache.plain(w, &cell.opts, &cell.machine)?;
+    // Static leg: the cell's config as delivered — the paper's fixed
+    // policy (policy.enable stays false).
+    let mut static_cell = cell.clone();
+    static_cell.adore.policy.enable = false;
+    let (static_report, _) = run_adore_in(&static_cell, w, &base.bin);
+    // Adaptive leg: identical config and sampling seed, controller on.
+    // Both legs replay the same PMU window stream up to the first
+    // divergent optimization decision, so the comparison isolates the
+    // policy itself.
+    let mut adaptive_cell = cell.clone();
+    adaptive_cell.adore.policy.enable = true;
+    let (adaptive_report, _) = run_adore_in(&adaptive_cell, w, &base.bin);
+    let static_speedup = speedup_pct(base.cycles, static_report.cycles);
+    let adaptive_speedup = speedup_pct(base.cycles, adaptive_report.cycles);
+    Ok(Json::object()
+        .with("bench", w.name)
+        .with("base_cycles", base.cycles)
+        .with("static_cycles", static_report.cycles)
+        .with("adaptive_cycles", adaptive_report.cycles)
+        .with("static_speedup_pct", static_speedup)
+        .with("adaptive_speedup_pct", adaptive_speedup)
+        .with("delta_pct", adaptive_speedup - static_speedup)
+        .with("win", adaptive_report.cycles < static_report.cycles)
+        .with("traces_patched", adaptive_report.traces_patched)
+        .with("phases_optimized", adaptive_report.phases_optimized)
+        .with("streams", adaptive_report.stats)
+        .with("policy", adaptive_report.policy.to_json()))
+}
+
 fn diag_cell(w: &Workload, cell: &Cell, profile: bool, adore_run: bool) -> Result<Json, CellError> {
     let bin = try_build(w, &cell.opts)?;
     let mut m = w.prepare(&bin, cell.adore.machine_config(cell.machine.clone()));
@@ -945,7 +982,7 @@ fn diag_cell(w: &Workload, cell: &Cell, profile: bool, adore_run: bool) -> Resul
             PhaseDecision::Unstable => "U".into(),
             PhaseDecision::Stable(s) => format!("S(cpi={:.2},dpi{:.2}/k)", s.cpi, s.dpi * 1000.0),
             PhaseDecision::InTracePool(_) => "P".into(),
-            PhaseDecision::LowMissRate => "L".into(),
+            PhaseDecision::LowMissRate(_) => "L".into(),
         };
         if windows < 24 || tag.starts_with('S') {
             lines.push(format!(

@@ -49,6 +49,7 @@ pub(crate) fn registry() -> Registry {
         .uint("seed", Some("1"), "base RNG seed")
         .value("exec-path", Some("fast"), "simulator execution path: fast | reference")
         .value("pass", None, "restrict the ADORE leg to this single pipeline pass")
+        .value("policy", None, "force the adaptive policy controller: on | off (default: alternate by seed)")
         .flag("campaign", "run the coverage-guided campaign instead of classic mode")
         .uint("rounds", None, "campaign: mutation rounds")
         .uint("batch", None, "campaign: cases per round")
@@ -68,6 +69,19 @@ fn exec_path_flag(cli: &Cli) -> sim::ExecPath {
             std::process::exit(2);
         }),
     }
+}
+
+/// `--policy=on|off` controller override for the ADORE leg; absent
+/// keeps the oracle's seed-derived alternation.
+fn policy_flag(cli: &Cli) -> Option<bool> {
+    cli.flag_value("policy").map(|v| match v {
+        "on" => true,
+        "off" => false,
+        other => {
+            eprintln!("fuzz: --policy: expected on|off, got {other:?}");
+            std::process::exit(2);
+        }
+    })
 }
 
 /// `--pass=NAME` pipeline restriction for the ADORE leg.
@@ -132,6 +146,7 @@ fn campaign_main(cli: &Cli) {
         diff: DiffConfig {
             exec_path,
             pipeline: only_pass.map(adore::PipelineConfig::only),
+            policy: policy_flag(cli),
             ..DiffConfig::default()
         },
         corpus_dir: Some(campaign_dir),
@@ -207,6 +222,7 @@ fn campaign_main(cli: &Cli) {
     report.set("seed", cfg.seed);
     report.set("exec_path", exec_path.to_string());
     report.set("only_pass", only_pass.map(|k| k.name().to_string()));
+    report.set("policy", policy_flag(cli).map(|on| if on { "on" } else { "off" }.to_string()));
     report.set("cases", stats.cases);
     report.set("mismatches", mismatches);
     report.set("inconclusive", stats.inconclusive);
@@ -261,6 +277,7 @@ fn classic_main(cli: &Cli) {
     let diff_cfg = DiffConfig {
         exec_path,
         pipeline: only_pass.map(adore::PipelineConfig::only),
+        policy: policy_flag(cli),
         ..DiffConfig::default()
     };
 
@@ -354,6 +371,7 @@ fn classic_main(cli: &Cli) {
     report.set("seed", base_seed);
     report.set("exec_path", exec_path.to_string());
     report.set("only_pass", only_pass.map(|k| k.name().to_string()));
+    report.set("policy", policy_flag(cli).map(|on| if on { "on" } else { "off" }.to_string()));
     report.set("cases", cases as u64);
     report.set("mismatches", mismatches);
     report.set("inconclusive", inconclusive);

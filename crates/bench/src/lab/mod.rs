@@ -25,6 +25,7 @@ pub mod fig7;
 pub mod fig8_9;
 pub mod fuzz;
 pub mod objdump;
+pub mod policy;
 pub mod serve;
 pub mod table1;
 pub mod table2;
@@ -84,6 +85,12 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         about: ablation::ABOUT,
         registry: ablation::registry,
         run: ablation::run,
+    },
+    Subcommand {
+        name: "policy",
+        about: policy::ABOUT,
+        registry: policy::registry,
+        run: policy::run,
     },
     Subcommand { name: "diag", about: diag::ABOUT, registry: diag::registry, run: diag::run },
     Subcommand {

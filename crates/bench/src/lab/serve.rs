@@ -9,7 +9,7 @@
 //! {"workload":"mcf","tool":"fig7","section":"part_a","opts":"o2","measure":"comparison"}
 //! ```
 //!
-//! * `workload` (required) — a suite workload name;
+//! * `workload` (required) — a suite or scenario-family workload name;
 //! * `tool` / `section` (default `serve` / `cells`) — the identity the
 //!   cell's deterministic sampling seed derives from, exactly as in
 //!   the batch engine: a serve cell with the same tool/section/workload
@@ -18,7 +18,8 @@
 //! * `opts` — `o2` (default) | `o3` | `o2_original`;
 //! * `measure` — `plain` | `comparison` (default) |
 //!   `pipeline_comparison` | `overhead` | `streams` | `timeline` |
-//!   `breakdown` | `guided` (with optional `coverage`, default 0.9);
+//!   `breakdown` | `policy` | `guided` (with optional `coverage`,
+//!   default 0.9);
 //! * `compare` — for `measure:"compare_compile"`, the other options
 //!   preset.
 //!
@@ -95,6 +96,7 @@ fn parse_measure(req: &Json) -> Result<Measure, String> {
         "streams" => Ok(Measure::Streams),
         "timeline" => Ok(Measure::Timeline),
         "breakdown" => Ok(Measure::Breakdown),
+        "policy" => Ok(Measure::Policy),
         "guided" => {
             let coverage = req.get("coverage").and_then(Json::as_f64).unwrap_or(0.9);
             Ok(Measure::GuidedPrefetch { coverage })
@@ -168,7 +170,7 @@ fn open_store(cli: &Cli) -> Option<Arc<BaselineStore>> {
 /// reading, and responses flush line-by-line so a consumer sees a
 /// stable, byte-deterministic prefix even mid-stream.
 pub fn serve_io(cli: &Cli, input: impl BufRead + Send, out: &mut impl Write) -> ServeSummary {
-    let suite = workloads::suite(cli.scale);
+    let suite = workloads::all(cli.scale);
     let store = open_store(cli);
     let cache = BaselineCache::with_store(store.clone());
 

@@ -44,6 +44,11 @@ pub struct DiffConfig {
     /// pipeline; `Some` replaces it (e.g. `PipelineConfig::only(pass)`
     /// to probe that a single pass alone preserves semantics).
     pub pipeline: Option<adore::PipelineConfig>,
+    /// Adaptive-policy override for the ADORE leg. `None` keeps the
+    /// seed-derived alternation from [`fuzz_adore_config`]; `Some`
+    /// forces the controller on or off for every case (the
+    /// `--policy=on` schedule smoke).
+    pub policy: Option<bool>,
 }
 
 impl Default for DiffConfig {
@@ -54,6 +59,7 @@ impl Default for DiffConfig {
             shrink_evals: 400,
             exec_path: ExecPath::Fast,
             pipeline: None,
+            policy: None,
         }
     }
 }
@@ -251,6 +257,16 @@ fn run_coverage(outcome: CaseOutcome, report: &adore::RunReport) -> RunCoverage 
     if report.promoted > 0 {
         keys.push("adore:promoted".into());
     }
+    // Policy-controller coverage: whether the controller ran at all,
+    // and which decision kinds (trial/score/commit/fallback) the case
+    // actually reached — the fallback key is the rare one the campaign
+    // scheduler hunts for.
+    if report.policy.enabled {
+        keys.push("policy:enabled".into());
+        for d in &report.policy.decisions {
+            keys.push(format!("policy:{}", d.action));
+        }
+    }
     keys.sort();
     keys.dedup();
     RunCoverage { keys }
@@ -315,6 +331,13 @@ pub fn fuzz_adore_config(seed: u64) -> AdoreConfig {
     // drive the `rej:jump_pointer_disabled` coverage key whenever a
     // chase actually classified as a jump pattern.
     c.prefetch.enable_jump = seed % 4 != 2;
+    // The adaptive policy controller claims semantic transparency like
+    // every other knob: half the cases run with it on (the residue
+    // overlaps `instrument_unanalyzable` on seed % 4 == 1, fuzzing the
+    // combination too). Two-window trials keep arm switches frequent
+    // inside short fuzz programs.
+    c.policy.enable = seed % 4 < 2;
+    c.policy.trial_windows = 2;
     c
 }
 
@@ -530,6 +553,9 @@ pub fn check_case(
     let mut adore_config = fuzz_adore_config(spec.seed);
     if let Some(p) = &cfg.pipeline {
         adore_config.pipeline = p.clone();
+    }
+    if let Some(on) = cfg.policy {
+        adore_config.policy.enable = on;
     }
     let opt = CaseRunner::lease(
         &mut runner.adore,

@@ -131,6 +131,49 @@ fn jump_pointer_reproducer_plants_a_jump_prefetch() {
     }
 }
 
+/// The policy-switch reproducer pins the adaptive controller's
+/// trial/commit protocol end to end: its seed residue turns the policy
+/// controller on in the fuzz ADORE config, the striding hot loop gets
+/// patched (which starts an arm trial), and the run must surface the
+/// `policy:commit` runtime-coverage key — the committed per-phase
+/// policy — on both simulator execution paths.
+#[test]
+fn policy_switch_reproducer_commits_a_policy() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join("policy_switch_hot_loop.txt");
+    let text = std::fs::read_to_string(&path).expect("read policy-switch reproducer");
+    let spec = parse_repro(&text).expect("parse policy-switch reproducer");
+    assert!(
+        spec.seed % 4 < 2,
+        "this seed residue is what enables the policy controller in the fuzz config"
+    );
+    for exec_path in [ExecPath::Fast, ExecPath::Reference] {
+        let cfg = DiffConfig { exec_path, ..DiffConfig::default() };
+        let (result, cov) = check_case(&spec, &cfg, &mut CaseRunner::new());
+        match result {
+            CaseResult::Agree { traces_patched, .. } => {
+                assert!(
+                    traces_patched >= 1,
+                    "[{exec_path}] the striding loop was never patched, so no trial started"
+                );
+                assert!(
+                    cov.keys.iter().any(|k| k == "policy:enabled"),
+                    "[{exec_path}] the controller should be on for this seed; coverage: {:?}",
+                    cov.keys
+                );
+                assert!(
+                    cov.keys.iter().any(|k| k == "policy:commit"),
+                    "[{exec_path}] no policy was ever committed; coverage: {:?}",
+                    cov.keys
+                );
+            }
+            other => panic!("[{exec_path}] expected agreement, got {other:?}"),
+        }
+    }
+}
+
 /// The fp-conversion reproducer must not just *agree* — it exists to
 /// pin the §6 instrumentation-promotion path end to end. Its odd seed
 /// switches `instrument_unanalyzable` on in the fuzz ADORE config, the

@@ -108,11 +108,74 @@ fn golden_path(tier: &str) -> std::path::PathBuf {
         .join(format!("golden_cycles_{tier}.txt"))
 }
 
+/// Diff-style description of the first divergent `key=value` counter
+/// between a golden and an observed snapshot line.
+fn first_divergent_counter(want: &str, got: &str) -> String {
+    for (w, g) in want.split_whitespace().zip(got.split_whitespace()) {
+        if w == g {
+            continue;
+        }
+        let (key, wv) = w.split_once('=').unwrap_or((w, "?"));
+        let gv = g.split_once('=').map_or("?", |(_, v)| v);
+        return format!("counter `{key}` diverged: golden {wv}, observed {gv}");
+    }
+    format!(
+        "snapshot shape changed: golden has {} counters, observed {}",
+        want.split_whitespace().count(),
+        got.split_whitespace().count()
+    )
+}
+
+/// Every workload whose observed snapshot differs from the golden one,
+/// each with its first divergent counter. Only workloads present on
+/// both sides are compared; name-list drift is handled separately.
+fn divergences(
+    golden: &[(String, String)],
+    observed: &[(String, String)],
+) -> Vec<(String, String)> {
+    golden
+        .iter()
+        .filter_map(|(name, want)| {
+            let (_, got) = observed.iter().find(|(n, _)| n == name)?;
+            (want != got).then(|| (name.clone(), first_divergent_counter(want, got)))
+        })
+        .collect()
+}
+
+fn parse_golden(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (name, snap) = l.split_once(' ').expect("golden line: `<name> <snapshot>`");
+            (name.to_string(), snap.to_string())
+        })
+        .collect()
+}
+
 fn check_against_golden(tier: &str, scale: f64) {
     let observed = observed_lines(scale);
     let path = golden_path(tier);
+    let bless = std::env::var("ADORE_BLESS").ok();
 
-    if std::env::var_os("ADORE_BLESS").is_some() {
+    if let Some(mode) = bless {
+        // Blessing must be deliberate: if the tree already diverges
+        // from the checked-in golden, refuse — show the diff so a
+        // regression cannot be silently baked in — unless forced.
+        if mode != "force" {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                let diverged = divergences(&parse_golden(&text), &observed);
+                if let Some((first, detail)) = diverged.first() {
+                    panic!(
+                        "refusing to bless {}: the tree already diverges on {} \
+                         workload(s), first at `{first}` ({detail}).\n\
+                         Inspect the regression, then re-bless intentionally with \
+                         ADORE_BLESS=force.",
+                        path.display(),
+                        diverged.len()
+                    );
+                }
+            }
+        }
         let mut out = String::from(
             "# Golden cycle-exactness snapshots (see tests/golden_cycles.rs).\n\
              # Regenerate with: ADORE_BLESS=1 cargo test --release \
@@ -133,14 +196,7 @@ fn check_against_golden(tier: &str, scale: f64) {
             path.display()
         )
     });
-    let golden: Vec<(String, String)> = text
-        .lines()
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| {
-            let (name, snap) = l.split_once(' ').expect("golden line: `<name> <snapshot>`");
-            (name.to_string(), snap.to_string())
-        })
-        .collect();
+    let golden = parse_golden(&text);
 
     let golden_names: Vec<&str> = golden.iter().map(|(n, _)| n.as_str()).collect();
     let observed_names: Vec<&str> = observed.iter().map(|(n, _)| n.as_str()).collect();
@@ -148,14 +204,32 @@ fn check_against_golden(tier: &str, scale: f64) {
         golden_names, observed_names,
         "workload suite changed; re-bless the {tier} golden file"
     );
-    for ((name, want), (_, got)) in golden.iter().zip(&observed) {
-        assert_eq!(
-            want, got,
-            "{name}: cycle-exactness regression against {} \
-             (if the timing model changed intentionally, re-bless)",
-            golden_path(tier).display()
+    let diverged = divergences(&golden, &observed);
+    if let Some((first, detail)) = diverged.first() {
+        panic!(
+            "cycle-exactness regression against {}: {} of {} workload(s) diverged, \
+             first at `{first}` — {detail}\n\
+             (if the timing model changed intentionally, re-bless with ADORE_BLESS=1)",
+            path.display(),
+            diverged.len(),
+            golden.len()
         );
     }
+}
+
+#[test]
+fn divergence_diff_names_the_first_differing_counter() {
+    let want = "cycles=100 retired=50 loads=10";
+    let got = "cycles=100 retired=51 loads=10";
+    let msg = first_divergent_counter(want, got);
+    assert!(msg.contains("`retired`") && msg.contains("50") && msg.contains("51"), "{msg}");
+    assert!(first_divergent_counter(want, "cycles=100").contains("shape changed"));
+    let d = divergences(
+        &[("a".into(), want.into()), ("b".into(), want.into())],
+        &[("a".into(), want.into()), ("b".into(), got.into())],
+    );
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].0, "b");
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! unpatched — and the event ledger must record the whole episode —
 //! on both simulator execution paths.
 
-use adore::{AdoreConfig, PassKind, Rejection};
+use adore::{AdoreConfig, PassKind, Policy, Rejection};
 use isa::{AccessSize, Asm, CmpOp, Gr, Pr, CODE_BASE};
 use sim::{ExecPath, Machine, MachineConfig, SamplingConfig};
 
@@ -106,6 +106,81 @@ fn cpi_regression_is_unpatched_and_ledgered_on_both_exec_paths() {
         assert!(
             unpatch_events >= 1,
             "[{exec_path}] event log must record the unpatch episode"
+        );
+    }
+}
+
+/// The unpatch brake is also the policy controller's safety net: when
+/// the patch installed under a *trialed* non-static arm regresses, the
+/// monitor must not just unpatch — it must make the controller fall
+/// back and re-commit the static policy for that phase, and the ledger
+/// must count the episode under `rej:policy_regressed`.
+#[test]
+fn bad_trialed_policy_trips_the_brake_and_recommits_static() {
+    for exec_path in [ExecPath::Fast, ExecPath::Reference] {
+        // Same chase-hostile distances as above, but routed through a
+        // trialed arm: the only arm is WIDE (distance ×2), so the very
+        // first deploy starts a non-static trial that the monitor then
+        // catches regressing.
+        let mut config = harmful_config();
+        config.policy.enable = true;
+        config.policy.trial_windows = 2;
+        config.policy.arms = vec![Policy::WIDE];
+        let base_cfg = MachineConfig { exec_path, ..MachineConfig::default() };
+
+        let program = missy_program(60, 40_000);
+        let mut m = Machine::new(program, config.machine_config(base_cfg));
+        m.mem_mut().alloc(40_016 * 64, 64);
+        let report = adore::run(&mut m, &config);
+
+        assert!(
+            report.traces_unpatched >= 1,
+            "[{exec_path}] the regressing WIDE trial must be unpatched: {report:?}"
+        );
+
+        // Ledger: the monitor charged the fallback to the policy.
+        let (_, monitor) = report
+            .ledger
+            .entries()
+            .find(|(kind, _)| *kind == PassKind::UnpatchMonitor)
+            .expect("unpatch_monitor must be in the default pipeline ledger");
+        let policy_regressed = monitor
+            .rejections
+            .get(Rejection::PolicyRegressed.label())
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            policy_regressed >= 1,
+            "[{exec_path}] ledger must record the policy fallback: {monitor:?}"
+        );
+
+        // Controller: the decision log shows the fallback and the
+        // phase ends re-committed to the static policy.
+        assert!(report.policy.enabled, "[{exec_path}] policy section must be reported");
+        assert!(
+            report.policy.fallbacks >= 1,
+            "[{exec_path}] controller must count the fallback: {:?}",
+            report.policy
+        );
+        let fallback = report
+            .policy
+            .decisions
+            .iter()
+            .find(|d| d.action == "fallback")
+            .unwrap_or_else(|| panic!("[{exec_path}] no fallback decision: {:?}", report.policy));
+        assert_eq!(fallback.arm, "wide", "[{exec_path}] the trialed WIDE arm regressed");
+        assert!(
+            fallback.score < 0.0,
+            "[{exec_path}] fallback records the regression magnitude: {fallback:?}"
+        );
+        assert!(
+            report
+                .policy
+                .committed
+                .iter()
+                .any(|(phase, arm)| *phase == fallback.phase && *arm == "static"),
+            "[{exec_path}] the phase must re-commit the static policy: {:?}",
+            report.policy.committed
         );
     }
 }

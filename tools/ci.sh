@@ -27,13 +27,23 @@
 #      graph / gc) run at --jobs 1 and --jobs 2 must produce
 #      byte-identical reports modulo the volatile engine fields, and the
 #      gc family must actually plant jump-pointer prefetches
+#   4d. adaptive-policy smoke: the `lab policy --quick` grid run at
+#      --jobs 1 and --jobs 2 must produce byte-identical reports
+#      (including every per-phase decision log), the decision-log
+#      schema is validated, and the default-off contract is checked:
+#      reports from the default-config grids must carry no policy
+#      section (the golden tiers of step 3, which run the default
+#      config, prove cycle-level identity). ADORE_NIGHTLY=1 adds the
+#      full-scale 20-workload grid and requires a controller win on at
+#      least one scenario family.
 #   5. differential fuzz smoke: 512 fixed-seed cases through the
 #      three-way oracle, once per simulator execution path
 #      (--exec-path=fast, then reference); any semantic mismatch,
 #      undecided or budget-capped (inconclusive) case fails the gate;
 #      then 512 more with the ADORE leg restricted to the
 #      pattern_analyze pass alone (the jump-pointer classification
-#      probe)
+#      probe), and 512 more restricted to prefetch_schedule with the
+#      adaptive policy controller forced on
 #   5b. coverage-guided campaign smoke: a fixed-seed campaign (mutation
 #      and coverage scheduling on) run at --jobs 1 and --jobs 4 must
 #      produce byte-identical reports and corpus directories; the
@@ -182,6 +192,67 @@ print(f"  ok: {len(sa)} canonical bytes identical across --jobs;"
 EOF
 rm -f results/families.jobs1.json
 
+echo "== smoke: lab policy --quick, --jobs 1 vs --jobs 2 =="
+t0=$(date +%s%N)
+cargo run --release -q -p adore-bench --bin lab -- policy --quick --jobs 1
+pol1_ms=$(ms_since "$t0")
+cp results/policy.json results/policy.jobs1.json
+t0=$(date +%s%N)
+cargo run --release -q -p adore-bench --bin lab -- policy --quick --jobs 2
+pol2_ms=$(ms_since "$t0")
+echo "wall-clock: policy jobs=1 ${pol1_ms}ms, jobs=2 ${pol2_ms}ms"
+
+echo "== validate policy report: determinism, decision-log schema, default-off contract =="
+python3 - <<'EOF'
+import json
+a = json.load(open("results/policy.jobs1.json"))
+b = json.load(open("results/policy.json"))
+for doc in (a, b):
+    doc["generated_unix_s"] = 0
+    doc["engine"]["scheduling"] = {}
+    doc["engine"]["baseline_store"] = {}
+sa, sb = (json.dumps(x, indent=1) for x in (a, b))
+assert sa == sb, \
+    "policy report (including decision logs) differs between --jobs 1 and --jobs 2"
+
+ACTIONS = {"trial", "score", "commit", "fallback", "redeploy"}
+ARMS = {"static", "wide", "near", "lean"}
+decisions = commits = 0
+for row in b["grid"]:
+    name = row["bench"]
+    assert "error" not in row, f"{name}: cell failed: {row.get('error')}"
+    for key in ("base_cycles", "static_cycles", "adaptive_cycles", "win"):
+        assert key in row, f"{name}: row lacks `{key}`"
+    assert row["win"] == (row["adaptive_cycles"] < row["static_cycles"]), \
+        f"{name}: `win` disagrees with the cycle counts"
+    pol = row["policy"]
+    assert pol["enabled"] is True, f"{name}: adaptive leg ran with the controller off"
+    for c in pol["committed"]:
+        assert c["arm"] in ARMS, f"{name}: committed unknown arm {c['arm']!r}"
+        commits += 1
+    for d in pol["decisions"]:
+        for key in ("window", "phase", "action", "arm", "score", "cpi"):
+            assert key in d, f"{name}: decision lacks `{key}`: {d}"
+        assert d["action"] in ACTIONS, f"{name}: unknown action {d['action']!r}"
+        assert d["arm"] in ARMS, f"{name}: decision names unknown arm {d['arm']!r}"
+        decisions += 1
+assert decisions > 0, "no workload logged a single policy decision: the controller is dead"
+assert commits > 0, "no workload committed a policy: every arm walk stalled"
+
+# Default-off contract: grids run with the paper-default config must not
+# carry a policy section at all (the golden tiers of step 3 already
+# re-proved cycle-level identity on the default path).
+fig7 = json.load(open("results/fig7.json"))
+for section in ("part_a", "part_b"):
+    for row in fig7[section]:
+        assert "policy" not in row, \
+            f"fig7 {row['bench']}: default-config row grew a policy section"
+print(f"  ok: {len(sa)} canonical bytes identical across --jobs;"
+      f" {decisions} decisions / {commits} commits schema-valid over"
+      f" {len(b['grid'])} workloads; fig7 rows stay policy-free")
+EOF
+rm -f results/policy.jobs1.json
+
 for path in fast reference; do
     echo "== smoke: differential fuzz oracle, 512 cases, exec-path=$path =="
     cargo run --release -q -p adore-bench --bin lab -- fuzz \
@@ -229,6 +300,23 @@ assert doc["coverage"]["jump_loops"] > 0, \
     "no jump-chase segment generated: the pass probe missed its target shape"
 print(f"  ok: {doc['cases']} pattern_analyze-only cases, 0 mismatches,"
       f" {doc['coverage']['jump_loops']} jump-chase loops generated")
+EOF
+
+echo "== smoke: differential fuzz oracle, 512 cases, --pass=prefetch_schedule --policy=on =="
+cargo run --release -q -p adore-bench --bin lab -- fuzz \
+    --cases=512 --seed=1 --exec-path=fast --pass=prefetch_schedule --policy=on
+
+echo "== validate policy-on prefetch_schedule fuzz report =="
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/fuzz.json"))
+assert doc["only_pass"] == "prefetch_schedule", "report must record the pass restriction"
+assert doc["policy"] == "on", "report must record the forced-on controller"
+assert doc["cases"] >= 512, "policy smoke must run at least 512 cases"
+assert doc["mismatches"] == 0, \
+    "semantic mismatch: the adaptive controller changed program behavior"
+assert doc["undecided"] == 0 and doc["inconclusive"] == 0
+print(f"  ok: {doc['cases']} policy-on schedule-only cases, 0 mismatches")
 EOF
 
 echo "== smoke: coverage-guided campaign, --jobs 1 vs --jobs 4 =="
@@ -331,6 +419,22 @@ EOF
     t0=$(date +%s%N)
     cargo run --release -q -p adore-bench --bin lab -- families --jobs "$(nproc)"
     echo "wall-clock: full-scale families $(ms_since "$t0")ms"
+
+    echo "== nightly: adaptive policy grid at full scale =="
+    t0=$(date +%s%N)
+    cargo run --release -q -p adore-bench --bin lab -- policy --jobs "$(nproc)"
+    echo "wall-clock: full-scale policy $(ms_since "$t0")ms"
+    python3 - <<'EOF'
+import json
+doc = json.load(open("results/policy.json"))
+rows = {r["bench"]: r for r in doc["grid"]}
+assert len(rows) == 20, f"full policy grid must cover 20 workloads, got {len(rows)}"
+family_wins = [n for n in ("server", "graph", "gc") if rows[n]["win"]]
+assert family_wins, \
+    "no scenario family beat the static policy at full scale: the controller lost its edge"
+wins = sum(r["win"] for r in rows.values())
+print(f"  ok: {wins} adaptive wins over 20 workloads; family wins: {family_wins}")
+EOF
 fi
 
 echo "== smoke: per-pass ablation (each pass disabled once) =="
@@ -394,7 +498,7 @@ print(f"  ok: fast path {ratio:.2f}x reference"
 EOF
 
 echo "== validate JSON reports =="
-for f in results/fig7.json results/families.json results/bench_simulator.json; do
+for f in results/fig7.json results/families.json results/policy.json results/bench_simulator.json; do
     [ -f "$f" ] || { echo "missing report: $f" >&2; exit 1; }
     python3 -m json.tool "$f" > /dev/null
     python3 - "$f" <<'EOF'
