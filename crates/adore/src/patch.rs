@@ -122,6 +122,11 @@ mod tests {
     /// A machine running a hot strided loop, plus the positions needed
     /// to hand-build an optimized trace for it.
     fn machine_with_loop(iters: i64) -> (Machine, Addr) {
+        machine_with_loop_on(sim::ExecPath::Fast, iters)
+    }
+
+    /// Same loop machine on an explicit execution tier.
+    fn machine_with_loop_on(path: sim::ExecPath, iters: i64) -> (Machine, Addr) {
         let mut a = Asm::new();
         a.movl(Gr(14), 0x1000_0000);
         a.movl(Gr(9), iters);
@@ -134,7 +139,9 @@ mod tests {
         a.halt();
         let p = a.finish(CODE_BASE).unwrap();
         let head = Addr(CODE_BASE + 2 * 16); // after the two movl bundles
-        let mut m = Machine::new(p, MachineConfig::default());
+        let mut config = MachineConfig::default();
+        config.exec_path = path;
+        let mut m = Machine::new(p, config);
         m.mem_mut().alloc((iters as u64 + 16) * 64, 64);
         (m, head)
     }
@@ -234,6 +241,45 @@ mod tests {
             results[0], results[1],
             "reference and fast paths diverged on patched code"
         );
+    }
+
+    #[test]
+    fn live_patch_deopts_threaded_regions() {
+        // The threaded tier compiles the hot loop into a closure
+        // region; installing an optimized trace then mutates the code
+        // store (pool install + head redirect), each bumping the store
+        // generation. The stale region must deopt at the patch
+        // boundary — and the architectural result must be identical to
+        // an unpatched cycle-exact run.
+        let iters = 60_000i64;
+        let (mut base, _) = machine_with_loop(iters);
+        base.run(u64::MAX);
+        let base_sum = base.gr(Gr(21));
+
+        let (mut m, head) = machine_with_loop_on(sim::ExecPath::Threaded, iters);
+        let mut limit = 0;
+        while m.jit_stats().unwrap().regions_compiled == 0 {
+            limit += 64;
+            assert_eq!(m.run(limit), StopReason::CycleLimit, "loop still warming");
+        }
+
+        // Live-patch while the compiled region is resident.
+        let ot = optimized_for(&m, head);
+        let generation = m.code_generation();
+        let patched = install(&mut m, &ot).unwrap();
+        assert!(patched.code_generation >= generation + 2);
+
+        assert_eq!(m.run(u64::MAX), StopReason::Halted);
+        let stats = m.jit_stats().unwrap();
+        assert!(
+            stats.deopts >= 1,
+            "live patch must deopt the compiled region: {stats:?}"
+        );
+        assert!(
+            stats.regions_compiled >= 2,
+            "redirected head and pool trace must re-warm and recompile: {stats:?}"
+        );
+        assert_eq!(m.gr(Gr(21)), base_sum, "semantics preserved across deopt");
     }
 
     #[test]

@@ -46,6 +46,10 @@ fn replay_config() -> AdoreConfig {
 /// The replayable decision surface of one run: every controller
 /// decision in order, then the final committed arm per phase.
 fn decision_lines(name: &str, path: ExecPath) -> Vec<String> {
+    // Policy decisions are driven by sampled timing deltas, so the
+    // blessed log is only meaningful on cycle-exact tiers; the
+    // threaded tier's compressed cycle counts would skew every trial.
+    assert!(path.is_cycle_exact(), "the decision log needs a cycle-exact path, got {path}");
     let w = workloads::by_name(name, SCALE).unwrap_or_else(|| panic!("unknown workload {name}"));
     let bin = compile(&w.kernel, &CompileOptions::o2()).unwrap_or_else(|e| panic!("{name}: {e}"));
     let config = replay_config();

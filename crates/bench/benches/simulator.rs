@@ -5,8 +5,8 @@
 //! once per [`ExecPath`] and report simulated instructions per second —
 //! `elements` is the total retired count, so `ns_per_element` in
 //! `results/bench_simulator.json` is nanoseconds per simulated
-//! instruction. ci.sh gates on the fast:reference ratio of these two
-//! rows.
+//! instruction. ci.sh gates on the fast:reference ratio of the two
+//! cycle-exact rows and on the threaded tier's speedup over fast.
 //!
 //! Run with `cargo bench --bench simulator [-- --quick]`; emits
 //! `results/bench_simulator.json`.
@@ -47,9 +47,14 @@ fn main() {
 
     // Simulated-instruction throughput over the whole workload suite,
     // once per execution path. Compiled outside the timed region; the
-    // retired counts of the two paths must match exactly (the golden
-    // cycle-exactness tests enforce the stronger per-workload claim).
-    if on("machine/suite_insns_fast") || on("machine/suite_insns_reference") {
+    // retired counts of all paths must match exactly (the golden
+    // cycle-exactness tests enforce the stronger per-workload claim for
+    // the cycle-exact pair; the threaded tier promises architectural
+    // state only, and retired counts are architectural).
+    if on("machine/suite_insns_fast")
+        || on("machine/suite_insns_reference")
+        || on("machine/suite_insns_threaded")
+    {
         let opts = CompileOptions::default();
         let compiled: Vec<(Workload, CompiledBinary)> = workloads::suite(QUICK_SCALE)
             .into_iter()
@@ -64,6 +69,11 @@ fn main() {
             run_suite(&compiled, ExecPath::Reference),
             "fast and reference paths must retire identical instruction counts"
         );
+        assert_eq!(
+            total_insns,
+            run_suite(&compiled, ExecPath::Threaded),
+            "threaded tier must retire identical instruction counts"
+        );
 
         if on("machine/suite_insns_fast") {
             suite.throughput(total_insns);
@@ -75,6 +85,12 @@ fn main() {
             suite.throughput(total_insns);
             suite.bench("machine/suite_insns_reference", || {
                 run_suite(&compiled, ExecPath::Reference)
+            });
+        }
+        if on("machine/suite_insns_threaded") {
+            suite.throughput(total_insns);
+            suite.bench("machine/suite_insns_threaded", || {
+                run_suite(&compiled, ExecPath::Threaded)
             });
         }
     }

@@ -47,8 +47,10 @@ pub struct FlagDef {
     pub kind: FlagKind,
     /// Default rendered in `--help` (`None` for "unset").
     pub default: Option<&'static str>,
-    /// One-line help text.
-    pub help: &'static str,
+    /// One-line help text. Owned so registries can interpolate value
+    /// lists that live elsewhere (e.g. `sim::ExecPath::VALUE_LIST`)
+    /// instead of hand-copying them into string literals that drift.
+    pub help: String,
     /// Whether the flag may repeat (`--disable-pass=a --disable-pass=b`).
     pub repeatable: bool,
 }
@@ -79,8 +81,14 @@ impl Registry {
     }
 
     /// Registers a presence-only flag.
-    pub fn flag(mut self, name: &'static str, help: &'static str) -> Registry {
-        self.flags.push(FlagDef { name, kind: FlagKind::Bool, default: None, help, repeatable: false });
+    pub fn flag(mut self, name: &'static str, help: impl Into<String>) -> Registry {
+        self.flags.push(FlagDef {
+            name,
+            kind: FlagKind::Bool,
+            default: None,
+            help: help.into(),
+            repeatable: false,
+        });
         self
     }
 
@@ -89,9 +97,15 @@ impl Registry {
         mut self,
         name: &'static str,
         default: Option<&'static str>,
-        help: &'static str,
+        help: impl Into<String>,
     ) -> Registry {
-        self.flags.push(FlagDef { name, kind: FlagKind::UInt, default, help, repeatable: false });
+        self.flags.push(FlagDef {
+            name,
+            kind: FlagKind::UInt,
+            default,
+            help: help.into(),
+            repeatable: false,
+        });
         self
     }
 
@@ -100,15 +114,27 @@ impl Registry {
         mut self,
         name: &'static str,
         default: Option<&'static str>,
-        help: &'static str,
+        help: impl Into<String>,
     ) -> Registry {
-        self.flags.push(FlagDef { name, kind: FlagKind::Str, default, help, repeatable: false });
+        self.flags.push(FlagDef {
+            name,
+            kind: FlagKind::Str,
+            default,
+            help: help.into(),
+            repeatable: false,
+        });
         self
     }
 
     /// Registers a repeatable string-valued flag.
-    pub fn repeated(mut self, name: &'static str, help: &'static str) -> Registry {
-        self.flags.push(FlagDef { name, kind: FlagKind::Str, default: None, help, repeatable: true });
+    pub fn repeated(mut self, name: &'static str, help: impl Into<String>) -> Registry {
+        self.flags.push(FlagDef {
+            name,
+            kind: FlagKind::Str,
+            default: None,
+            help: help.into(),
+            repeatable: true,
+        });
         self
     }
 

@@ -313,6 +313,18 @@ impl ExperimentSpec {
         let mut cells: Vec<(usize, Cell)> = Vec::new();
         for (si, section) in self.sections.iter().enumerate() {
             for cell in &section.cells {
+                // Every engine measure reports cycle counts (speedups,
+                // overheads, CPI timelines); a tier with unmodeled
+                // timing would silently corrupt them, so the grid
+                // refuses to run on one. Tier-correctness coverage
+                // lives in the differential oracle instead.
+                assert!(
+                    cell.machine.exec_path.is_cycle_exact(),
+                    "{}/{}: experiment cells need a cycle-exact execution path, got {}",
+                    section.key,
+                    cell.workload,
+                    cell.machine.exec_path
+                );
                 let mut cell = cell.clone();
                 cell.adore.sampling.seed = cell_seed(&[&self.tool, &section.key, cell.workload]);
                 cells.push((si, cell));

@@ -47,7 +47,15 @@ pub(crate) fn registry() -> Registry {
     Registry::new("fuzz", ABOUT)
         .uint("cases", None, "classic mode: case count (default: 512, or 128 with --quick)")
         .uint("seed", Some("1"), "base RNG seed")
-        .value("exec-path", Some("fast"), "simulator execution path: fast | reference")
+        .value(
+            "exec-path",
+            Some("fast"),
+            format!(
+                "simulator execution path: {}; campaign mode alternates \
+                 fast/threaded per case when unset",
+                sim::ExecPath::VALUE_LIST
+            ),
+        )
         .value("pass", None, "restrict the ADORE leg to this single pipeline pass")
         .value("policy", None, "force the adaptive policy controller: on | off (default: alternate by seed)")
         .flag("campaign", "run the coverage-guided campaign instead of classic mode")
@@ -59,16 +67,17 @@ pub(crate) fn registry() -> Registry {
         .flag("progress", "campaign: per-round progress on stderr")
 }
 
-/// Simulator execution path selected by `--exec-path=fast|reference`
-/// (default: fast, the path normal runs use).
-fn exec_path_flag(cli: &Cli) -> sim::ExecPath {
-    match cli.flag_value("exec-path") {
-        None => sim::ExecPath::Fast,
-        Some(v) => v.parse().unwrap_or_else(|e: String| {
+/// Simulator execution path selected by `--exec-path=...` (any of
+/// [`sim::ExecPath::VALUE_LIST`]). `None` when the flag is absent:
+/// classic mode then defaults to the fast path, campaign mode
+/// alternates fast/threaded per case seed.
+fn exec_path_flag(cli: &Cli) -> Option<sim::ExecPath> {
+    cli.flag_value("exec-path").map(|v| {
+        v.parse().unwrap_or_else(|e: String| {
             eprintln!("fuzz: {e}");
             std::process::exit(2);
-        }),
-    }
+        })
+    })
 }
 
 /// `--policy=on|off` controller override for the ADORE leg; absent
@@ -137,14 +146,20 @@ fn campaign_main(cli: &Cli) {
         .map(PathBuf::from)
         .or_else(|| std::env::var_os("ADORE_CAMPAIGN_DIR").map(PathBuf::from))
         .unwrap_or_else(|| workspace_path("corpus/campaign"));
+    // An explicit --exec-path pins every case to that tier; leaving it
+    // unset lets the campaign alternate fast/threaded by case seed so
+    // one run exercises both the cycle-exact loop and the compile tier.
+    let path_label =
+        exec_path.map_or_else(|| "alternate".to_string(), |p| p.to_string());
     let defaults = CampaignConfig::default();
     let cfg = CampaignConfig {
         rounds: cli.flag_uint("rounds").unwrap_or(defaults.rounds as u64) as usize,
         batch: cli.flag_uint("batch").unwrap_or(defaults.batch as u64) as usize,
         seed: cli.flag_uint("seed").unwrap_or(1),
         jobs: cli.jobs.max(1),
+        alternate_exec: exec_path.is_none(),
         diff: DiffConfig {
-            exec_path,
+            exec_path: exec_path.unwrap_or(sim::ExecPath::Fast),
             pipeline: only_pass.map(adore::PipelineConfig::only),
             policy: policy_flag(cli),
             ..DiffConfig::default()
@@ -220,7 +235,7 @@ fn campaign_main(cli: &Cli) {
     report.set("args", cli.report_args.clone());
     report.set("mode", "campaign");
     report.set("seed", cfg.seed);
-    report.set("exec_path", exec_path.to_string());
+    report.set("exec_path", path_label.clone());
     report.set("only_pass", only_pass.map(|k| k.name().to_string()));
     report.set("policy", policy_flag(cli).map(|on| if on { "on" } else { "off" }.to_string()));
     report.set("cases", stats.cases);
@@ -244,7 +259,7 @@ fn campaign_main(cli: &Cli) {
         stats.machine_resets
     );
     println!(
-        "fuzz[{exec_path}] campaign: {} cases over {} rounds, {mismatches} mismatches, \
+        "fuzz[{path_label}] campaign: {} cases over {} rounds, {mismatches} mismatches, \
          {} inconclusive, {} undecided, corpus +{} (now {}), {} coverage keys",
         stats.cases,
         stats.rounds,
@@ -271,7 +286,7 @@ fn classic_main(cli: &Cli) {
     let cases =
         cli.flag_uint("cases").unwrap_or(if cli.flag("quick") { 128 } else { 512 }) as usize;
     let base_seed = cli.flag_uint("seed").unwrap_or(1);
-    let exec_path = exec_path_flag(cli);
+    let exec_path = exec_path_flag(cli).unwrap_or(sim::ExecPath::Fast);
     let only_pass = only_pass_flag(cli);
     let gen_cfg = GenConfig::default();
     let diff_cfg = DiffConfig {

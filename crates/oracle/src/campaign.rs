@@ -56,6 +56,12 @@ pub struct CampaignConfig {
     pub gen: GenConfig,
     /// Harness budgets shared by every evaluation.
     pub diff: DiffConfig,
+    /// Alternate the simulator execution tier per case: even case
+    /// seeds keep `diff.exec_path`, odd ones run the threaded compile
+    /// tier, so one campaign exercises both the cycle-exact loop and
+    /// the compile/deopt machinery. Deterministic in the case seed,
+    /// hence independent of `jobs`.
+    pub alternate_exec: bool,
     /// Mutation knobs.
     pub mutate: MutateConfig,
     /// Persistent corpus directory: minimized entries are written here
@@ -81,6 +87,7 @@ impl Default for CampaignConfig {
             fresh_prob: 0.35,
             gen: GenConfig::default(),
             diff: DiffConfig::default(),
+            alternate_exec: false,
             mutate: MutateConfig::default(),
             corpus_dir: None,
             reuse_machines: true,
@@ -185,6 +192,19 @@ struct Planned {
     ops: Vec<&'static str>,
 }
 
+/// The harness budgets for one case. With `alternate_exec` on, odd
+/// case seeds swap the execution path for the threaded compile tier;
+/// the same per-case config is used for evaluation, minimization and
+/// mismatch shrinking so tier-specific coverage keys (`tier:compiled`,
+/// `tier:deopt`) stay reproducible while an entry is being minimized.
+fn case_diff(cfg: &CampaignConfig, case_seed: u64) -> DiffConfig {
+    let mut diff = cfg.diff.clone();
+    if cfg.alternate_exec && case_seed % 2 == 1 {
+        diff.exec_path = sim::ExecPath::Threaded;
+    }
+    diff
+}
+
 /// Picks a corpus index weighted by entry energy.
 fn weighted_pick(rng: &mut Rng64, corpus: &[CorpusEntry]) -> usize {
     let total: u64 = corpus.iter().map(|e| e.energy).sum();
@@ -251,12 +271,13 @@ fn evaluate_batch(
         |_| (CaseRunner::new(), 0u64),
         |(runner, fresh_builds): &mut (CaseRunner, u64), _shard, i: usize| {
             let started = Instant::now();
+            let diff = case_diff(cfg, plan[i].case_seed);
             let result = if cfg.reuse_machines {
-                check_case(&plan[i].spec, &cfg.diff, runner)
+                check_case(&plan[i].spec, &diff, runner)
             } else {
                 // A/B baseline: fresh machines per case.
                 let mut fresh = CaseRunner::new();
-                let r = check_case(&plan[i].spec, &cfg.diff, &mut fresh);
+                let r = check_case(&plan[i].spec, &diff, &mut fresh);
                 *fresh_builds += fresh.builds;
                 r
             };
@@ -361,7 +382,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
                         continue;
                     }
                     stats.new_key_events += 1;
-                    let spec = minimize_entry(&planned.spec, &novel, cfg, &mut coord);
+                    let diff = case_diff(cfg, planned.case_seed);
+                    let spec = minimize_entry(&planned.spec, &novel, cfg, &diff, &mut coord);
                     persist_entry(cfg, &spec);
                     let energy = novel.len() as u64;
                     corpus.push(CorpusEntry { spec, novel_keys: novel, energy });
@@ -370,7 +392,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
                 CaseResult::Inconclusive { .. } => stats.inconclusive += 1,
                 CaseResult::Undecided(_) => stats.undecided += 1,
                 CaseResult::Mismatch(m) => {
-                    let spec = shrink(&planned.spec, &cfg.diff);
+                    let spec = shrink(&planned.spec, &case_diff(cfg, planned.case_seed));
                     stats.mismatches.push(CampaignMismatch {
                         case_seed: planned.case_seed,
                         stage: m.stage,
@@ -394,13 +416,14 @@ fn minimize_entry(
     spec: &ProgSpec,
     novel: &[String],
     cfg: &CampaignConfig,
+    diff: &DiffConfig,
     runner: &mut CaseRunner,
 ) -> ProgSpec {
     if cfg.minimize_evals == 0 {
         return spec.clone();
     }
     let (min, _used) = shrink_with(spec, cfg.minimize_evals, |candidate| {
-        let (result, run_cov) = check_case(candidate, &cfg.diff, runner);
+        let (result, run_cov) = check_case(candidate, diff, runner);
         if !matches!(result, CaseResult::Agree { .. }) {
             return false;
         }
@@ -447,6 +470,28 @@ mod tests {
         assert!(a.mismatches.is_empty(), "seed 42 smoke corpus must agree");
         assert!(a.machine_resets > 0, "snapshot path must actually be exercised");
         assert!(!a.coverage.is_empty());
+    }
+
+    #[test]
+    fn alternating_campaign_covers_both_tiers_deterministically() {
+        // Seed-parity tier alternation must reach both the cycle-exact
+        // default path and the threaded compile tier, and must stay
+        // byte-identical across worker counts like everything else.
+        let cfg = |jobs| CampaignConfig { alternate_exec: true, ..small_cfg(jobs) };
+        let a = run_campaign(&cfg(1));
+        let b = run_campaign(&cfg(4));
+        assert_eq!(a.coverage, b.coverage, "alternation must not depend on jobs");
+        assert!(a.mismatches.is_empty(), "both tiers must agree with the interpreter");
+        assert!(
+            a.coverage.contains_key("tier:fast"),
+            "even seeds keep the default path: {:?}",
+            a.coverage.keys().filter(|k| k.starts_with("tier:")).collect::<Vec<_>>()
+        );
+        assert!(
+            a.coverage.contains_key("tier:threaded"),
+            "odd seeds must run the compile tier: {:?}",
+            a.coverage.keys().filter(|k| k.starts_with("tier:")).collect::<Vec<_>>()
+        );
     }
 
     #[test]

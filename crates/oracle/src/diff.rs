@@ -421,17 +421,19 @@ fn first_difference(reference: &FinalState, observed: &FinalState) -> Option<Str
 }
 
 /// Reusable per-worker execution state: one pre-built [`Machine`] per
-/// simulated leg, re-armed in place via [`Machine::reset`] between
-/// cases (snapshot/restore) instead of being reallocated. The
-/// code-store generation tags keep counting up across resets, so a
-/// decoded bundle from a previous case can never alias the current
-/// program. A machine is only reused while the case geometry
-/// (memory capacity and execution path) matches; otherwise it is
-/// rebuilt from scratch and the counters record which happened.
+/// simulated leg *and execution tier*, re-armed in place via
+/// [`Machine::reset`] between cases (snapshot/restore) instead of being
+/// reallocated. The code-store generation tags keep counting up across
+/// resets, so a decoded bundle from a previous case can never alias the
+/// current program. Keying the cache by tier lets the campaign's
+/// seed-alternating tier schedule reuse machines instead of thrashing
+/// one slot between paths. A machine is only reused while the case
+/// geometry (memory capacity and execution path) matches; otherwise it
+/// is rebuilt from scratch and the counters record which happened.
 #[derive(Debug, Default)]
 pub struct CaseRunner {
-    plain: Option<Machine>,
-    adore: Option<Machine>,
+    plain: [Option<Machine>; 3],
+    adore: [Option<Machine>; 3],
     /// Machines constructed from scratch (first case, or geometry
     /// change).
     pub builds: u64,
@@ -451,12 +453,13 @@ impl CaseRunner {
     /// fixed by the fuzz harness and the remaining config fields are
     /// checked here.
     fn lease<'a>(
-        slot: &'a mut Option<Machine>,
+        slots: &'a mut [Option<Machine>; 3],
         builds: &mut u64,
         resets: &mut u64,
         program: isa::Program,
         config: MachineConfig,
     ) -> &'a mut Machine {
+        let slot = &mut slots[config.exec_path as usize];
         match slot {
             Some(m)
                 if m.mem().capacity() == config.mem_capacity
@@ -537,6 +540,7 @@ pub fn check_case(
         }
     };
     let plain_state = machine_state(plain, plain_outcome);
+    let plain_jit = plain.jit_stats();
     if let Some(detail) = first_difference(&reference, &plain_state) {
         return (
             CaseResult::Mismatch(Box::new(Mismatch {
@@ -592,6 +596,28 @@ pub fn check_case(
         );
     }
 
+    // Tier coverage: which execution path ran, and whether the
+    // threaded tier actually compiled (and deoptimized) on either
+    // simulated leg — a threaded fuzz run that never compiles is not
+    // exercising the tier it claims to.
+    let opt_jit = opt.jit_stats();
+    let mut coverage = run_coverage(ref_outcome, &report);
+    coverage.keys.push(format!("tier:{}", cfg.exec_path.name()));
+    let compiled = [plain_jit, opt_jit]
+        .iter()
+        .flatten()
+        .map(|s| s.regions_compiled)
+        .sum::<u64>();
+    let deopts = [plain_jit, opt_jit].iter().flatten().map(|s| s.deopts).sum::<u64>();
+    if compiled > 0 {
+        coverage.keys.push("tier:compiled".to_string());
+    }
+    if deopts > 0 {
+        coverage.keys.push("tier:deopt".to_string());
+    }
+    coverage.keys.sort();
+    coverage.keys.dedup();
+
     (
         CaseResult::Agree {
             outcome: ref_outcome,
@@ -599,7 +625,7 @@ pub fn check_case(
             instrumented: report.instrumented,
             promoted: report.promoted,
         },
-        run_coverage(ref_outcome, &report),
+        coverage,
     )
 }
 
@@ -729,6 +755,54 @@ mod tests {
                 other => panic!("seed {seed}: expected agreement, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn generated_cases_agree_on_the_threaded_path_too() {
+        // The threaded tier promises exact architectural state with
+        // unmodeled timing; the final-state comparison ignores cycles,
+        // so the same seeds must agree when both simulated legs compile
+        // their hot regions.
+        let gen_cfg = GenConfig::default();
+        let cfg = DiffConfig { exec_path: ExecPath::Threaded, ..DiffConfig::default() };
+        let mut runner = CaseRunner::new();
+        for seed in 0..4 {
+            let (spec, _) = generate(seed, &gen_cfg);
+            match check_case(&spec, &cfg, &mut runner) {
+                (CaseResult::Agree { .. }, cov) => {
+                    assert!(
+                        cov.keys.iter().any(|k| k == "tier:threaded"),
+                        "seed {seed}: coverage must name the tier: {:?}",
+                        cov.keys
+                    );
+                }
+                (other, _) => panic!("seed {seed}: expected agreement, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_hot_loop_reports_compile_coverage() {
+        // A long spin loop must actually reach the compile tier on the
+        // threaded path — a threaded fuzz run that never compiles would
+        // silently stop testing the tier it claims to.
+        let spec = spin_spec(100_000);
+        let cfg = DiffConfig { exec_path: ExecPath::Threaded, ..DiffConfig::default() };
+        let (result, cov) = check_case(&spec, &cfg, &mut CaseRunner::new());
+        assert!(matches!(result, CaseResult::Agree { .. }), "got {result:?}");
+        assert!(
+            cov.keys.iter().any(|k| k == "tier:compiled"),
+            "hot loop never compiled under the threaded path: {:?}",
+            cov.keys
+        );
+        // The cycle-exact default path must not report tier compiles.
+        let (_, fast_cov) = check_case(&spec, &DiffConfig::default(), &mut CaseRunner::new());
+        assert!(
+            fast_cov.keys.iter().all(|k| k != "tier:compiled"),
+            "fast path must never compile: {:?}",
+            fast_cov.keys
+        );
+        assert!(fast_cov.keys.iter().any(|k| k == "tier:fast"));
     }
 
     #[test]

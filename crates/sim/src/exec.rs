@@ -1,7 +1,7 @@
 //! The predecoded execution fast path.
 //!
-//! [`Machine::run`] dispatches here when
-//! [`ExecPath::Fast`](crate::ExecPath::Fast) is configured (the
+//! [`Machine::run`]'s tier dispatch (see [`crate::tier`]) steps here
+//! when [`ExecPath::Fast`](crate::ExecPath::Fast) is configured (the
 //! default). The fast path is **cycle-exact** with the reference
 //! implementation in `machine.rs` — same architectural state, same PMU
 //! counters, same sample stream, bundle for bundle — but removes the
@@ -31,53 +31,15 @@
 use isa::{Addr, Insn, Pc};
 
 use crate::code::FLAG_FR_READS;
-use crate::machine::{Fault, Machine, StopReason};
+use crate::machine::{Fault, Machine};
 
 impl Machine {
-    /// Fast-path run loop; see the module docs for the contract.
-    pub(crate) fn run_fast(&mut self, cycle_limit: u64) -> StopReason {
-        // `samples` is `Some` iff sampling is configured; hoisting the
-        // capacity keeps the sampled loop free of config re-reads and
-        // lets the unsampled loop drop the buffer check entirely.
-        match self.config.sampling.as_ref().map(|s| s.buffer_capacity) {
-            None => {
-                while !self.halted {
-                    if let Some(f) = self.fault {
-                        return StopReason::Faulted(f);
-                    }
-                    if self.cycle >= cycle_limit {
-                        return StopReason::CycleLimit;
-                    }
-                    self.step_bundle_fast::<false>();
-                }
-                StopReason::Halted
-            }
-            Some(capacity) => {
-                while !self.halted {
-                    if let Some(f) = self.fault {
-                        return StopReason::Faulted(f);
-                    }
-                    if self.cycle >= cycle_limit {
-                        return StopReason::CycleLimit;
-                    }
-                    self.step_bundle_fast::<true>();
-                    if self
-                        .samples
-                        .as_ref()
-                        .is_some_and(|s| s.buffer.len() >= capacity)
-                    {
-                        return StopReason::SampleBufferOverflow;
-                    }
-                }
-                StopReason::Halted
-            }
-        }
-    }
-
     /// Executes one bundle from the predecoded store. `SAMPLING` is a
     /// compile-time split so the common (unsampled) instantiation is
-    /// branchless with respect to sampling.
-    fn step_bundle_fast<const SAMPLING: bool>(&mut self) {
+    /// branchless with respect to sampling. The fast tier's step
+    /// ([`crate::tier::Fast`] dispatches here); the threaded tier also
+    /// calls it for cold code while regions warm up toward compilation.
+    pub(crate) fn step_bundle_fast<const SAMPLING: bool>(&mut self) {
         let bundle_addr = self.ip;
         let Some(loc) = self.store.locate(bundle_addr) else {
             self.fault = Some(Fault::UnmappedFetch(bundle_addr));

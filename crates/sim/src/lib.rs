@@ -37,13 +37,16 @@
 pub mod cache;
 pub mod code;
 pub mod exec;
+pub mod jit;
 pub mod machine;
 pub mod mem;
 pub mod pmu;
+pub(crate) mod tier;
 pub mod tlb;
 
 pub use cache::{AccessResult, Cache, CacheConfig, Hierarchy, HitLevel, DEAR_LATENCY_THRESHOLD};
 pub use code::{CodeLoc, CodeStore, DecodedBundle, DecodedSlot};
+pub use jit::JitStats;
 pub use machine::{
     ExecPath, Fault, Machine, MachineConfig, PatchError, SamplingConfig, StopReason,
     DEFAULT_SAMPLING_SEED,

@@ -63,15 +63,19 @@ impl Default for SamplingConfig {
     }
 }
 
-/// Which execution engine [`Machine::run`] uses.
+/// Which execution tier [`Machine::run`] uses.
 ///
-/// Both paths are cycle-exact with respect to each other: identical
-/// architectural state, identical PMU counters, identical sample
-/// streams. The reference path is the straightforward implementation
-/// kept for differential testing; the fast path executes from the
-/// predecoded [`CodeStore`] and skips per-step allocations and
-/// sampling checks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// The reference and fast tiers are cycle-exact with respect to each
+/// other: identical architectural state, identical PMU counters,
+/// identical sample streams. The reference tier is the straightforward
+/// implementation kept for differential testing; the fast tier executes
+/// from the predecoded [`CodeStore`] and skips per-step allocations and
+/// sampling checks. The threaded tier trades the timing model away for
+/// raw throughput: hot regions compile to chains of closures
+/// (see [`crate::jit`]), architectural state stays exact, cycle counts
+/// and cache statistics do not — [`ExecPath::is_cycle_exact`] is the
+/// contract flag timing-sensitive harnesses must check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecPath {
     /// Straight-line implementation: resolve and clone the `Bundle` at
     /// `ip` every step, derive scoreboard read sets on the fly.
@@ -81,17 +85,54 @@ pub enum ExecPath {
     /// skip nops and sampling checks in the common path.
     #[default]
     Fast,
+    /// Threaded-code compile tier: interprets cold code on the fast
+    /// tier while counting entries, compiles hot regions into direct-
+    /// threaded closure chains, and deopts back to interpretation when
+    /// a live patch bumps the code-store generation. Architectural
+    /// state is exact; timing is **not** modeled.
+    Threaded,
+}
+
+impl ExecPath {
+    /// Every tier, in declaration order.
+    pub const ALL: [ExecPath; 3] = [ExecPath::Reference, ExecPath::Fast, ExecPath::Threaded];
+
+    /// The `|`-joined list of every parseable tier name — the single
+    /// value list shared by [`FromStr`](std::str::FromStr) errors and
+    /// CLI `--help` text, so the two can never drift apart.
+    pub const VALUE_LIST: &'static str = "reference|fast|threaded";
+
+    /// The tier's canonical lowercase name (what [`FromStr`]
+    /// accepts and [`Display`](std::fmt::Display) prints).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecPath::Reference => "reference",
+            ExecPath::Fast => "fast",
+            ExecPath::Threaded => "threaded",
+        }
+    }
+
+    /// Whether this tier models timing exactly. The reference and fast
+    /// tiers agree cycle for cycle and counter for counter; the
+    /// threaded tier only guarantees architectural state. Timing-
+    /// sensitive harnesses (golden cycles, figure/table grids, policy
+    /// replay) assert this before trusting a machine's cycle counts.
+    pub fn is_cycle_exact(self) -> bool {
+        !matches!(self, ExecPath::Threaded)
+    }
 }
 
 impl std::str::FromStr for ExecPath {
     type Err = String;
 
     fn from_str(s: &str) -> Result<ExecPath, String> {
-        match s {
+        match s.to_ascii_lowercase().as_str() {
             "reference" => Ok(ExecPath::Reference),
             "fast" => Ok(ExecPath::Fast),
+            "threaded" => Ok(ExecPath::Threaded),
             other => Err(format!(
-                "unknown exec path {other:?} (expected reference|fast)"
+                "unknown exec path {other:?} (expected one of: {})",
+                ExecPath::VALUE_LIST
             )),
         }
     }
@@ -99,10 +140,7 @@ impl std::str::FromStr for ExecPath {
 
 impl std::fmt::Display for ExecPath {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ExecPath::Reference => write!(f, "reference"),
-            ExecPath::Fast => write!(f, "fast"),
-        }
+        f.write_str(self.name())
     }
 }
 
@@ -277,6 +315,9 @@ pub struct Machine {
     pub(crate) halted: bool,
     pub(crate) fault: Option<Fault>,
     pub(crate) samples: Option<SampleState>,
+    /// Threaded-tier compile state; `Some` iff
+    /// `config.exec_path == ExecPath::Threaded`.
+    pub(crate) jit: Option<Box<crate::jit::JitState>>,
 }
 
 // The parallel experiment engine runs one full simulation per worker
@@ -322,6 +363,7 @@ impl Machine {
             halted: false,
             fault: None,
             samples,
+            jit: crate::jit::JitState::for_path(config.exec_path),
             pool: Vec::new(),
             store: CodeStore::new(&program),
             program,
@@ -373,6 +415,7 @@ impl Machine {
             buffer: Vec::with_capacity(s.buffer_capacity),
             rng: s.seed,
         });
+        self.jit = crate::jit::JitState::for_path(self.config.exec_path);
         self.pool.clear();
         self.store.reset(&program);
         self.program = program;
@@ -492,6 +535,13 @@ impl Machine {
         self.config.exec_path
     }
 
+    /// Threaded-tier compile statistics: `None` unless the machine runs
+    /// on [`ExecPath::Threaded`]. Tests and the differential oracle use
+    /// this to observe region compiles and patch-boundary deopts.
+    pub fn jit_stats(&self) -> Option<crate::jit::JitStats> {
+        self.jit.as_ref().map(|j| j.stats)
+    }
+
     // ---- patching (used by ADORE's trace patcher) -------------------
 
     /// Appends a trace to the trace pool, returning its start address.
@@ -561,32 +611,58 @@ impl Machine {
 
     /// Runs until halt, fault, sample-buffer overflow, or `cycle_limit`
     /// (absolute cycle count) is reached, on the configured
-    /// [`ExecPath`]. Both paths produce identical results; resuming
-    /// after any stop (on either path) continues exactly where the
-    /// previous call left off.
+    /// [`ExecPath`]. The reference and fast tiers produce identical
+    /// results; the threaded tier produces identical architectural
+    /// state. Resuming after any stop (on any tier) continues exactly
+    /// where the previous call left off.
     pub fn run(&mut self, cycle_limit: u64) -> StopReason {
         match self.config.exec_path {
-            ExecPath::Reference => self.run_reference(cycle_limit),
-            ExecPath::Fast => self.run_fast(cycle_limit),
+            ExecPath::Reference => self.drive::<crate::tier::Reference>(cycle_limit),
+            ExecPath::Fast => self.drive::<crate::tier::Fast>(cycle_limit),
+            ExecPath::Threaded => self.drive::<crate::tier::Threaded>(cycle_limit),
         }
     }
 
-    fn run_reference(&mut self, cycle_limit: u64) -> StopReason {
-        while !self.halted {
-            if let Some(f) = self.fault {
-                return StopReason::Faulted(f);
-            }
-            if self.cycle >= cycle_limit {
-                return StopReason::CycleLimit;
-            }
-            self.step_bundle();
-            if let (Some(ss), Some(cfg)) = (&self.samples, &self.config.sampling) {
-                if ss.buffer.len() >= cfg.buffer_capacity {
-                    return StopReason::SampleBufferOverflow;
+    /// The shared run loop over any [`crate::tier::ExecTier`]: stop
+    /// checks (fault, cycle cap, sample-buffer overflow) live here,
+    /// once, so every tier observes the identical stop protocol. The
+    /// sampling split is hoisted out of the loop: when sampling is off,
+    /// the loop carries no buffer check and the tier's step runs its
+    /// `SAMPLING = false` instantiation.
+    fn drive<T: crate::tier::ExecTier>(&mut self, cycle_limit: u64) -> StopReason {
+        match self.config.sampling.as_ref().map(|s| s.buffer_capacity) {
+            None => {
+                while !self.halted {
+                    if let Some(f) = self.fault {
+                        return StopReason::Faulted(f);
+                    }
+                    if self.cycle >= cycle_limit {
+                        return StopReason::CycleLimit;
+                    }
+                    T::step::<false>(self, cycle_limit);
                 }
+                StopReason::Halted
+            }
+            Some(capacity) => {
+                while !self.halted {
+                    if let Some(f) = self.fault {
+                        return StopReason::Faulted(f);
+                    }
+                    if self.cycle >= cycle_limit {
+                        return StopReason::CycleLimit;
+                    }
+                    T::step::<true>(self, cycle_limit);
+                    if self
+                        .samples
+                        .as_ref()
+                        .is_some_and(|s| s.buffer.len() >= capacity)
+                    {
+                        return StopReason::SampleBufferOverflow;
+                    }
+                }
+                StopReason::Halted
             }
         }
-        StopReason::Halted
     }
 
     /// Runs to completion (halt or fault), ignoring samples (drains
@@ -683,8 +759,9 @@ impl Machine {
         self.pmu.rearm_dear();
     }
 
-    /// Executes one bundle, updating all timing state.
-    fn step_bundle(&mut self) {
+    /// Executes one bundle, updating all timing state. The reference
+    /// tier's step; [`crate::tier::Reference`] dispatches here.
+    pub(crate) fn step_bundle(&mut self) {
         let bundle_addr = self.ip;
         let Some(bundle) = self.bundle_at(bundle_addr).cloned() else {
             self.fault = Some(Fault::UnmappedFetch(bundle_addr));

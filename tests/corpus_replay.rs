@@ -8,8 +8,10 @@
 //! behind and must agree forever after. Hand-written cases pinning
 //! known optimization shapes (indirect access, pointer chase) also
 //! live here. Every file is replayed once per simulator [`ExecPath`],
-//! so the corpus guards both execution engines. An empty (or absent)
-//! corpus passes vacuously.
+//! so the corpus guards every execution tier — including the threaded
+//! compile tier, whose architectural-state contract is exactly what
+//! the three-way comparison checks. An empty (or absent) corpus passes
+//! vacuously.
 //!
 //! Files whose name starts with `expect_inconclusive` pin the harness's
 //! budget handling instead: replayed under a deliberately small cycle
@@ -39,7 +41,15 @@ fn corpus_replays_without_mismatch() {
         let spec =
             parse_repro(&text).unwrap_or_else(|e| panic!("{}: parse: {e}", path.display()));
         let expect_inconclusive = stem.starts_with("expect_inconclusive");
-        for exec_path in [ExecPath::Fast, ExecPath::Reference] {
+        // Budget-pinning entries stay on the cycle-exact paths: the
+        // threaded tier compresses cycles (that is its purpose), so a
+        // cap tuned to stall the timing model may let it finish.
+        let exec_paths: &[ExecPath] = if expect_inconclusive {
+            &[ExecPath::Fast, ExecPath::Reference]
+        } else {
+            &ExecPath::ALL
+        };
+        for &exec_path in exec_paths {
             let cfg = if expect_inconclusive {
                 // Small enough that the program cannot finish, large
                 // enough that a fault would have surfaced first.
@@ -89,7 +99,51 @@ fn corpus_replays_without_mismatch() {
         }
         replayed += 1;
     }
-    eprintln!("replayed {replayed} corpus reproducer(s) on both exec paths");
+    eprintln!("replayed {replayed} corpus reproducer(s) on every exec path");
+}
+
+/// The threaded-deopt reproducer pins the compile tier's
+/// patch-boundary deopt protocol end to end: under
+/// `ExecPath::Threaded` the hot sweep loop gets compiled to threaded
+/// code (`tier:compiled`), ADORE patches it mid-run — which bumps the
+/// code-store generation and invalidates the region (`tier:deopt`) —
+/// and the final architectural state still agrees with the reference
+/// interpreter. On the cycle-exact default path the same case must
+/// report no tier compiles at all.
+#[test]
+fn threaded_deopt_reproducer_compiles_and_deopts() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join("threaded_deopt_hot_loop.txt");
+    let text = std::fs::read_to_string(&path).expect("read threaded-deopt reproducer");
+    let spec = parse_repro(&text).expect("parse threaded-deopt reproducer");
+    let cfg = DiffConfig { exec_path: ExecPath::Threaded, ..DiffConfig::default() };
+    let (result, cov) = check_case(&spec, &cfg, &mut CaseRunner::new());
+    match result {
+        CaseResult::Agree { traces_patched, .. } => {
+            assert!(traces_patched >= 1, "the sweep loop was never patched, so nothing can deopt");
+            assert!(
+                cov.keys.iter().any(|k| k == "tier:compiled"),
+                "the hot loop never reached the compile tier; coverage: {:?}",
+                cov.keys
+            );
+            assert!(
+                cov.keys.iter().any(|k| k == "tier:deopt"),
+                "the live patch never invalidated a compiled region; coverage: {:?}",
+                cov.keys
+            );
+        }
+        other => panic!("expected agreement, got {other:?}"),
+    }
+
+    let (fast_result, fast_cov) = check_case(&spec, &DiffConfig::default(), &mut CaseRunner::new());
+    assert!(matches!(fast_result, CaseResult::Agree { .. }), "got {fast_result:?}");
+    assert!(
+        fast_cov.keys.iter().all(|k| k != "tier:compiled" && k != "tier:deopt"),
+        "cycle-exact paths must never compile: {:?}",
+        fast_cov.keys
+    );
 }
 
 /// The jump-pointer reproducer must not just *agree* — it pins the

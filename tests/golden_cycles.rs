@@ -69,6 +69,10 @@ fn snapshot(m: &Machine) -> String {
 }
 
 fn run_one(w: &workloads::Workload, bin: &compiler::CompiledBinary, path: ExecPath) -> String {
+    // The snapshot is the full observable timing surface; only
+    // cycle-exact tiers may ever produce golden lines (the threaded
+    // tier's cycle counts are deliberately unmodeled).
+    assert!(path.is_cycle_exact(), "golden snapshots need a cycle-exact path, got {path}");
     let mut config = MachineConfig::default();
     config.exec_path = path;
     let mut m = w.prepare(bin, config);

@@ -217,9 +217,12 @@ fn machine_computes_strided_sums() {
 
 /// Running a machine in arbitrary seeded `cycle_limit` chunks reaches
 /// exactly the same architectural and timing state as one
-/// uninterrupted run — on both execution paths. This is the
+/// uninterrupted run — on every execution tier. This is the
 /// resumability contract ADORE's sampling windows rely on: stopping at
-/// a cycle limit and resuming must be invisible to the program.
+/// a cycle limit and resuming must be invisible to the program. The
+/// threaded tier promises architectural state only (chunk boundaries
+/// may land mid-region and change what gets compiled, hence its cycle
+/// accounting), so its timing comparisons are skipped.
 #[test]
 fn chunked_runs_equal_uninterrupted_runs() {
     use sim::{ExecPath, StopReason};
@@ -227,11 +230,7 @@ fn chunked_runs_equal_uninterrupted_runs() {
         let mut rng = case_rng(0xC1C1_E7E5, case);
         let trip = rng.range_i64(1, 300);
         let stride = rng.range_i64(1, 4) * 64;
-        let path = if rng.bool() {
-            ExecPath::Fast
-        } else {
-            ExecPath::Reference
-        };
+        let path = *rng.choose(&ExecPath::ALL);
         let build = || {
             let mut a = Asm::new();
             a.movl(Gr(14), 0x1000_0000);
@@ -269,19 +268,21 @@ fn chunked_runs_equal_uninterrupted_runs() {
             }
         }
 
-        assert_eq!(whole.cycles(), chunked.cycles(), "case {case} ({path})");
         assert_eq!(whole.retired(), chunked.retired(), "case {case} ({path})");
         assert_eq!(whole.gr(Gr(21)), chunked.gr(Gr(21)), "case {case} ({path})");
-        assert_eq!(
-            whole.pmu().counters,
-            chunked.pmu().counters,
-            "case {case} ({path})"
-        );
-        assert_eq!(
-            whole.caches().cache_stats(),
-            chunked.caches().cache_stats(),
-            "case {case} ({path})"
-        );
+        if path.is_cycle_exact() {
+            assert_eq!(whole.cycles(), chunked.cycles(), "case {case} ({path})");
+            assert_eq!(
+                whole.pmu().counters,
+                chunked.pmu().counters,
+                "case {case} ({path})"
+            );
+            assert_eq!(
+                whole.caches().cache_stats(),
+                chunked.caches().cache_stats(),
+                "case {case} ({path})"
+            );
+        }
     }
 }
 
@@ -289,8 +290,11 @@ fn chunked_runs_equal_uninterrupted_runs() {
 /// families too, not just synthetic strided loops: running `server`,
 /// `graph` and `gc` to completion in arbitrary seeded cycle-limit
 /// chunks reaches exactly the same timing and architectural state as
-/// one uninterrupted run, on both execution paths. This is what lets
-/// ADORE's sampling windows slice family executions invisibly.
+/// one uninterrupted run, on every execution tier. The threaded tier
+/// is held to its architectural contract only (retired count and
+/// halting), plus cross-tier agreement of the retired count with the
+/// cycle-exact paths. This is what lets ADORE's sampling windows slice
+/// family executions invisibly.
 #[test]
 fn family_chunked_runs_equal_uninterrupted_runs() {
     use compiler::{compile, CompileOptions};
@@ -298,7 +302,8 @@ fn family_chunked_runs_equal_uninterrupted_runs() {
     for (wi, w) in workloads::families(0.02).iter().enumerate() {
         let bin = compile(&w.kernel, &CompileOptions::o2())
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        for path in [ExecPath::Fast, ExecPath::Reference] {
+        let mut retired_by_tier: Vec<u64> = Vec::new();
+        for path in ExecPath::ALL {
             let build = || {
                 let mut config = MachineConfig::default();
                 config.exec_path = path;
@@ -306,6 +311,7 @@ fn family_chunked_runs_equal_uninterrupted_runs() {
             };
             let mut whole = build();
             assert_eq!(whole.run(u64::MAX), StopReason::Halted, "{} ({path})", w.name);
+            retired_by_tier.push(whole.retired());
 
             for case in 0..2u64 {
                 let mut rng = case_rng(0xFA01_11E5 ^ wi as u64, case);
@@ -319,8 +325,11 @@ fn family_chunked_runs_equal_uninterrupted_runs() {
                         other => panic!("{} case {case}: unexpected stop {other:?}", w.name),
                     }
                 }
-                assert_eq!(whole.cycles(), chunked.cycles(), "{} case {case} ({path})", w.name);
                 assert_eq!(whole.retired(), chunked.retired(), "{} case {case} ({path})", w.name);
+                if !path.is_cycle_exact() {
+                    continue;
+                }
+                assert_eq!(whole.cycles(), chunked.cycles(), "{} case {case} ({path})", w.name);
                 assert_eq!(
                     whole.pmu().counters,
                     chunked.pmu().counters,
@@ -335,6 +344,11 @@ fn family_chunked_runs_equal_uninterrupted_runs() {
                 );
             }
         }
+        assert!(
+            retired_by_tier.windows(2).all(|p| p[0] == p[1]),
+            "{}: all tiers must retire identical instruction counts: {retired_by_tier:?}",
+            w.name
+        );
     }
 }
 

@@ -38,8 +38,10 @@
 #      least one scenario family.
 #   5. differential fuzz smoke: 512 fixed-seed cases through the
 #      three-way oracle, once per simulator execution path
-#      (--exec-path=fast, then reference); any semantic mismatch,
-#      undecided or budget-capped (inconclusive) case fails the gate;
+#      (--exec-path=fast, reference, then threaded — the compile tier
+#      is held to the same architectural-state bar as the cycle-exact
+#      paths); any semantic mismatch, undecided or budget-capped
+#      (inconclusive) case fails the gate;
 #      then 512 more with the ADORE leg restricted to the
 #      pattern_analyze pass alone (the jump-pointer classification
 #      probe), and 512 more restricted to prefetch_schedule with the
@@ -56,7 +58,8 @@
 #      ledger, rejection taxonomy and event stream in
 #      results/ablation.json
 #   7. simulator benchmark + throughput gate: the predecoded fast path
-#      must stay at least 2x the reference path on the quick suite
+#      must stay at least 2x the reference path on the quick suite, and
+#      the threaded compile tier at least 2x the fast path
 #   8. schema validation of the emitted JSON, including the engine's
 #      merged sections
 set -euo pipefail
@@ -79,6 +82,13 @@ echo "== test (release, ignored tiers: quick-scale golden + full-scale e2e) =="
 t0=$(date +%s%N)
 ADORE_FULL_E2E=1 cargo test --release -q --test golden_cycles --test end_to_end -- --ignored
 echo "wall-clock: release ignored tiers $(ms_since "$t0")ms"
+
+# The golden pass above must *compare*, never rewrite: if a stray
+# ADORE_BLESS leaked into the environment the snapshots would have been
+# silently regenerated, so pin them byte-identical to the checked-in
+# files.
+git diff --exit-code -- tests/golden_cycles_tiny.txt tests/golden_cycles_quick.txt \
+    || { echo "golden snapshot files changed during the CI run" >&2; exit 1; }
 
 echo "== smoke: lab fig7 --quick, same grid twice against one baseline store =="
 store_dir=$(mktemp -d)
@@ -253,7 +263,7 @@ print(f"  ok: {len(sa)} canonical bytes identical across --jobs;"
 EOF
 rm -f results/policy.jobs1.json
 
-for path in fast reference; do
+for path in fast reference threaded; do
     echo "== smoke: differential fuzz oracle, 512 cases, exec-path=$path =="
     cargo run --release -q -p adore-bench --bin lab -- fuzz \
         --cases=512 --seed=1 "--exec-path=$path"
@@ -495,6 +505,13 @@ assert ratio >= 2.0, (
     f"{fast:.2f} vs {ref:.2f} ns per simulated instruction")
 print(f"  ok: fast path {ratio:.2f}x reference"
       f" ({fast:.2f} vs {ref:.2f} ns per simulated instruction)")
+threaded = rows["machine/suite_insns_threaded"]["ns_per_element"]
+tratio = fast / threaded
+assert tratio >= 2.0, (
+    f"threaded-tier throughput regressed: {tratio:.2f}x fast (gate: >= 2x); "
+    f"{threaded:.2f} vs {fast:.2f} ns per simulated instruction")
+print(f"  ok: threaded tier {tratio:.2f}x fast"
+      f" ({threaded:.2f} vs {fast:.2f} ns per simulated instruction)")
 EOF
 
 echo "== validate JSON reports =="
